@@ -1,0 +1,52 @@
+// Command apstat queries a running merakid over its line-based query
+// port and prints the response.
+//
+// Usage:
+//
+//	apstat [-addr 127.0.0.1:7772] status
+//	apstat top-apps 20
+//	apstat util
+//	apstat save /tmp/snapshot.gob
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7772", "merakid query address")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: apstat [-addr host:port] COMMAND [ARGS]")
+		os.Exit(2)
+	}
+	if err := run(*addr, strings.Join(flag.Args(), " ")); err != nil {
+		fmt.Fprintf(os.Stderr, "apstat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, command string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s\nquit\n", command); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			break
+		}
+		fmt.Println(line)
+	}
+	return sc.Err()
+}

@@ -1,0 +1,251 @@
+// Command merakid is the backend collector daemon: it accepts device
+// tunnels on -listen, polls each connected device for queued reports on
+// a fixed cadence, ingests them into the datastore, and answers
+// line-based queries on -query (see cmd/apstat). The store can be
+// snapshotted to disk with -snapshot on shutdown (SIGINT) or via the
+// "save" query. Queries: status, clients, top-apps N, util, crashes,
+// anomalies, save PATH, quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"wlanscale/internal/anomaly"
+	"wlanscale/internal/backend"
+	"wlanscale/internal/telemetry"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7771", "device tunnel listen address")
+	query := flag.String("query", "127.0.0.1:7772", "query listen address")
+	keyHex := flag.String("key", strings.Repeat("42", 32), "64-hex-char pre-shared tunnel key")
+	pollEvery := flag.Duration("poll", 2*time.Second, "poll cadence per device")
+	batch := flag.Int("batch", 64, "max reports per poll")
+	snapshot := flag.String("snapshot", "", "snapshot file written on shutdown")
+	flag.Parse()
+
+	key, err := parseKey(*keyHex)
+	if err != nil {
+		log.Fatalf("merakid: %v", err)
+	}
+	d := &daemon{
+		store:     backend.NewStore(),
+		key:       key,
+		pollEvery: *pollEvery,
+		batch:     *batch,
+	}
+
+	devLn, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("merakid: listen: %v", err)
+	}
+	qLn, err := net.Listen("tcp", *query)
+	if err != nil {
+		log.Fatalf("merakid: query listen: %v", err)
+	}
+	log.Printf("merakid: devices on %s, queries on %s", devLn.Addr(), qLn.Addr())
+
+	go d.acceptDevices(devLn)
+	go d.acceptQueries(qLn)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	devLn.Close()
+	qLn.Close()
+	if *snapshot != "" {
+		if err := d.store.SaveFile(*snapshot); err != nil {
+			log.Printf("merakid: snapshot: %v", err)
+		} else {
+			log.Printf("merakid: snapshot written to %s", *snapshot)
+		}
+	}
+}
+
+func parseKey(h string) ([]byte, error) {
+	if len(h) != 64 {
+		return nil, fmt.Errorf("key must be 64 hex chars, got %d", len(h))
+	}
+	key := make([]byte, 32)
+	if _, err := fmt.Sscanf(h, "%64x", &key); err != nil {
+		return nil, fmt.Errorf("bad key: %v", err)
+	}
+	return key, nil
+}
+
+type daemon struct {
+	store     *backend.Store
+	key       []byte
+	pollEvery time.Duration
+	batch     int
+
+	mu      sync.Mutex
+	devices map[string]bool
+}
+
+func (d *daemon) acceptDevices(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go d.serveDevice(conn)
+	}
+}
+
+func (d *daemon) serveDevice(conn net.Conn) {
+	p, err := telemetry.AcceptPoller(conn, d.key)
+	if err != nil {
+		log.Printf("merakid: handshake from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	defer p.Close()
+	d.mu.Lock()
+	if d.devices == nil {
+		d.devices = make(map[string]bool)
+	}
+	d.devices[p.Serial] = true
+	d.mu.Unlock()
+	log.Printf("merakid: device %s connected", p.Serial)
+	defer func() {
+		d.mu.Lock()
+		delete(d.devices, p.Serial)
+		d.mu.Unlock()
+		log.Printf("merakid: device %s disconnected", p.Serial)
+	}()
+	ticker := time.NewTicker(d.pollEvery)
+	defer ticker.Stop()
+	for range ticker.C {
+		reports, err := p.Poll(d.batch)
+		if err != nil {
+			return
+		}
+		for _, r := range reports {
+			d.store.Ingest(r)
+		}
+	}
+}
+
+func (d *daemon) acceptQueries(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go d.serveQuery(conn)
+	}
+}
+
+// serveQuery speaks a line protocol: one command per line, response
+// terminated by a blank line. Commands: status, clients, top-apps N,
+// util, save PATH, quit.
+func (d *daemon) serveQuery(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "status":
+			ing, dup := d.store.Stats()
+			d.mu.Lock()
+			nDev := len(d.devices)
+			d.mu.Unlock()
+			fmt.Fprintf(w, "devices=%d ingested=%d duplicates=%d clients=%d\n",
+				nDev, ing, dup, d.store.NumClients())
+		case "clients":
+			fmt.Fprintf(w, "%d\n", d.store.NumClients())
+		case "top-apps":
+			n := 10
+			if len(fields) > 1 {
+				fmt.Sscanf(fields[1], "%d", &n)
+			}
+			for _, row := range topApps(d.store, n) {
+				fmt.Fprintf(w, "%s\t%d bytes\t%d clients\n", row.name, row.bytes, row.clients)
+			}
+		case "util":
+			for _, serial := range d.store.RadioSerials() {
+				for _, s := range d.store.RadioSeries(serial) {
+					fmt.Fprintf(w, "%s band=%s ch=%d busy=%.3f decodable=%.3f\n",
+						serial, s.Band, s.Channel, s.Busy, s.Decodable)
+				}
+			}
+		case "crashes":
+			for _, serial := range d.store.CrashSerials() {
+				for _, c := range d.store.Crashes(serial) {
+					fmt.Fprintf(w, "%s t=%d kind=%d fw=%s pc=%#x neighbors=%d\n",
+						serial, c.Timestamp, c.Kind, c.Firmware, c.PC, c.NeighborCount)
+				}
+			}
+		case "anomalies":
+			det := anomaly.NewDetector()
+			det.FeedCrashes(d.store)
+			det.FeedNeighborCounts(d.store)
+			for _, serial := range det.RebootLoops(3) {
+				fmt.Fprintf(w, "reboot-loop %s\n", serial)
+			}
+			for _, o := range det.NeighborOutliers(8) {
+				fmt.Fprintf(w, "neighbor-outlier %s count=%d sigma=%.0f\n", o.Serial, o.Count, o.Sigma)
+			}
+		case "save":
+			if len(fields) < 2 {
+				fmt.Fprintln(w, "error: save needs a path")
+			} else if err := d.store.SaveFile(fields[1]); err != nil {
+				fmt.Fprintf(w, "error: %v\n", err)
+			} else {
+				fmt.Fprintln(w, "saved")
+			}
+		case "quit":
+			w.Flush()
+			return
+		default:
+			fmt.Fprintf(w, "error: unknown command %q\n", fields[0])
+		}
+		fmt.Fprintln(w)
+		w.Flush()
+	}
+}
+
+type appRow struct {
+	name    string
+	bytes   uint64
+	clients int
+}
+
+func topApps(store *backend.Store, n int) []appRow {
+	agg := make(map[string]*appRow)
+	for _, c := range store.Clients() {
+		for name, rec := range c.Apps {
+			row, ok := agg[name]
+			if !ok {
+				row = &appRow{name: name}
+				agg[name] = row
+			}
+			row.bytes += rec.UpBytes + rec.DownBytes
+			row.clients++
+		}
+	}
+	rows := make([]appRow, 0, len(agg))
+	for _, r := range agg {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].bytes > rows[j].bytes })
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}

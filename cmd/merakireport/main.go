@@ -1,0 +1,202 @@
+// Command merakireport regenerates every table and figure of the paper
+// from a fresh simulation run. By default it runs at laptop scale;
+// -scale full uses the paper's populations (20,667 networks, 10,000 APs
+// per hardware study) and takes correspondingly longer.
+//
+// Usage:
+//
+//	merakireport [-seed N] [-scale small|medium|full] [-only exp1,exp2]
+//
+// Experiments: table1 table2 table3 table4 table5 table6 table7
+// fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wlanscale/internal/core"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/meshprobe"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	scale := flag.String("scale", "small", "simulation scale: small, medium, or full")
+	only := flag.String("only", "", "comma-separated experiment list (default: all)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	switch *scale {
+	case "small":
+	case "medium":
+		cfg.UsageNetworks = 800
+		cfg.ClientCap = 1500
+		cfg.LinkNetworks = 800
+		cfg.LinkWindows = 300
+		cfg.UtilAPs = 2000
+		cfg.ScanAPs = 1500
+	case "full":
+		cfg = cfg.Full()
+		cfg.Seed = *seed
+		cfg.Sampling = meshprobe.BinomialApprox
+	default:
+		fmt.Fprintf(os.Stderr, "merakireport: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	want := func(name string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, e := range strings.Split(*only, ",") {
+			if strings.TrimSpace(e) == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	if err := run(cfg, want); err != nil {
+		fmt.Fprintf(os.Stderr, "merakireport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg core.Config, want func(string) bool) error {
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	section := func(s string) { fmt.Printf("\n%s\n%s\n", s, strings.Repeat("=", len(s))) }
+
+	if want("table1") {
+		section("Table 1")
+		fmt.Print(core.Table1Hardware().Render())
+	}
+	if want("table2") {
+		section("Table 2")
+		fmt.Print(core.Table2Industries(study.Fleet15).Render())
+	}
+
+	needUsage := want("table3") || want("table4") || want("table5") || want("table6") || want("fig1")
+	var now, before *core.UsageEpoch
+	if needUsage {
+		fmt.Fprintln(os.Stderr, "simulating usage weeks (two epochs)...")
+		if now, err = study.RunUsageEpoch(study.Fleet15); err != nil {
+			return err
+		}
+		if before, err = study.RunUsageEpoch(study.Fleet14); err != nil {
+			return err
+		}
+	}
+	if want("table3") {
+		section("Table 3")
+		fmt.Print(core.Table3UsageByOS(now, before).Render())
+	}
+	if want("table4") {
+		section("Table 4")
+		fmt.Print(core.Table4Capabilities(now, before).Render())
+	}
+	if want("table5") {
+		section("Table 5")
+		fmt.Print(core.Table5TopApps(now, before, 40).Render())
+	}
+	if want("table6") {
+		section("Table 6")
+		fmt.Print(core.Table6Categories(now, before).Render())
+	}
+	if want("fig1") {
+		section("Figure 1")
+		fmt.Print(core.Figure1RSSI(now).Render())
+	}
+
+	if want("table7") || want("fig2") {
+		fmt.Fprintln(os.Stderr, "scanning AP environments (two epochs)...")
+		scanNow, err := study.RunNeighborScan(epoch.Jan2015)
+		if err != nil {
+			return err
+		}
+		scanBefore, err := study.RunNeighborScan(epoch.Jul2014)
+		if err != nil {
+			return err
+		}
+		apScale := 10000.0 / float64(len(scanNow.PerAP))
+		if want("table7") {
+			section("Table 7")
+			fmt.Print(core.Table7NearbyNetworks(scanNow, scanBefore, apScale).Render())
+		}
+		if want("fig2") {
+			section("Figure 2")
+			fmt.Print(core.Figure2NearbyByChannel(scanNow, apScale).Render())
+		}
+	}
+
+	if want("fig3") {
+		fmt.Fprintln(os.Stderr, "measuring link deliveries (two epochs)...")
+		section("Figure 3")
+		fmt.Print(study.RunFigure3().Render())
+	}
+	if want("fig4") {
+		section("Figure 4")
+		fmt.Print(study.RunLinkSeries(dot11.Band24).Render())
+	}
+	if want("fig5") {
+		section("Figure 5")
+		fmt.Print(study.RunLinkSeries(dot11.Band5).Render())
+	}
+	if want("fig6") {
+		fmt.Fprintln(os.Stderr, "measuring MR16 utilization...")
+		r, err := study.RunFigure6()
+		if err != nil {
+			return err
+		}
+		section("Figure 6")
+		fmt.Print(r.Render())
+	}
+	if want("fig7") {
+		r, err := study.RunScatter(dot11.Band24)
+		if err != nil {
+			return err
+		}
+		section("Figure 7")
+		fmt.Print(r.Render())
+	}
+	if want("fig8") {
+		r, err := study.RunScatter(dot11.Band5)
+		if err != nil {
+			return err
+		}
+		section("Figure 8")
+		fmt.Print(r.Render())
+	}
+	if want("fig9") {
+		r, err := study.RunFigure9()
+		if err != nil {
+			return err
+		}
+		section("Figure 9")
+		fmt.Print(r.Render())
+	}
+	if want("fig10") {
+		r, err := study.RunFigure10()
+		if err != nil {
+			return err
+		}
+		section("Figure 10")
+		fmt.Print(r.Render())
+	}
+	if want("fig11") {
+		r, err := study.RunFigure11(4)
+		if err != nil {
+			return err
+		}
+		section("Figure 11")
+		fmt.Print(r.Render())
+	}
+	return nil
+}

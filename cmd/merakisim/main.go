@@ -1,0 +1,164 @@
+// Command merakisim simulates a fleet. It has two modes:
+//
+// Offline (default): run the usage-week simulation in-process and write
+// the backend store snapshot to -out, for later analysis.
+//
+//	merakisim -networks 200 -out dataset.gob
+//
+// Serve mode: simulate N access points as live telemetry agents that
+// connect to a running merakid, queue their measurement reports, and
+// answer polls — the full wire path of paper Section 2.
+//
+//	merakisim -serve 127.0.0.1:7771 -aps 20 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"wlanscale/internal/core"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/rng"
+	"wlanscale/internal/synth"
+	"wlanscale/internal/telemetry"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	networks := flag.Int("networks", 120, "simulated networks (offline mode)")
+	clientCap := flag.Int("client-cap", 400, "max clients per network (0 = uncapped)")
+	out := flag.String("out", "dataset.gob", "snapshot output path (offline mode)")
+	serve := flag.String("serve", "", "backend address: run live agents instead of offline simulation")
+	aps := flag.Int("aps", 10, "number of live agents (serve mode)")
+	duration := flag.Duration("duration", 30*time.Second, "how long live agents run")
+	every := flag.Duration("every", 2*time.Second, "report period per live agent")
+	keyHex := flag.String("key", strings.Repeat("42", 32), "64-hex-char pre-shared tunnel key")
+	flag.Parse()
+
+	if *serve != "" {
+		if err := runAgents(*serve, *aps, *seed, *duration, *every, *keyHex); err != nil {
+			log.Fatalf("merakisim: %v", err)
+		}
+		return
+	}
+	if err := runOffline(*seed, *networks, *clientCap, *out); err != nil {
+		log.Fatalf("merakisim: %v", err)
+	}
+}
+
+func runOffline(seed uint64, networks, clientCap int, out string) error {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.UsageNetworks = networks
+	cfg.ClientCap = clientCap
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("merakisim: simulating %d networks (Jan 2015 week)...", networks)
+	u, err := study.RunUsageEpoch(study.Fleet15)
+	if err != nil {
+		return err
+	}
+	ing, _ := u.Store.Stats()
+	log.Printf("merakisim: %d reports ingested, %d clients aggregated", ing, u.Store.NumClients())
+	if err := u.Store.SaveFile(out); err != nil {
+		return err
+	}
+	log.Printf("merakisim: snapshot written to %s", out)
+	return nil
+}
+
+// runAgents spins up live AP agents that measure their simulated
+// environments and stream reports to a merakid over encrypted tunnels.
+func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration, keyHex string) error {
+	if len(keyHex) != 64 {
+		return fmt.Errorf("key must be 64 hex chars")
+	}
+	key := make([]byte, 32)
+	if _, err := fmt.Sscanf(keyHex, "%64x", &key); err != nil {
+		return fmt.Errorf("bad key: %v", err)
+	}
+
+	fleet, err := synth.GenerateFleet(synth.Params{
+		Seed: seed, NumNetworks: (nAPs + 2) / 3, Epoch: epoch.Jan2015, ClientCap: 50,
+	})
+	if err != nil {
+		return err
+	}
+	type liveAP struct {
+		agent *telemetry.Agent
+		netID int
+		apIdx int
+	}
+	var live []liveAP
+	for _, n := range fleet.Networks {
+		for i := range n.APs {
+			if len(live) == nAPs {
+				break
+			}
+			live = append(live, liveAP{
+				agent: telemetry.NewAgent(n.APs[i].Serial, key),
+				netID: n.ID,
+				apIdx: i,
+			})
+		}
+	}
+	log.Printf("merakisim: %d live agents connecting to %s for %v", len(live), addr, duration)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for idx, la := range live {
+		wg.Add(1)
+		go func(idx int, la liveAP) {
+			defer wg.Done()
+			la.agent.RunWithReconnect(addr, stop)
+		}(idx, la)
+
+		// Separate producer: measure and enqueue reports periodically.
+		wg.Add(1)
+		go func(idx int, la liveAP) {
+			defer wg.Done()
+			n := fleet.Networks[la.netID]
+			a := n.APs[la.apIdx]
+			env, err := fleet.Environment(n, la.apIdx, epoch.Jan2015)
+			if err != nil {
+				log.Printf("agent %s: %v", a.Serial, err)
+				return
+			}
+			src := rng.New(seed).SplitN("live", idx)
+			ticker := time.NewTicker(every)
+			defer ticker.Stop()
+			ts := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					ts += uint64(every.Seconds())
+					tod := 9 + src.Float64()*9 // business hours
+					a.Radio24.Measure(env.Hood, tod, every, env.OwnDuty24)
+					a.Radio5.Measure(env.Hood, tod, every, env.OwnDuty5)
+					neighbors := a.ScanNeighbors(env.Neighbors24)
+					neighbors = append(neighbors, a.ScanNeighbors(env.Neighbors5)...)
+					rep := a.BuildReport(ts, neighbors, nil, nil)
+					la.agent.Enqueue(rep)
+				}
+			}
+		}(idx, la)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	var queued, dropped int
+	for _, la := range live {
+		queued += la.agent.QueueLen()
+		dropped += la.agent.Dropped()
+	}
+	log.Printf("merakisim: done; %d reports still queued, %d dropped", queued, dropped)
+	return nil
+}

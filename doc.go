@@ -1,0 +1,11 @@
+// Package wlanscale is a from-scratch reproduction of "Large-scale
+// Measurements of Wireless Network Behavior" (Biswas et al., SIGCOMM
+// 2015): a deterministic fleet simulator for the Meraki measurement
+// system, the on-AP measurement pipeline (802.11 scanning, mesh link
+// probes, radio utilization counters, Click-style flow classification),
+// the protobuf-wire telemetry path, the backend aggregation store, and
+// analyses that regenerate every table and figure in the paper.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-versus-measured results, and cmd/merakireport to run everything.
+package wlanscale

@@ -1,0 +1,151 @@
+// Fleetops: the operational side of the paper (Section 6) end to end —
+// the skyscraper out-of-memory bug, its detection from crash telemetry
+// and neighbor-count outliers, the bounded-table fix, software-update
+// usage spikes, and per-client traffic shaping.
+//
+//	go run ./examples/fleetops
+package main
+
+import (
+	"fmt"
+
+	"wlanscale/internal/anomaly"
+	"wlanscale/internal/apps"
+	"wlanscale/internal/backend"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/rng"
+	"wlanscale/internal/shaper"
+	"wlanscale/internal/telemetry"
+)
+
+func main() {
+	root := rng.New(2026)
+	store := backend.NewStore()
+
+	// --- Section 6.1: "some of the access points were located in
+	// skyscrapers in Manhattan and could decode beacons from miles
+	// away". Replay the bug: a 256 KB neighbor table fills and the AP
+	// OOMs, reboots, fills again...
+	fmt.Println("== The skyscraper bug ==")
+	table := anomaly.NewNeighborTable(256)
+	seq := uint64(0)
+	for reboot := 0; reboot < 4; reboot++ {
+		var crashed *anomaly.ErrOOM
+		for i := uint64(0); ; i++ {
+			if err := table.Observe(i); err != nil {
+				crashed = err.(*anomaly.ErrOOM)
+				break
+			}
+		}
+		fmt.Printf("  boot %d: OOM after tracking %d networks (%d KB used)\n",
+			reboot+1, crashed.Entries, crashed.UsedKB)
+		// The device reboots and uploads a post-mortem.
+		seq++
+		report := &telemetry.Report{
+			Serial: "Q2XX-MANHATTAN", SeqNo: seq,
+			Crashes: []telemetry.CrashRecord{{
+				Timestamp:     seq * 3600,
+				Kind:          uint8(anomaly.CrashOOM),
+				Firmware:      "r24.7",
+				PC:            0x80401a2c,
+				NeighborCount: uint32(crashed.Entries),
+			}},
+		}
+		decoded, err := telemetry.UnmarshalReport(report.Marshal())
+		if err != nil {
+			panic(err)
+		}
+		store.Ingest(decoded)
+		table = anomaly.NewNeighborTable(256)
+	}
+
+	// Healthy fleet telemetry for contrast.
+	for i := 0; i < 200; i++ {
+		serial := fmt.Sprintf("Q2XX-%04d", i)
+		var recs []telemetry.NeighborRecord
+		for j := 0; j < 40+root.IntN(30); j++ {
+			recs = append(recs, telemetry.NeighborRecord{
+				BSSID: dot11.MACFromUint64([3]byte{0, 0x1c, 0xbf}, uint64(i*1000+j)),
+				Band:  dot11.Band24, Channel: 1,
+			})
+		}
+		store.Ingest(&telemetry.Report{Serial: serial, SeqNo: 1, Neighbors: recs})
+	}
+	var sky []telemetry.NeighborRecord
+	for j := 0; j < 2800; j++ {
+		sky = append(sky, telemetry.NeighborRecord{
+			BSSID: dot11.MACFromUint64([3]byte{9, 9, 9}, uint64(j)),
+			Band:  dot11.Band24, Channel: 1,
+		})
+	}
+	store.Ingest(&telemetry.Report{Serial: "Q2XX-MANHATTAN", SeqNo: seq + 1, Neighbors: sky})
+
+	det := anomaly.NewDetector()
+	det.FeedCrashes(store)
+	det.FeedNeighborCounts(store)
+	fmt.Printf("\n  reboot loops (>=3 crashes): %v\n", det.RebootLoops(3))
+	for _, o := range det.NeighborOutliers(8) {
+		fmt.Printf("  neighbor outlier: %s at %d networks (%.0f sigma above fleet median)\n",
+			o.Serial, o.Count, o.Sigma)
+	}
+	fmt.Printf("  crashes by firmware: %v\n", det.CrashesByFirmware())
+
+	// The fix: bound the table.
+	fixed := anomaly.NewNeighborTable(256)
+	dropped := 0
+	for i := uint64(0); i < 5000; i++ {
+		if fixed.ObserveBounded(i, 400) {
+			dropped++
+		}
+	}
+	fmt.Printf("  with the bounded-table fix: %d tracked, %d dropped, %d KB used — no reboot\n\n",
+		fixed.Len(), dropped, fixed.UsedKB())
+
+	// --- Section 6.2: software updates "sometimes causing sudden
+	// increases totaling tens or hundreds of gigabytes".
+	fmt.Println("== Patch-day spike detection ==")
+	spikes := anomaly.NewSpikeDetector(6, 3)
+	day := 0
+	feed := func(gb float64) {
+		day++
+		if spikes.Add("Software updates", gb*1e9) {
+			fmt.Printf("  day %2d: %5.0f GB  <-- SPIKE (OS update surge)\n", day, gb)
+		} else {
+			fmt.Printf("  day %2d: %5.0f GB\n", day, gb)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		feed(90 + root.Float64()*20)
+	}
+	feed(740) // patch Tuesday
+	feed(105)
+
+	// --- Practical implication 1: shape the heavy hitters.
+	fmt.Println("\n== Per-client shaping ==")
+	sh, err := shaper.New([]shaper.Rule{
+		{Global: true, RateBps: 2e6, BurstBytes: 4e6},
+		{Category: apps.CatVideoMusic, RateBps: 500e3, BurstBytes: 1e6},
+	})
+	if err != nil {
+		panic(err)
+	}
+	byClient := make(map[dot11.MAC]float64)
+	for tick := 0; tick < 60; tick++ {
+		for c := 0; c < 8; c++ {
+			mac := dot11.MAC{4, 0, 0, 0, 0, byte(c)}
+			var demand float64 = 100e3
+			cat := apps.CatOther
+			if c == 0 { // the Netflix binger
+				demand = 4e6
+				cat = apps.CatVideoMusic
+			}
+			byClient[mac] += sh.Shape(float64(tick), mac, cat, demand)
+		}
+	}
+	passed, droppedBytes := sh.Stats()
+	fmt.Printf("  admitted %.0f MB, shaped away %.0f MB\n", passed/1e6, droppedBytes/1e6)
+	fmt.Printf("  fairness index across the cell: %.3f\n", shaper.FairnessIndex(byClient))
+	top := shaper.TopTalkers(byClient, 2)
+	fmt.Printf("  top talkers after shaping: %s (%.0f MB), %s (%.0f MB)\n",
+		top[0], byClient[top[0]]/1e6, top[1], byClient[top[1]]/1e6)
+}

@@ -1,0 +1,65 @@
+// Linkstudy: use the mesh-probe subsystem directly to study how one
+// wireless link's delivery ratio depends on distance, band, and channel
+// load — the microscope view behind the paper's Figures 3-5.
+//
+//	go run ./examples/linkstudy
+package main
+
+import (
+	"fmt"
+
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/meshprobe"
+	"wlanscale/internal/rf"
+	"wlanscale/internal/rng"
+	"wlanscale/internal/stats"
+)
+
+func main() {
+	root := rng.New(42)
+
+	fmt.Println("Delivery ratio vs distance (drywall office, quiet channel, 2.4 GHz):")
+	fmt.Println("  distance   median-SNR   delivery")
+	for _, d := range []float64{10, 30, 60, 100, 150, 220, 300} {
+		// Average several link realizations: every link has its own
+		// static shadowing and multipath personality.
+		var sum, snr float64
+		const reps = 25
+		for i := 0; i < reps; i++ {
+			l := meshprobe.New(rf.EnvDrywallOffice, dot11.Band24, d, 26, 0,
+				root.Split(fmt.Sprintf("d%v", d)).SplitN("rep", i))
+			sum += l.MeanDelivery(20, meshprobe.PerProbe)
+			snr += l.MedianSNRdB()
+		}
+		fmt.Printf("  %5.0f m    %6.1f dB    %5.1f%%\n", d, snr/reps, sum/reps*100)
+	}
+
+	fmt.Println("\nDelivery ratio vs channel load (fixed 60 m link, 2.4 GHz):")
+	fmt.Println("  busy    delivery")
+	for _, busy := range []float64{0, 0.1, 0.25, 0.5, 0.75} {
+		var sum float64
+		const reps = 40
+		for i := 0; i < reps; i++ {
+			l := meshprobe.New(rf.EnvDrywallOffice, dot11.Band24, 60, 26, busy,
+				root.Split(fmt.Sprintf("b%v", busy)).SplitN("rep", i))
+			sum += l.MeanDelivery(20, meshprobe.PerProbe)
+		}
+		fmt.Printf("  %4.0f%%   %5.1f%%\n", busy*100, sum/reps*100)
+	}
+
+	fmt.Println("\nOne intermediate link over a week (300 s windows):")
+	var link *meshprobe.Link
+	for i := 0; ; i++ {
+		l := meshprobe.New(rf.EnvDrywallOffice, dot11.Band24, 90, 26, 0.25, root.SplitN("candidate", i))
+		if r := l.MeanDelivery(5, meshprobe.PerProbe); r > 0.2 && r < 0.9 {
+			link = l
+			break
+		}
+	}
+	series := link.WeekSeries(meshprobe.PerProbe)
+	fmt.Print(stats.RenderSeries("", 72, 10, 0, 1, map[string][]float64{"delivery": series}))
+
+	cdf := stats.FromSamples(series)
+	fmt.Printf("window delivery: min %.2f, median %.2f, max %.2f\n",
+		cdf.Quantile(0), cdf.Median(), cdf.Quantile(1))
+}

@@ -1,0 +1,3 @@
+module wlanscale
+
+go 1.22

@@ -1,0 +1,344 @@
+// Package airtime models per-channel medium occupancy as seen by one
+// listener: which transmitters near an access point hold the channel
+// busy, for what fraction of a measurement window, and whether the busy
+// time carries decodable 802.11 preambles. It is the substrate behind
+// the paper's channel-utilization results (Figures 6 through 10).
+//
+// The model is statistical rather than per-packet: each source has a
+// duty-cycle process (window-to-window AR(1) variation around a
+// heavy-tailed mean, with optional diurnal modulation), and a window's
+// busy fraction is the probabilistic union of the in-range sources'
+// contributions. This reproduces the two key phenomena the paper
+// reports: utilization is driven by a few heavy sources rather than by
+// the neighbor count (Figures 7/8 show no correlation), and most busy
+// time is decodable 802.11 (Figure 10).
+package airtime
+
+import (
+	"math"
+
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/rng"
+)
+
+// SourceKind classifies a medium occupant.
+type SourceKind uint8
+
+const (
+	// KindBeacon is 802.11 management beacon traffic: constant duty,
+	// always decodable when co-channel.
+	KindBeacon SourceKind = iota
+	// KindData is 802.11 data traffic: bursty, diurnal, decodable.
+	KindData
+	// KindNonWiFi is non-802.11 energy (Bluetooth, microwave, ...):
+	// busy time without decodable headers.
+	KindNonWiFi
+)
+
+// String names the source kind.
+func (k SourceKind) String() string {
+	switch k {
+	case KindBeacon:
+		return "beacon"
+	case KindData:
+		return "data"
+	case KindNonWiFi:
+		return "non-wifi"
+	default:
+		return "unknown"
+	}
+}
+
+// adjacentMaskPenaltyDB is the extra attenuation applied to partially
+// overlapping WiFi beyond the band-overlap fraction, reflecting the
+// 802.11 transmit spectral mask and receive filtering.
+const adjacentMaskPenaltyDB = 6
+
+// Default receiver thresholds (dBm) for a 20 MHz 802.11 channel.
+const (
+	// DefaultEDThresholdDBm is the energy-detect threshold: any energy
+	// above this holds carrier sense busy whether or not it is WiFi.
+	DefaultEDThresholdDBm = -62
+	// DefaultPreambleThresholdDBm is the preamble-detect threshold:
+	// 802.11 preambles are decodable (and defer the MAC) down to this
+	// much weaker level.
+	DefaultPreambleThresholdDBm = -88
+)
+
+// Source is one occupant of the medium as seen by a particular listener.
+type Source struct {
+	// Kind classifies the occupant.
+	Kind SourceKind
+	// Channel is the occupant's operating channel.
+	Channel dot11.Channel
+	// WidthMHz is the occupant's transmission bandwidth (20 or 40).
+	WidthMHz int
+	// RxPowerDBm is the occupant's received power at the listener.
+	RxPowerDBm float64
+	// MeanDuty is the long-run mean fraction of time the occupant
+	// transmits.
+	MeanDuty float64
+	// DiurnalStrength in [0,1] scales how strongly the occupant's duty
+	// follows the business-hours cycle. Beacons use 0.
+	DiurnalStrength float64
+
+	proc   rng.AR1
+	src    *rng.Source
+	primed bool
+}
+
+// NewBeaconSource builds a beacon occupant: an AP broadcasting nSSIDs
+// virtual networks, a fraction of which beacon at the slow 802.11b rate.
+// The duty is deterministic: nSSIDs beacons per 102.4 ms interval.
+func NewBeaconSource(ch dot11.Channel, rxDBm float64, nSSIDs int, b11Fraction float64) *Source {
+	perOFDM := dot11.AirTime(dot11.BeaconFrameBytes, dot11.Rate6Mb).Seconds()
+	perB := dot11.AirTime(dot11.BeaconFrameBytes, dot11.Rate1Mb).Seconds()
+	interval := dot11.BeaconInterval.Seconds()
+	per := perOFDM*(1-b11Fraction) + perB*b11Fraction
+	if ch.Band == dot11.Band5 {
+		per = perOFDM // no DSSS at 5 GHz
+	}
+	return &Source{
+		Kind:       KindBeacon,
+		Channel:    ch,
+		WidthMHz:   20,
+		RxPowerDBm: rxDBm,
+		MeanDuty:   per * float64(nSSIDs) / interval,
+	}
+}
+
+// NewDataSource builds a data-traffic occupant with a sparse,
+// heavy-tailed mean duty: over half of all networks sit essentially
+// idle, while a few stream hard. The resulting per-channel variance
+// dwarfs the count-proportional mean, which is what reproduces the
+// paper's non-correlation between neighbor count and utilization
+// (Figures 7/8); the uniform-duty ablation bench shows the contrast.
+func NewDataSource(ch dot11.Channel, widthMHz int, rxDBm float64, src *rng.Source) *Source {
+	var duty float64
+	if src.Bool(0.55) {
+		duty = 0.0002 // idle network: the odd ARP and DHCP exchange
+	} else {
+		duty = src.LogNormalMeanMedian(0.004, 2.0)
+	}
+	if duty > 0.6 {
+		duty = 0.6
+	}
+	return &Source{
+		Kind:            KindData,
+		Channel:         ch,
+		WidthMHz:        widthMHz,
+		RxPowerDBm:      rxDBm,
+		MeanDuty:        duty,
+		DiurnalStrength: 0.5 + src.Float64()*0.5,
+		src:             src,
+	}
+}
+
+// NewClientTrafficSource builds a data occupant with an explicit mean
+// duty — used for an AP's own-BSS client traffic, whose load is set by
+// the client population rather than drawn from the neighbor-duty
+// distribution.
+func NewClientTrafficSource(ch dot11.Channel, rxDBm, meanDuty, diurnal float64, src *rng.Source) *Source {
+	if meanDuty < 0 {
+		meanDuty = 0
+	}
+	if meanDuty > 0.9 {
+		meanDuty = 0.9
+	}
+	return &Source{
+		Kind:            KindData,
+		Channel:         ch,
+		WidthMHz:        20,
+		RxPowerDBm:      rxDBm,
+		MeanDuty:        meanDuty,
+		DiurnalStrength: diurnal,
+		src:             src,
+	}
+}
+
+// NewNonWiFiSource builds a non-802.11 occupant from its busy
+// contribution parameters (already distance-resolved by the rf layer).
+func NewNonWiFiSource(ch dot11.Channel, widthMHz int, rxDBm, meanDuty float64, src *rng.Source) *Source {
+	return &Source{
+		Kind:            KindNonWiFi,
+		Channel:         ch,
+		WidthMHz:        widthMHz,
+		RxPowerDBm:      rxDBm,
+		MeanDuty:        meanDuty,
+		DiurnalStrength: 0.3,
+		src:             src,
+	}
+}
+
+// DielFactor returns the business-hours load multiplier at the given
+// local time of day (hours, 0-24) for a source with the given diurnal
+// strength. Strength 0 is flat; strength 1 swings from ~0.4 at night to
+// ~2.0 at midday.
+func DielFactor(todHours, strength float64) float64 {
+	if strength <= 0 {
+		return 1
+	}
+	phase := (todHours - 13) / 12 * math.Pi
+	bump := math.Cos(phase)
+	if bump < 0 {
+		bump = 0
+	}
+	bump = math.Pow(bump, 1.5)
+	return (1 - strength) + strength*(0.4+1.6*bump)
+}
+
+// dutyAt returns the source's duty for the current window at the given
+// time of day, advancing its variation process.
+func (s *Source) dutyAt(todHours float64) float64 {
+	d := s.MeanDuty
+	if s.src != nil {
+		if !s.primed {
+			// Window-to-window multiplicative wobble around the mean.
+			s.proc = rng.AR1{Mean: 0, Stddev: 0.5, Rho: 0.85}
+			s.primed = true
+		}
+		d *= math.Exp(s.proc.Next(s.src) - 0.125) // -sigma^2/2 keeps mean
+	}
+	d *= DielFactor(todHours, s.DiurnalStrength)
+	if d > 0.95 {
+		d = 0.95
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Observation is what one measurement window on one channel looks like
+// to the listener.
+type Observation struct {
+	// Busy is the fraction of the window carrier sense was held busy.
+	Busy float64
+	// Decodable is the fraction of the window spent on energy with
+	// intact 802.11 preambles. Decodable <= Busy.
+	Decodable float64
+	// Sources is the number of sources that contributed energy.
+	Sources int
+}
+
+// DecodableFraction returns Decodable/Busy, or 0 for an idle window —
+// the quantity Figure 10 plots.
+func (o Observation) DecodableFraction() float64 {
+	if o.Busy <= 0 {
+		return 0
+	}
+	f := o.Decodable / o.Busy
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Neighborhood is the set of medium occupants audible at one listener,
+// with the listener's receiver thresholds.
+type Neighborhood struct {
+	Sources              []*Source
+	EDThresholdDBm       float64
+	PreambleThresholdDBm float64
+}
+
+// NewNeighborhood returns an empty neighborhood with default thresholds.
+func NewNeighborhood() *Neighborhood {
+	return &Neighborhood{
+		EDThresholdDBm:       DefaultEDThresholdDBm,
+		PreambleThresholdDBm: DefaultPreambleThresholdDBm,
+	}
+}
+
+// Add registers a source.
+func (n *Neighborhood) Add(s *Source) { n.Sources = append(n.Sources, s) }
+
+// Observe computes one window's occupancy on the given 20 MHz listen
+// channel at the given local time of day, with full CCA semantics: a
+// serving radio defers to co-channel WiFi down to the preamble-detect
+// threshold, and to any other energy above the ED threshold. This is
+// what the MR16's on-channel counters report (Figure 6). Each call
+// advances the sources' duty processes by one window.
+func (n *Neighborhood) Observe(ch dot11.Channel, todHours float64) Observation {
+	return n.observe(ch, todHours, false)
+}
+
+// ObserveED computes one window's occupancy with energy-detect-only
+// semantics: every source, WiFi or not, must clear the ED threshold to
+// register. This is what the MR18's 5 ms-dwell scanning radio measures
+// (Figures 7-10): a dwell landing mid-frame sees only energy, and weak
+// co-channel frames fall below the -62 dBm ED level. The distinction is
+// what breaks the proportionality between detected-AP count and scanned
+// utilization that Figures 7/8 famously do not show.
+func (n *Neighborhood) ObserveED(ch dot11.Channel, todHours float64) Observation {
+	return n.observe(ch, todHours, true)
+}
+
+func (n *Neighborhood) observe(ch dot11.Channel, todHours float64, edOnly bool) Observation {
+	var obs Observation
+	idle := 1.0          // probability-mass of fully idle air
+	idleDecodable := 1.0 // idle considering only decodable sources
+	for _, s := range n.Sources {
+		ov := dot11.Overlap(s.Channel, s.WidthMHz, ch, 20)
+		if ov <= 0 {
+			continue
+		}
+		// In-channel received power after spectral overlap.
+		inband := s.RxPowerDBm + 10*math.Log10(ov)
+		decodable := false
+		switch s.Kind {
+		case KindBeacon, KindData:
+			// Co-channel WiFi is decodable; partially overlapping WiFi
+			// is undecodable energy, further attenuated by the 802.11
+			// transmit spectral mask (OFDM occupancy is not
+			// rectangular, so naive band overlap overstates
+			// adjacent-channel coupling).
+			threshold := n.EDThresholdDBm
+			if ov >= 0.999 {
+				decodable = true
+				if !edOnly {
+					threshold = n.PreambleThresholdDBm
+				}
+			} else {
+				inband -= adjacentMaskPenaltyDB
+			}
+			if inband < threshold {
+				continue
+			}
+		default:
+			if inband < n.EDThresholdDBm {
+				continue
+			}
+		}
+		d := s.dutyAt(todHours) * ov
+		if d <= 0 {
+			continue
+		}
+		if d > 1 {
+			d = 1
+		}
+		obs.Sources++
+		idle *= 1 - d
+		if decodable {
+			idleDecodable *= 1 - d
+		}
+	}
+	obs.Busy = 1 - idle
+	obs.Decodable = 1 - idleDecodable
+	if obs.Decodable > obs.Busy {
+		obs.Decodable = obs.Busy
+	}
+	return obs
+}
+
+// ObserveBand sweeps every channel in the band and returns the per-
+// channel observations in channel order — what the MR18's dedicated
+// scanning radio produces each scan cycle.
+func (n *Neighborhood) ObserveBand(band dot11.Band, todHours float64) []Observation {
+	chans := dot11.Channels(band)
+	out := make([]Observation, len(chans))
+	for i, ch := range chans {
+		out[i] = n.Observe(ch, todHours)
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package airtime
+
+import (
+	"math"
+	"testing"
+
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/rng"
+)
+
+func ch24(t *testing.T, n int) dot11.Channel {
+	t.Helper()
+	ch, ok := dot11.ChannelByNumber(dot11.Band24, n)
+	if !ok {
+		t.Fatalf("channel %d missing", n)
+	}
+	return ch
+}
+
+func TestBeaconSourceDuty(t *testing.T) {
+	ch := ch24(t, 6)
+	// One OFDM SSID: 0.424 ms / 102.4 ms = ~0.41%.
+	s := NewBeaconSource(ch, -60, 1, 0)
+	if s.MeanDuty < 0.003 || s.MeanDuty > 0.005 {
+		t.Errorf("1 OFDM SSID duty = %v, want ~0.41%%", s.MeanDuty)
+	}
+	// One 11b SSID: 2.592/102.4 = ~2.5%.
+	b := NewBeaconSource(ch, -60, 1, 1)
+	if b.MeanDuty < 0.024 || b.MeanDuty > 0.027 {
+		t.Errorf("1 11b SSID duty = %v, want ~2.5%%", b.MeanDuty)
+	}
+	// Four SSIDs quadruple the duty.
+	four := NewBeaconSource(ch, -60, 4, 1)
+	if math.Abs(four.MeanDuty-4*b.MeanDuty) > 1e-9 {
+		t.Errorf("4-SSID duty = %v, want %v", four.MeanDuty, 4*b.MeanDuty)
+	}
+}
+
+func TestBeaconSource5GHzIgnoresB11(t *testing.T) {
+	ch, _ := dot11.ChannelByNumber(dot11.Band5, 36)
+	s := NewBeaconSource(ch, -60, 1, 1)
+	ofdm := dot11.AirTime(dot11.BeaconFrameBytes, dot11.Rate6Mb).Seconds() / dot11.BeaconInterval.Seconds()
+	if math.Abs(s.MeanDuty-ofdm) > 1e-9 {
+		t.Errorf("5 GHz beacon duty = %v, want OFDM-only %v", s.MeanDuty, ofdm)
+	}
+}
+
+func TestDielFactorShape(t *testing.T) {
+	if DielFactor(13, 0) != 1 {
+		t.Error("zero strength should be flat")
+	}
+	day := DielFactor(13, 1)
+	night := DielFactor(1, 1)
+	if day <= 1.5 {
+		t.Errorf("midday factor = %v, want ~2", day)
+	}
+	if night >= 0.6 {
+		t.Errorf("night factor = %v, want ~0.4", night)
+	}
+	if DielFactor(13, 0.5) <= DielFactor(13, 0.1) {
+		t.Error("diel factor should grow with strength at midday")
+	}
+}
+
+func TestObserveEmptyNeighborhood(t *testing.T) {
+	n := NewNeighborhood()
+	obs := n.Observe(ch24(t, 6), 12)
+	if obs.Busy != 0 || obs.Decodable != 0 || obs.Sources != 0 {
+		t.Errorf("empty observation = %+v", obs)
+	}
+	if obs.DecodableFraction() != 0 {
+		t.Error("idle DecodableFraction should be 0")
+	}
+}
+
+func TestObserveCoChannelBeacon(t *testing.T) {
+	n := NewNeighborhood()
+	ch := ch24(t, 6)
+	n.Add(NewBeaconSource(ch, -70, 3, 0.5))
+	obs := n.Observe(ch, 12)
+	if obs.Sources != 1 {
+		t.Fatalf("sources = %d", obs.Sources)
+	}
+	if obs.Busy <= 0 || obs.Busy > 0.1 {
+		t.Errorf("beacon busy = %v", obs.Busy)
+	}
+	if obs.DecodableFraction() < 0.99 {
+		t.Errorf("beacon decodable fraction = %v, want 1", obs.DecodableFraction())
+	}
+}
+
+func TestObserveWeakCoChannelWiFiStillDefers(t *testing.T) {
+	// WiFi at -85 dBm is below ED (-62) but above preamble threshold
+	// (-88): it must still hold the medium.
+	n := NewNeighborhood()
+	ch := ch24(t, 1)
+	n.Add(NewBeaconSource(ch, -85, 2, 1))
+	obs := n.Observe(ch, 12)
+	if obs.Busy <= 0 {
+		t.Error("weak co-channel WiFi did not trigger carrier sense")
+	}
+}
+
+func TestObserveTooWeakWiFiIgnored(t *testing.T) {
+	n := NewNeighborhood()
+	ch := ch24(t, 1)
+	n.Add(NewBeaconSource(ch, -95, 2, 1)) // below preamble threshold
+	obs := n.Observe(ch, 12)
+	if obs.Busy != 0 {
+		t.Errorf("sub-threshold WiFi busy = %v", obs.Busy)
+	}
+}
+
+func TestObserveAdjacentChannelNeedsEDLevel(t *testing.T) {
+	ch1 := ch24(t, 1)
+	ch3 := ch24(t, 3)
+	// Adjacent-channel WiFi at -70 dBm: undecodable energy below ED
+	// threshold, so ignored.
+	n := NewNeighborhood()
+	src := NewBeaconSource(ch3, -70, 4, 1)
+	n.Add(src)
+	if obs := n.Observe(ch1, 12); obs.Busy != 0 {
+		t.Errorf("weak adjacent energy counted: %+v", obs)
+	}
+	// The same source very loud (-40 dBm) does trigger ED, and is
+	// counted as undecodable.
+	n2 := NewNeighborhood()
+	loud := NewBeaconSource(ch3, -40, 4, 1)
+	n2.Add(loud)
+	obs := n2.Observe(ch1, 12)
+	if obs.Busy <= 0 {
+		t.Fatal("loud adjacent energy not counted")
+	}
+	if obs.Decodable != 0 {
+		t.Errorf("adjacent energy counted as decodable: %+v", obs)
+	}
+}
+
+func TestObserveNonWiFiNeverDecodable(t *testing.T) {
+	n := NewNeighborhood()
+	ch := ch24(t, 6)
+	n.Add(NewNonWiFiSource(ch, 20, -50, 0.3, rng.New(1).Split("nw")))
+	obs := n.Observe(ch, 12)
+	if obs.Busy <= 0 {
+		t.Fatal("strong non-WiFi not counted")
+	}
+	if obs.Decodable != 0 {
+		t.Errorf("non-WiFi counted as decodable: %+v", obs)
+	}
+}
+
+func TestObserveUnionNeverExceedsOne(t *testing.T) {
+	root := rng.New(2)
+	n := NewNeighborhood()
+	ch := ch24(t, 6)
+	for i := 0; i < 200; i++ {
+		n.Add(NewDataSource(ch, 20, -55, root.SplitN("d", i)))
+	}
+	for w := 0; w < 20; w++ {
+		obs := n.Observe(ch, 13)
+		if obs.Busy < 0 || obs.Busy > 1 {
+			t.Fatalf("busy out of range: %v", obs.Busy)
+		}
+		if obs.Decodable > obs.Busy+1e-12 {
+			t.Fatalf("decodable %v > busy %v", obs.Decodable, obs.Busy)
+		}
+	}
+}
+
+func TestDataSourceHeavyTail(t *testing.T) {
+	root := rng.New(3)
+	ch := ch24(t, 1)
+	var duties []float64
+	for i := 0; i < 2000; i++ {
+		duties = append(duties, NewDataSource(ch, 20, -50, root.SplitN("d", i)).MeanDuty)
+	}
+	// Median should be small (<2%), but the tail should reach >10%.
+	nBig, nSmall := 0, 0
+	for _, d := range duties {
+		if d > 0.10 {
+			nBig++
+		}
+		if d < 0.02 {
+			nSmall++
+		}
+	}
+	if nSmall < len(duties)/2 {
+		t.Errorf("only %d/%d sources are near idle; duty not heavy-tailed-low", nSmall, len(duties))
+	}
+	if nBig == 0 {
+		t.Error("no heavy sources in 2000 draws; tail missing")
+	}
+}
+
+func TestObserveDayHigherThanNight(t *testing.T) {
+	// With diurnal data sources, average busy at 13:00 should exceed
+	// 01:00 (Figure 9's day/night gap).
+	root := rng.New(4)
+	ch := ch24(t, 6)
+	var day, night float64
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		nd := NewNeighborhood()
+		nn := NewNeighborhood()
+		for j := 0; j < 10; j++ {
+			nd.Add(NewDataSource(ch, 20, -55, root.Split("d").SplitN("x", i*100+j)))
+			nn.Add(NewDataSource(ch, 20, -55, root.Split("d").SplitN("x", i*100+j)))
+		}
+		day += nd.Observe(ch, 13).Busy
+		night += nn.Observe(ch, 1).Busy
+	}
+	if day <= night {
+		t.Errorf("day busy %v <= night busy %v", day/trials, night/trials)
+	}
+}
+
+func TestObserveBandCoversAllChannels(t *testing.T) {
+	n := NewNeighborhood()
+	obs := n.ObserveBand(dot11.Band5, 12)
+	if len(obs) != len(dot11.Channels(dot11.Band5)) {
+		t.Errorf("band sweep = %d observations", len(obs))
+	}
+}
+
+func TestObservationDecodableFractionClamp(t *testing.T) {
+	o := Observation{Busy: 0.5, Decodable: 0.6}
+	if o.DecodableFraction() != 1 {
+		t.Errorf("clamped fraction = %v", o.DecodableFraction())
+	}
+}
+
+func TestSourceKindString(t *testing.T) {
+	if KindBeacon.String() != "beacon" || KindData.String() != "data" || KindNonWiFi.String() != "non-wifi" {
+		t.Error("kind names wrong")
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	root := rng.New(5)
+	ch, _ := dot11.ChannelByNumber(dot11.Band24, 6)
+	n := NewNeighborhood()
+	for i := 0; i < 50; i++ {
+		n.Add(NewDataSource(ch, 20, -60, root.SplitN("d", i)))
+		n.Add(NewBeaconSource(ch, -65, 2, 0.3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Observe(ch, 13)
+	}
+}

@@ -1,0 +1,218 @@
+package anomaly
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"wlanscale/internal/rng"
+)
+
+func TestNeighborTableOOM(t *testing.T) {
+	// A 256 KB budget at 512 B/entry holds 512 neighbors; the
+	// skyscraper AP hears thousands.
+	tab := NewNeighborTable(256)
+	var oom *ErrOOM
+	for i := uint64(0); i < 10000; i++ {
+		if err := tab.Observe(i); err != nil {
+			if !errors.As(err, &oom) {
+				t.Fatalf("unexpected error type %T", err)
+			}
+			break
+		}
+	}
+	if oom == nil {
+		t.Fatal("table never OOMed")
+	}
+	if oom.Entries < 500 || oom.Entries > 520 {
+		t.Errorf("OOM at %d entries, want ~512", oom.Entries)
+	}
+	if !strings.Contains(oom.Error(), "OOM") {
+		t.Errorf("error text: %v", oom)
+	}
+}
+
+func TestNeighborTableDuplicatesFree(t *testing.T) {
+	tab := NewNeighborTable(256)
+	for i := 0; i < 100000; i++ {
+		if err := tab.Observe(42); err != nil {
+			t.Fatalf("duplicate observations OOMed: %v", err)
+		}
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestNeighborTableBoundedSurvives(t *testing.T) {
+	// The fix: cap the table. The device drops excess entries instead
+	// of dying.
+	tab := NewNeighborTable(256)
+	dropped := 0
+	for i := uint64(0); i < 10000; i++ {
+		if tab.ObserveBounded(i, 400) {
+			dropped++
+		}
+	}
+	if tab.Len() != 400 {
+		t.Errorf("bounded table length = %d, want 400", tab.Len())
+	}
+	if dropped != 9600 {
+		t.Errorf("dropped = %d, want 9600", dropped)
+	}
+	if tab.UsedKB() > 256 {
+		t.Errorf("bounded table used %d KB over budget", tab.UsedKB())
+	}
+	// Re-observing an existing entry when full is not a drop.
+	if tab.ObserveBounded(0, 400) {
+		t.Error("existing entry reported as dropped")
+	}
+}
+
+func TestRebootLoops(t *testing.T) {
+	d := NewDetector()
+	for i := 0; i < 5; i++ {
+		d.RecordCrash(CrashReport{Serial: "Q2XX-BUS", Kind: CrashOOM, Firmware: "r24.7", NeighborCount: 3200})
+	}
+	d.RecordCrash(CrashReport{Serial: "Q2XX-OK", Kind: CrashWatchdog, Firmware: "r24.7"})
+	loops := d.RebootLoops(3)
+	if len(loops) != 1 || loops[0] != "Q2XX-BUS" {
+		t.Errorf("reboot loops = %v", loops)
+	}
+	byFW := d.CrashesByFirmware()
+	if byFW["r24.7"] != 6 {
+		t.Errorf("crashes by firmware = %v", byFW)
+	}
+}
+
+func TestNeighborOutliersFindsSkyscraper(t *testing.T) {
+	d := NewDetector()
+	root := rng.New(1)
+	// A normal fleet at ~55 neighbors...
+	for i := 0; i < 500; i++ {
+		d.RecordNeighborCount(serialN(i), 40+root.IntN(30))
+	}
+	// ...plus Manhattan and a bus.
+	d.RecordNeighborCount("Q2XX-MANHATTAN", 2800)
+	d.RecordNeighborCount("Q2XX-BUS", 1400)
+	out := d.NeighborOutliers(8)
+	if len(out) != 2 {
+		t.Fatalf("outliers = %+v", out)
+	}
+	if out[0].Serial != "Q2XX-MANHATTAN" || out[1].Serial != "Q2XX-BUS" {
+		t.Errorf("outlier order = %v, %v", out[0].Serial, out[1].Serial)
+	}
+	if out[0].Sigma < 50 {
+		t.Errorf("skyscraper sigma = %.1f; should be extreme", out[0].Sigma)
+	}
+}
+
+func TestNeighborOutliersRobustToMass(t *testing.T) {
+	// Even if 20% of the fleet is anomalous, the MAD-based threshold
+	// still flags them (a mean/stddev threshold would be masked).
+	d := NewDetector()
+	root := rng.New(2)
+	for i := 0; i < 400; i++ {
+		d.RecordNeighborCount(serialN(i), 40+root.IntN(30))
+	}
+	for i := 0; i < 100; i++ {
+		d.RecordNeighborCount(serialN(10000+i), 2000+root.IntN(500))
+	}
+	out := d.NeighborOutliers(8)
+	if len(out) != 100 {
+		t.Errorf("outliers = %d, want 100", len(out))
+	}
+}
+
+func TestNeighborOutliersSmallFleet(t *testing.T) {
+	d := NewDetector()
+	d.RecordNeighborCount("a", 1)
+	if d.NeighborOutliers(3) != nil {
+		t.Error("tiny fleet should return nil")
+	}
+}
+
+func TestDetectorConcurrent(t *testing.T) {
+	d := NewDetector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d.RecordCrash(CrashReport{Serial: serialN(g), Kind: CrashOOM})
+				d.RecordNeighborCount(serialN(g*100+i), 50)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(d.RebootLoops(100)) != 8 {
+		t.Errorf("loops = %v", d.RebootLoops(100))
+	}
+}
+
+func TestSpikeDetector(t *testing.T) {
+	s := NewSpikeDetector(4, 3)
+	// Baseline: ~100 GB per interval.
+	for i := 0; i < 6; i++ {
+		if s.Add("Software updates", 100e9) {
+			t.Fatalf("baseline flagged as spike at %d", i)
+		}
+	}
+	// Patch Tuesday: 800 GB.
+	if !s.Add("Software updates", 800e9) {
+		t.Error("8x surge not flagged")
+	}
+	// The spike must not poison the baseline: the next normal interval
+	// is normal, and a second surge still trips.
+	if s.Add("Software updates", 110e9) {
+		t.Error("post-spike normal flagged")
+	}
+	if !s.Add("Software updates", 700e9) {
+		t.Error("second surge not flagged")
+	}
+}
+
+func TestSpikeDetectorPerApp(t *testing.T) {
+	s := NewSpikeDetector(3, 2)
+	for i := 0; i < 4; i++ {
+		s.Add("Netflix", 50e9)
+		s.Add("YouTube", 80e9)
+	}
+	if s.Add("Netflix", 55e9) {
+		t.Error("cross-app contamination")
+	}
+	if !s.Add("YouTube", 200e9) {
+		t.Error("YouTube surge missed")
+	}
+}
+
+func TestSpikeDetectorDefensiveParams(t *testing.T) {
+	s := NewSpikeDetector(0, 0.5)
+	if s.Window != 1 || s.Factor != 2 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+}
+
+func TestCrashKindString(t *testing.T) {
+	if CrashOOM.String() != "oom" || CrashPanic.String() != "panic" || CrashWatchdog.String() != "watchdog" {
+		t.Error("kind names wrong")
+	}
+}
+
+func serialN(i int) string {
+	return "Q2XX-" + string(rune('A'+i%26)) + string(rune('A'+(i/26)%26)) + string(rune('A'+(i/676)%26))
+}
+
+func BenchmarkNeighborOutliers(b *testing.B) {
+	d := NewDetector()
+	root := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		d.RecordNeighborCount(serialN(i)+string(rune('0'+i%10)), 40+root.IntN(30))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.NeighborOutliers(8)
+	}
+}

@@ -1,0 +1,59 @@
+package anomaly
+
+import "wlanscale/internal/telemetry"
+
+// FromTelemetry converts a wire crash record into the detector's form.
+func FromTelemetry(serial string, r telemetry.CrashRecord) CrashReport {
+	return CrashReport{
+		Serial:        serial,
+		Timestamp:     r.Timestamp,
+		Kind:          CrashKind(r.Kind),
+		Firmware:      r.Firmware,
+		PC:            r.PC,
+		FreeKB:        int(r.FreeKB),
+		NeighborCount: int(r.NeighborCount),
+	}
+}
+
+// ToTelemetry converts a crash report into its wire form.
+func (r CrashReport) ToTelemetry() telemetry.CrashRecord {
+	return telemetry.CrashRecord{
+		Timestamp:     r.Timestamp,
+		Kind:          uint8(r.Kind),
+		Firmware:      r.Firmware,
+		PC:            r.PC,
+		FreeKB:        uint32(r.FreeKB),
+		NeighborCount: uint32(r.NeighborCount),
+	}
+}
+
+// CrashSource is the slice of the backend store the detector reads —
+// satisfied by *backend.Store.
+type CrashSource interface {
+	CrashSerials() []string
+	Crashes(serial string) []telemetry.CrashRecord
+}
+
+// NeighborSource provides current neighbor-table sizes per device —
+// satisfied by *backend.Store via a small adapter or directly when the
+// store exposes neighbor tables.
+type NeighborSource interface {
+	NeighborSerials() []string
+	NeighborCount(serial string) int
+}
+
+// FeedCrashes loads every stored crash report into the detector.
+func (d *Detector) FeedCrashes(src CrashSource) {
+	for _, serial := range src.CrashSerials() {
+		for _, rec := range src.Crashes(serial) {
+			d.RecordCrash(FromTelemetry(serial, rec))
+		}
+	}
+}
+
+// FeedNeighborCounts loads current neighbor counts into the detector.
+func (d *Detector) FeedNeighborCounts(src NeighborSource) {
+	for _, serial := range src.NeighborSerials() {
+		d.RecordNeighborCount(serial, src.NeighborCount(serial))
+	}
+}

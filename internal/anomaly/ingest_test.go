@@ -1,0 +1,102 @@
+package anomaly
+
+import (
+	"testing"
+
+	"wlanscale/internal/backend"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/telemetry"
+)
+
+func TestCrashRoundTripThroughWireAndStore(t *testing.T) {
+	// A crashing AP reports its post-mortems; the detector reads them
+	// out of the backend store after they cross the wire format.
+	store := backend.NewStore()
+	crash := CrashReport{
+		Serial:        "Q2XX-SKY",
+		Timestamp:     4242,
+		Kind:          CrashOOM,
+		Firmware:      "r24.7",
+		PC:            0x8040_1a2c,
+		FreeKB:        112,
+		NeighborCount: 3150,
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		rep := &telemetry.Report{
+			Serial:  "Q2XX-SKY",
+			SeqNo:   seq,
+			Crashes: []telemetry.CrashRecord{crash.ToTelemetry()},
+		}
+		decoded, err := telemetry.UnmarshalReport(rep.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.Ingest(decoded)
+	}
+	if got := store.Crashes("Q2XX-SKY"); len(got) != 3 {
+		t.Fatalf("stored crashes = %d", len(got))
+	}
+	if got := store.CrashSerials(); len(got) != 1 || got[0] != "Q2XX-SKY" {
+		t.Fatalf("crash serials = %v", got)
+	}
+
+	d := NewDetector()
+	d.FeedCrashes(store)
+	loops := d.RebootLoops(3)
+	if len(loops) != 1 || loops[0] != "Q2XX-SKY" {
+		t.Errorf("reboot loops = %v", loops)
+	}
+	// The decoded crash preserves the post-mortem details.
+	back := FromTelemetry("Q2XX-SKY", store.Crashes("Q2XX-SKY")[0])
+	if back != crash {
+		t.Errorf("round trip = %+v, want %+v", back, crash)
+	}
+}
+
+func TestFeedNeighborCountsFromStore(t *testing.T) {
+	store := backend.NewStore()
+	mkNeighbors := func(serial string, n int, seq uint64) {
+		var recs []telemetry.NeighborRecord
+		for i := 0; i < n; i++ {
+			recs = append(recs, telemetry.NeighborRecord{
+				BSSID:   dot11.MACFromUint64([3]byte{1, 2, 3}, uint64(i)),
+				Band:    dot11.Band24,
+				Channel: 1,
+			})
+		}
+		store.Ingest(&telemetry.Report{Serial: serial, SeqNo: seq, Neighbors: recs})
+	}
+	for i := 0; i < 20; i++ {
+		mkNeighbors(serialN(i), 50, 1)
+	}
+	mkNeighbors("Q2XX-SKY", 3000, 1)
+
+	d := NewDetector()
+	d.FeedNeighborCounts(store)
+	out := d.NeighborOutliers(8)
+	if len(out) != 1 || out[0].Serial != "Q2XX-SKY" {
+		t.Errorf("outliers = %+v", out)
+	}
+	if store.NeighborCount("Q2XX-SKY") != 3000 {
+		t.Errorf("NeighborCount = %d", store.NeighborCount("Q2XX-SKY"))
+	}
+}
+
+func TestCrashSurvivesSnapshot(t *testing.T) {
+	store := backend.NewStore()
+	store.Ingest(&telemetry.Report{
+		Serial: "Q2XX-1", SeqNo: 1,
+		Crashes: []telemetry.CrashRecord{{Kind: 0, Firmware: "r24", NeighborCount: 999}},
+	})
+	path := t.TempDir() + "/snap.gob"
+	if err := store.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := backend.NewStore()
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Crashes("Q2XX-1"); len(got) != 1 || got[0].NeighborCount != 999 {
+		t.Errorf("restored crashes = %+v", got)
+	}
+}

@@ -1,0 +1,297 @@
+// Package ap models a Meraki access point: the MR16 and MR18 hardware
+// platforms of Table 1, their radios and virtual SSIDs, the nearby-
+// network scanner that decodes beacons from other networks (Section
+// 4.1), client association with per-band RSSI (Figure 1), the Click
+// flow pipeline, and the periodic telemetry report the backend
+// harvests.
+package ap
+
+import (
+	"fmt"
+
+	"wlanscale/internal/airtime"
+	"wlanscale/internal/apps"
+	"wlanscale/internal/client"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/flow"
+	"wlanscale/internal/radio"
+	"wlanscale/internal/rf"
+	"wlanscale/internal/rng"
+	"wlanscale/internal/telemetry"
+)
+
+// Hardware describes one access-point model (Table 1).
+type Hardware struct {
+	// Model is the marketing name.
+	Model string
+	// CPU and MemoryMB document the platform.
+	CPU      string
+	MemoryMB int
+	// Radio24 and Radio5 are the serving radios.
+	Radio24, Radio5 radio.Config
+	// HasScanRadio marks the MR18's third, dedicated scanning radio.
+	HasScanRadio bool
+}
+
+// The two hardware platforms the study measures (Table 1).
+var (
+	// HardwareMR16 is the Cisco Meraki MR16: AR7161 680 MHz, 64 MB,
+	// 2x2 802.11n, 23 dBm at 2.4 GHz / 24 dBm at 5 GHz, 3/5 dBi
+	// antennas.
+	HardwareMR16 = Hardware{
+		Model:    "Cisco Meraki MR16",
+		CPU:      "Qualcomm Atheros AR7161 680MHz",
+		MemoryMB: 64,
+		Radio24:  radio.Config{Band: dot11.Band24, TxPowerDBm: 23, AntennaGainDBi: 3, Chains: 2},
+		Radio5:   radio.Config{Band: dot11.Band5, TxPowerDBm: 24, AntennaGainDBi: 5, Chains: 2},
+	}
+	// HardwareMR18 is the Cisco Meraki MR18: QCA9557 SoC, 128 MB, 2x2
+	// 802.11n plus a 1x1 dedicated scanning radio.
+	HardwareMR18 = Hardware{
+		Model:        "Cisco Meraki MR18",
+		CPU:          "Qualcomm Atheros QCA9557 SoC",
+		MemoryMB:     128,
+		Radio24:      radio.Config{Band: dot11.Band24, TxPowerDBm: 24, AntennaGainDBi: 3, Chains: 2},
+		Radio5:       radio.Config{Band: dot11.Band5, TxPowerDBm: 24, AntennaGainDBi: 5, Chains: 2},
+		HasScanRadio: true,
+	}
+)
+
+// MerakiOUI is the OUI prefix of the simulated fleet's devices.
+var MerakiOUI = [3]byte{0x00, 0x18, 0x0a}
+
+// Association is one client's attachment to the AP.
+type Association struct {
+	Device *client.Device
+	Band   dot11.Band
+	// RSSIdB is the uplink signal above the noise floor as measured at
+	// the access point — the quantity Figure 1 plots.
+	RSSIdB int32
+	// DistanceM is the client-AP separation.
+	DistanceM float64
+}
+
+// AP is one simulated access point.
+type AP struct {
+	Serial string
+	MAC    dot11.MAC
+	HW     Hardware
+	Env    rf.Environment
+	SSIDs  []string
+
+	Radio24 *radio.Radio
+	Radio5  *radio.Radio
+
+	Table *flow.Table
+	Pipe  *flow.Pipeline
+
+	assocs []Association
+	seq    uint32
+}
+
+// New creates an access point with its radios tuned to the given
+// channels and its flow pipeline ready.
+func New(serial string, serialNum uint64, hw Hardware, env rf.Environment, ch24, ch5 dot11.Channel, classifier *apps.Classifier) (*AP, error) {
+	if ch24.Band != dot11.Band24 || ch5.Band != dot11.Band5 {
+		return nil, fmt.Errorf("ap: channel bands swapped (%v, %v)", ch24.Band, ch5.Band)
+	}
+	a := &AP{
+		Serial:  serial,
+		MAC:     dot11.MACFromUint64(MerakiOUI, serialNum),
+		HW:      hw,
+		Env:     env,
+		Radio24: radio.New(hw.Radio24, ch24),
+		Radio5:  radio.New(hw.Radio5, ch5),
+	}
+	a.Table = flow.NewTable(classifier)
+	a.Pipe = flow.NewPipeline(a.Table)
+	return a, nil
+}
+
+// AddSSID configures an additional virtual access point; each SSID
+// beacons independently, increasing channel usage (Section 4.1).
+func (a *AP) AddSSID(ssid string) { a.SSIDs = append(a.SSIDs, ssid) }
+
+// BeaconDuty returns the fraction of air time this AP's beacons occupy
+// on the given band, with b11Fraction of SSID beacons sent at the
+// 802.11b rate.
+func (a *AP) BeaconDuty(band dot11.Band, b11Fraction float64) float64 {
+	n := len(a.SSIDs)
+	if n == 0 {
+		n = 1
+	}
+	ch := a.Radio24.Channel
+	if band == dot11.Band5 {
+		ch = a.Radio5.Channel
+	}
+	return airtime.NewBeaconSource(ch, 0, n, b11Fraction).MeanDuty
+}
+
+// Beacon returns the marshaled beacon frame for SSID index i on the
+// band.
+func (a *AP) Beacon(i int, band dot11.Band) []byte {
+	ssid := "meraki"
+	if i < len(a.SSIDs) {
+		ssid = a.SSIDs[i]
+	}
+	ch := a.Radio24.Channel
+	caps := dot11.Capabilities{G: true, N: true, Streams: a.HW.Radio24.Chains}
+	if band == dot11.Band5 {
+		ch = a.Radio5.Channel
+		caps = dot11.Capabilities{N: true, FiveGHz: true, Streams: a.HW.Radio5.Chains}
+	}
+	// Virtual APs use the base MAC with the low bits varied.
+	bssid := a.MAC
+	bssid[5] ^= byte(i)
+	return dot11.NewBeacon(bssid, ssid, ch.Number, caps.Normalize()).Marshal()
+}
+
+// NeighborBSS is the ground truth of one nearby network as the RF
+// environment presents it: a beacon frame on the air and its received
+// power at this AP.
+type NeighborBSS struct {
+	// Frame is the marshaled beacon.
+	Frame []byte
+	// Band the beacon was heard on.
+	Band dot11.Band
+	// RxPowerDBm is the beacon's received power at this AP.
+	RxPowerDBm float64
+}
+
+// ScanNeighbors decodes the beacons the AP can hear into neighbor
+// records. Frames below the preamble-decode threshold, and frames that
+// fail to parse, are skipped — the scanner only reports what it could
+// actually decode.
+func (a *AP) ScanNeighbors(bsses []NeighborBSS) []telemetry.NeighborRecord {
+	var out []telemetry.NeighborRecord
+	for _, b := range bsses {
+		if b.RxPowerDBm < airtime.DefaultPreambleThresholdDBm {
+			continue
+		}
+		f, err := dot11.Unmarshal(b.Frame)
+		if err != nil || f.Type != dot11.FrameBeacon {
+			continue
+		}
+		vendor := apps.VendorFromOUI(f.BSSID.OUI())
+		if f.Vendor != "" {
+			vendor = f.Vendor
+		}
+		out = append(out, telemetry.NeighborRecord{
+			BSSID:   f.BSSID,
+			SSID:    f.SSID,
+			Band:    b.Band,
+			Channel: f.Channel,
+			RSSIdB:  int32(b.RxPowerDBm - rf.NoiseFloorDBm(20)),
+			Vendor:  vendor,
+		})
+	}
+	return out
+}
+
+// Associate attaches a client at the given distance. The client picks
+// its band from the SNRs it observes toward the AP; the AP measures the
+// uplink RSSI that Figure 1 reports. The association frame is actually
+// built and parsed, so the capability record comes off the wire.
+func (a *AP) Associate(dev *client.Device, distanceM float64, src *rng.Source) (Association, error) {
+	// Downlink SNRs at the client decide the band.
+	dn24 := rf.SNRdB(rf.ReceivedPowerDBm(a.Env, dot11.Band24, a.HW.Radio24.EIRPdBm(), distanceM)) + src.Normal(0, 3)
+	dn5 := rf.SNRdB(rf.ReceivedPowerDBm(a.Env, dot11.Band5, a.HW.Radio5.EIRPdBm(), distanceM)) + src.Normal(0, 3)
+	band := dev.AssociationBand(dn24, dn5, src)
+
+	// The client transmits an association request; the AP decodes it.
+	raw := dot11.NewAssocRequest(dev.MAC, a.MAC, dev.Caps).Marshal()
+	f, err := dot11.Unmarshal(raw)
+	if err != nil {
+		return Association{}, fmt.Errorf("ap: associate: %w", err)
+	}
+
+	// Uplink RSSI at the AP: client TX power plus AP antenna gain,
+	// minus path loss and shadowing.
+	gain := a.HW.Radio24.AntennaGainDBi
+	if band == dot11.Band5 {
+		gain = a.HW.Radio5.AntennaGainDBi
+	}
+	rx := rf.ReceivedPowerDBm(a.Env, band, dev.TxPowerDBm+gain, distanceM) + src.Normal(0, a.Env.ShadowSigmaDB()*0.7)
+	snr := rf.SNRdB(rx)
+	if snr < 0 {
+		snr = 0
+	}
+	assoc := Association{Device: dev, Band: band, RSSIdB: int32(snr + 0.5), DistanceM: distanceM}
+	assoc.Device.Caps = f.Caps // what the AP learned from the frame
+	a.assocs = append(a.assocs, assoc)
+	return assoc, nil
+}
+
+// Associations returns the current association table.
+func (a *AP) Associations() []Association { return a.assocs }
+
+// ObserveClientDHCP feeds a client's DHCP fingerprint into the flow
+// table (the slow path sees DHCP on association).
+func (a *AP) ObserveClientDHCP(dev *client.Device, src *rng.Source) {
+	fps, _ := dev.Artifacts(src)
+	for _, fp := range fps {
+		a.Table.ObserveDHCP(dev.MAC, fp)
+	}
+}
+
+// BuildReport assembles the periodic telemetry report: radio counter
+// snapshots (reset on harvest, as the driver does), per-client usage
+// from the flow table, and whatever neighbor/link/scan data the caller
+// collected this period.
+func (a *AP) BuildReport(timestamp uint64, neighbors []telemetry.NeighborRecord, links []telemetry.LinkWindow, scans []telemetry.ScanSample) *telemetry.Report {
+	r := &telemetry.Report{
+		Serial:    a.Serial,
+		MAC:       a.MAC,
+		Timestamp: timestamp,
+	}
+	for _, rad := range []*radio.Radio{a.Radio24, a.Radio5} {
+		c := rad.ResetCounters()
+		if c.CycleUS == 0 {
+			continue
+		}
+		r.Radios = append(r.Radios, telemetry.RadioStats{
+			Band:      rad.Band,
+			Channel:   rad.Channel.Number,
+			WidthMHz:  rad.WidthMHz,
+			CycleUS:   c.CycleUS,
+			RxClearUS: c.RxClearUS,
+			Rx11US:    c.Rx11US,
+			TxUS:      c.TxUS,
+		})
+	}
+	rssiByMAC := make(map[dot11.MAC]Association, len(a.assocs))
+	for _, as := range a.assocs {
+		rssiByMAC[as.Device.MAC] = as
+	}
+	for _, cu := range a.Table.Snapshot() {
+		rec := telemetry.ClientRecord{
+			MAC:              cu.Client,
+			UserAgents:       cu.UserAgents,
+			DHCPFingerprints: cu.DHCPFingerprints,
+		}
+		if as, ok := rssiByMAC[cu.Client]; ok {
+			rec.Band = as.Band
+			rec.RSSIdB = as.RSSIdB
+			rec.Caps = as.Device.Caps
+		}
+		for _, u := range cu.Apps {
+			rec.Apps = append(rec.Apps, telemetry.AppUsageRecord{
+				App: u.App, UpBytes: u.UpBytes, DownBytes: u.DownBytes, Flows: uint32(u.Flows),
+			})
+		}
+		sortAppRecords(rec.Apps)
+		r.Clients = append(r.Clients, rec)
+	}
+	r.Neighbors = neighbors
+	r.LinkWindows = links
+	r.ScanSamples = scans
+	return r
+}
+
+func sortAppRecords(v []telemetry.AppUsageRecord) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j].App < v[j-1].App; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package ap
+
+import (
+	"testing"
+
+	"wlanscale/internal/airtime"
+	"wlanscale/internal/apps"
+	"wlanscale/internal/click"
+	"wlanscale/internal/client"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/rf"
+	"wlanscale/internal/rng"
+	"wlanscale/internal/telemetry"
+)
+
+func testAP(t *testing.T, hw Hardware) *AP {
+	t.Helper()
+	ch24, _ := dot11.ChannelByNumber(dot11.Band24, 6)
+	ch5, _ := dot11.ChannelByNumber(dot11.Band5, 36)
+	a, err := New("Q2XX-TEST", 1, hw, rf.EnvOpenOffice, ch24, ch5, apps.NewClassifier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestHardwareTable1(t *testing.T) {
+	// Table 1 values.
+	if HardwareMR16.Radio24.TxPowerDBm != 23 || HardwareMR16.Radio5.TxPowerDBm != 24 {
+		t.Error("MR16 TX power wrong")
+	}
+	if HardwareMR16.Radio24.AntennaGainDBi != 3 || HardwareMR16.Radio5.AntennaGainDBi != 5 {
+		t.Error("MR16 antenna gains wrong")
+	}
+	if HardwareMR16.HasScanRadio {
+		t.Error("MR16 has no scan radio")
+	}
+	if !HardwareMR18.HasScanRadio {
+		t.Error("MR18 must have a scan radio")
+	}
+	if HardwareMR16.MemoryMB != 64 || HardwareMR18.MemoryMB != 128 {
+		t.Error("memory sizes wrong")
+	}
+	if HardwareMR16.Radio24.Chains != 2 {
+		t.Error("MR16 should be 2x2")
+	}
+}
+
+func TestNewValidatesChannels(t *testing.T) {
+	ch24, _ := dot11.ChannelByNumber(dot11.Band24, 6)
+	ch5, _ := dot11.ChannelByNumber(dot11.Band5, 36)
+	if _, err := New("x", 1, HardwareMR16, rf.EnvOpenOffice, ch5, ch24, apps.NewClassifier()); err == nil {
+		t.Error("swapped channels accepted")
+	}
+}
+
+func TestBeaconDutyScalesWithSSIDs(t *testing.T) {
+	a := testAP(t, HardwareMR16)
+	a.AddSSID("corp")
+	one := a.BeaconDuty(dot11.Band24, 1)
+	a.AddSSID("guest")
+	a.AddSSID("voice")
+	three := a.BeaconDuty(dot11.Band24, 1)
+	if three < 2.9*one || three > 3.1*one {
+		t.Errorf("3-SSID duty %v vs 1-SSID %v", three, one)
+	}
+}
+
+func TestBeaconRoundTrip(t *testing.T) {
+	a := testAP(t, HardwareMR16)
+	a.AddSSID("corp-wifi")
+	f, err := dot11.Unmarshal(a.Beacon(0, dot11.Band24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SSID != "corp-wifi" || f.Channel != 6 {
+		t.Errorf("beacon = %+v", f)
+	}
+	if f.BSSID.OUI() != MerakiOUI {
+		t.Error("beacon BSSID not Meraki OUI")
+	}
+	f5, err := dot11.Unmarshal(a.Beacon(0, dot11.Band5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.Channel != 36 || !f5.Caps.FiveGHz {
+		t.Errorf("5 GHz beacon = %+v", f5)
+	}
+}
+
+func TestVirtualBSSIDsDistinct(t *testing.T) {
+	a := testAP(t, HardwareMR16)
+	a.AddSSID("one")
+	a.AddSSID("two")
+	f0, _ := dot11.Unmarshal(a.Beacon(0, dot11.Band24))
+	f1, _ := dot11.Unmarshal(a.Beacon(1, dot11.Band24))
+	if f0.BSSID == f1.BSSID {
+		t.Error("virtual APs share a BSSID")
+	}
+}
+
+func TestScanNeighborsDecodesFrames(t *testing.T) {
+	a := testAP(t, HardwareMR18)
+	hotspotMAC := dot11.MAC{0x00, 0x24, 0x23, 1, 2, 3} // Novatel OUI
+	neighbor := dot11.NewBeacon(hotspotMAC, "MiFi-4620", 1, dot11.Capabilities{G: true, Streams: 1})
+	bsses := []NeighborBSS{
+		{Frame: neighbor.Marshal(), Band: dot11.Band24, RxPowerDBm: -70},
+		{Frame: neighbor.Marshal(), Band: dot11.Band24, RxPowerDBm: -95},      // below decode threshold
+		{Frame: []byte("garbage frame"), Band: dot11.Band24, RxPowerDBm: -50}, // undecodable
+	}
+	recs := a.ScanNeighbors(bsses)
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.SSID != "MiFi-4620" || r.Channel != 1 || r.BSSID != hotspotMAC {
+		t.Errorf("record = %+v", r)
+	}
+	if !apps.IsHotspotVendor(r.Vendor) {
+		t.Errorf("vendor = %q, want hotspot vendor", r.Vendor)
+	}
+	if r.RSSIdB < 15 || r.RSSIdB > 35 {
+		t.Errorf("RSSI = %d dB", r.RSSIdB)
+	}
+}
+
+func TestAssociateBuildsRecord(t *testing.T) {
+	root := rng.New(1)
+	a := testAP(t, HardwareMR16)
+	dev := client.New(apps.OSMacOSX, epoch.Jan2015, 7, root.Split("dev"))
+	assoc, err := a.Associate(dev, 10, root.Split("as"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assoc.RSSIdB <= 0 {
+		t.Errorf("RSSI = %d", assoc.RSSIdB)
+	}
+	if assoc.Device.Caps != dev.Caps.Normalize() {
+		t.Errorf("caps from frame = %+v", assoc.Device.Caps)
+	}
+	if len(a.Associations()) != 1 {
+		t.Error("association not recorded")
+	}
+}
+
+func TestAssociate24OnlyClient(t *testing.T) {
+	root := rng.New(2)
+	a := testAP(t, HardwareMR16)
+	dev := client.New(apps.OSBlackBerry, epoch.Jan2014, 1, root.Split("bb"))
+	dev.Caps.FiveGHz = false
+	dev.Caps.AC = false
+	assoc, err := a.Associate(dev, 15, root.Split("as"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assoc.Band != dot11.Band24 {
+		t.Error("2.4-only client on 5 GHz")
+	}
+}
+
+func TestMeasureThenReport(t *testing.T) {
+	root := rng.New(3)
+	a := testAP(t, HardwareMR16)
+	ch6 := a.Radio24.Channel
+	n := airtime.NewNeighborhood()
+	n.Add(airtime.NewBeaconSource(ch6, -60, 5, 1))
+	a.Radio24.Measure(n, 12, 60e9, 0.01)
+
+	dev := client.New(apps.OSiOS, epoch.Jan2015, 5, root.Split("d"))
+	if _, err := a.Associate(dev, 12, root.Split("as")); err != nil {
+		t.Fatal(err)
+	}
+	a.ObserveClientDHCP(dev, root.Split("dhcp"))
+	meta := &apps.FlowMeta{Proto: apps.TCP, ServerPort: 443, ClientHello: apps.BuildClientHello("i.instagram.com")}
+	a.Pipe.Push(&click.Packet{Client: dev.MAC, FlowID: 1, Length: 200, Meta: meta})
+	a.Pipe.Push(&click.Packet{Client: dev.MAC, FlowID: 1, Length: 500000})
+
+	rep := a.BuildReport(1234, nil, []telemetry.LinkWindow{{Peer: dot11.MAC{9}, Band: dot11.Band24, Sent: 20, Delivered: 15}}, nil)
+	if rep.Timestamp != 1234 || rep.Serial != "Q2XX-TEST" {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Radios) != 1 {
+		t.Fatalf("radios = %d, want 1 (5 GHz had no cycles)", len(rep.Radios))
+	}
+	if rep.Radios[0].RxClearUS == 0 {
+		t.Error("busy counters empty")
+	}
+	if len(rep.Clients) != 1 {
+		t.Fatalf("clients = %d", len(rep.Clients))
+	}
+	cr := rep.Clients[0]
+	if cr.RSSIdB <= 0 {
+		t.Error("client RSSI missing")
+	}
+	if len(cr.Apps) != 1 || cr.Apps[0].App != "Instagram" {
+		t.Errorf("apps = %+v", cr.Apps)
+	}
+	if cr.Apps[0].DownBytes != 500000 {
+		t.Errorf("bytes = %d", cr.Apps[0].DownBytes)
+	}
+	if len(cr.DHCPFingerprints) == 0 {
+		t.Error("DHCP fingerprints missing")
+	}
+	if len(rep.LinkWindows) != 1 {
+		t.Error("link windows missing")
+	}
+	// Harvest resets counters.
+	if a.Radio24.Counters().CycleUS != 0 {
+		t.Error("counters not reset after harvest")
+	}
+	// The report must survive the wire.
+	rt, err := telemetry.UnmarshalReport(rep.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Clients) != 1 || rt.Clients[0].Apps[0].App != "Instagram" {
+		t.Error("report corrupted on the wire")
+	}
+}
+
+func TestReportAppsSorted(t *testing.T) {
+	root := rng.New(4)
+	a := testAP(t, HardwareMR16)
+	dev := client.New(apps.OSWindows, epoch.Jan2015, 9, root.Split("d"))
+	for i, host := range []string{"www.netflix.com", "www.dropbox.com", "www.facebook.com"} {
+		meta := &apps.FlowMeta{Proto: apps.TCP, ServerPort: 443, ClientHello: apps.BuildClientHello(host)}
+		a.Pipe.Push(&click.Packet{Client: dev.MAC, FlowID: uint64(i), Length: 100, Meta: meta})
+		a.Pipe.Push(&click.Packet{Client: dev.MAC, FlowID: uint64(i), Length: 1000})
+	}
+	rep := a.BuildReport(1, nil, nil, nil)
+	appsList := rep.Clients[0].Apps
+	for i := 1; i < len(appsList); i++ {
+		if appsList[i].App < appsList[i-1].App {
+			t.Fatal("app records not sorted")
+		}
+	}
+}
+
+func BenchmarkAssociate(b *testing.B) {
+	root := rng.New(1)
+	ch24, _ := dot11.ChannelByNumber(dot11.Band24, 6)
+	ch5, _ := dot11.ChannelByNumber(dot11.Band5, 36)
+	a, _ := New("bench", 1, HardwareMR16, rf.EnvOpenOffice, ch24, ch5, apps.NewClassifier())
+	dev := client.New(apps.OSiOS, epoch.Jan2015, 1, root.Split("d"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.assocs = a.assocs[:0]
+		if _, err := a.Associate(dev, 10, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,488 @@
+package apps
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogShareRoughlyOne(t *testing.T) {
+	var total float64
+	for _, a := range Catalog() {
+		if a.ShareOfBytes < 0 {
+			t.Errorf("%s has negative share", a.Name)
+		}
+		total += a.ShareOfBytes
+	}
+	if total < 0.85 || total > 1.1 {
+		t.Errorf("catalog byte shares sum to %.3f, want ~1", total)
+	}
+}
+
+func TestCatalogCategoryTotalsMatchTable6(t *testing.T) {
+	// Category shares should land near Table 6: Other ~47%, Video ~34%,
+	// File sharing ~8.4%, Social ~4.2%.
+	byCat := make(map[Category]float64)
+	for _, a := range Catalog() {
+		byCat[a.Category] += a.ShareOfBytes
+	}
+	checks := []struct {
+		cat  Category
+		want float64
+		tol  float64
+	}{
+		{CatOther, 0.47, 0.08},
+		{CatVideoMusic, 0.34, 0.06},
+		{CatFileSharing, 0.084, 0.02},
+		{CatSocial, 0.042, 0.015},
+		{CatEmail, 0.017, 0.01},
+		{CatP2P, 0.010, 0.005},
+	}
+	for _, c := range checks {
+		if got := byCat[c.cat]; math.Abs(got-c.want) > c.tol {
+			t.Errorf("category %s share = %.3f, want %.3f±%.3f", c.cat, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestCatalogFieldsSane(t *testing.T) {
+	for _, a := range Catalog() {
+		if a.Name == "" {
+			t.Fatal("unnamed app")
+		}
+		if a.DownloadFrac < 0 || a.DownloadFrac > 1 {
+			t.Errorf("%s DownloadFrac = %v", a.Name, a.DownloadFrac)
+		}
+		if a.ClientFrac < 0 || a.ClientFrac > 1 {
+			t.Errorf("%s ClientFrac = %v", a.Name, a.ClientFrac)
+		}
+		if a.YoYBytes <= 0 {
+			t.Errorf("%s YoYBytes = %v", a.Name, a.YoYBytes)
+		}
+	}
+}
+
+func TestCatalogByNameComplete(t *testing.T) {
+	m := CatalogByName()
+	if len(m) != len(Catalog()) {
+		t.Errorf("CatalogByName has %d entries, catalog %d (duplicate names?)", len(m), len(Catalog()))
+	}
+}
+
+func TestIsMiscBucket(t *testing.T) {
+	for _, name := range []string{MiscWeb, MiscSecureWeb, MiscVideo, MiscAudio, NonWebTCP, MiscUDP, EncryptedTCP, UnknownApp} {
+		if !IsMiscBucket(name) {
+			t.Errorf("%q not detected as misc", name)
+		}
+	}
+	if IsMiscBucket("Netflix") {
+		t.Error("Netflix flagged as misc")
+	}
+}
+
+func TestCategoriesCount(t *testing.T) {
+	if got := len(Categories()); got != 14 {
+		t.Errorf("categories = %d, want 14 (Table 6)", got)
+	}
+	if CatOther.String() != "Other" || CatWebFileSharing.String() != "Web file sharing" {
+		t.Error("category names wrong")
+	}
+}
+
+func TestHTTPRequestRoundTrip(t *testing.T) {
+	raw := BuildHTTPRequest("GET", "www.netflix.com", "/browse", UserAgentFor(OSMacOSX), "")
+	req, err := ParseHTTPRequest(raw)
+	if err != nil {
+		t.Fatalf("ParseHTTPRequest: %v", err)
+	}
+	if req.Host != "www.netflix.com" || req.Method != "GET" || req.Path != "/browse" {
+		t.Errorf("parsed = %+v", req)
+	}
+	if !strings.Contains(req.UserAgent, "Mac OS X") {
+		t.Errorf("UA = %q", req.UserAgent)
+	}
+}
+
+func TestHTTPHostPortStripped(t *testing.T) {
+	raw := BuildHTTPRequest("GET", "example.com:8080", "/", "", "")
+	req, err := ParseHTTPRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Host != "example.com" {
+		t.Errorf("Host = %q", req.Host)
+	}
+}
+
+func TestHTTPContentTypeCarried(t *testing.T) {
+	raw := BuildHTTPRequest("GET", "cdn077.example.net", "/stream.mp4", "", "video/mp4")
+	req, err := ParseHTTPRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ContentType != "video/mp4" {
+		t.Errorf("ContentType = %q", req.ContentType)
+	}
+}
+
+func TestParseHTTPRejectsGarbage(t *testing.T) {
+	for _, in := range [][]byte{
+		nil,
+		[]byte("\x16\x03\x01"),
+		[]byte("NOTAVERB / HTTP/1.1\r\n"),
+		[]byte("GET /nohttp\r\n"),
+		[]byte("GET / SPDY/3\r\n"),
+	} {
+		if _, err := ParseHTTPRequest(in); err == nil {
+			t.Errorf("ParseHTTPRequest(%q) accepted", in)
+		}
+	}
+}
+
+func TestClientHelloSNIRoundTrip(t *testing.T) {
+	err := quick.Check(func(raw uint32) bool {
+		names := []string{"netflix.com", "a.b.c.example.org", "x", "googlevideo.com"}
+		name := names[raw%uint32(len(names))]
+		sni, err := ParseClientHelloSNI(BuildClientHello(name))
+		return err == nil && sni == name
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientHelloNoSNI(t *testing.T) {
+	sni, err := ParseClientHelloSNI(BuildClientHello(""))
+	if err != nil || sni != "" {
+		t.Errorf("no-SNI hello = %q, %v", sni, err)
+	}
+}
+
+func TestClientHelloRejectsGarbage(t *testing.T) {
+	if _, err := ParseClientHelloSNI([]byte("GET / HTTP/1.1\r\n")); err == nil {
+		t.Error("HTTP accepted as TLS")
+	}
+	if _, err := ParseClientHelloSNI(nil); err == nil {
+		t.Error("nil accepted as TLS")
+	}
+	// Truncated record.
+	good := BuildClientHello("example.com")
+	if _, err := ParseClientHelloSNI(good[:8]); err == nil {
+		t.Error("truncated hello accepted")
+	}
+}
+
+func TestClientHelloFuzzNoPanic(t *testing.T) {
+	// The parser must never panic on arbitrary bytes.
+	err := quick.Check(func(b []byte) bool {
+		_, _ = ParseClientHelloSNI(b)
+		return true
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDNSQueryRoundTrip(t *testing.T) {
+	raw := BuildDNSQuery(0x1234, "api.dropcam.com")
+	name, err := ParseDNSQuery(raw)
+	if err != nil {
+		t.Fatalf("ParseDNSQuery: %v", err)
+	}
+	if name != "api.dropcam.com" {
+		t.Errorf("name = %q", name)
+	}
+}
+
+func TestDNSRejectsResponse(t *testing.T) {
+	raw := BuildDNSQuery(1, "example.com")
+	raw[2] |= 0x80 // QR bit: response
+	if _, err := ParseDNSQuery(raw); err == nil {
+		t.Error("DNS response accepted as query")
+	}
+}
+
+func TestDNSFuzzNoPanic(t *testing.T) {
+	err := quick.Check(func(b []byte) bool {
+		_, _ = ParseDNSQuery(b)
+		return true
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifierRuleCount(t *testing.T) {
+	c := NewClassifier()
+	// "There are about 200 application identification rules" (§2.1).
+	if n := c.RuleCount(); n < 150 || n > 260 {
+		t.Errorf("rule count = %d, want ~200", n)
+	}
+}
+
+func TestClassifyBySNI(t *testing.T) {
+	c := NewClassifier()
+	r := c.Classify(FlowMeta{
+		Proto:       TCP,
+		ServerPort:  443,
+		ClientHello: BuildClientHello("occ-ams-01.nflxvideo.net"),
+	})
+	if r.App != "Netflix" || r.Category != CatVideoMusic {
+		t.Errorf("Netflix flow classified as %q/%v (rule %s)", r.App, r.Category, r.Rule)
+	}
+}
+
+func TestClassifyByHTTPHost(t *testing.T) {
+	c := NewClassifier()
+	r := c.Classify(FlowMeta{
+		Proto:      TCP,
+		ServerPort: 80,
+		HTTPHead:   BuildHTTPRequest("GET", "www.espn.go.com", "/scores", UserAgentFor(OSiOS), ""),
+	})
+	if r.App != "ESPN" || r.Category != CatSports {
+		t.Errorf("ESPN flow = %q/%v", r.App, r.Category)
+	}
+	if !strings.Contains(r.UserAgent, "iPhone") {
+		t.Error("user agent not forwarded")
+	}
+}
+
+func TestClassifyByDNSOnly(t *testing.T) {
+	c := NewClassifier()
+	r := c.Classify(FlowMeta{
+		Proto:      TCP,
+		ServerPort: 443,
+		DNSQuery:   BuildDNSQuery(7, "stream.dropcam.com"),
+	})
+	if r.App != "Dropcam" {
+		t.Errorf("Dropcam flow = %q", r.App)
+	}
+}
+
+func TestClassifyByPort(t *testing.T) {
+	c := NewClassifier()
+	r := c.Classify(FlowMeta{Proto: TCP, ServerPort: 445})
+	if r.App != "Windows file sharing" || r.Category != CatFileSharing {
+		t.Errorf("SMB flow = %q/%v", r.App, r.Category)
+	}
+	r = c.Classify(FlowMeta{Proto: TCP, ServerPort: 1935})
+	if r.App != "RTMP (Adobe Flash)" {
+		t.Errorf("RTMP flow = %q", r.App)
+	}
+}
+
+func TestClassifyLongestSuffixWins(t *testing.T) {
+	c := NewClassifier()
+	// spotify.map.fastly.net must hit Spotify, not the CDNs rule for
+	// fastly.net.
+	r := c.Classify(FlowMeta{Proto: TCP, ServerPort: 443, ClientHello: BuildClientHello("audio4.spotify.map.fastly.net")})
+	if r.App != "Spotify" {
+		t.Errorf("spotify-on-fastly = %q (rule %s)", r.App, r.Rule)
+	}
+	// Plain fastly.net still hits CDNs.
+	r = c.Classify(FlowMeta{Proto: TCP, ServerPort: 443, ClientHello: BuildClientHello("global.fastly.net")})
+	if r.App != "CDNs" {
+		t.Errorf("fastly = %q", r.App)
+	}
+}
+
+func TestClassifyFallbacks(t *testing.T) {
+	c := NewClassifier()
+	cases := []struct {
+		meta FlowMeta
+		want string
+	}{
+		{FlowMeta{Proto: TCP, ServerPort: 80, HTTPHead: BuildHTTPRequest("GET", "tiny-unknown-site.xyz", "/", "", "")}, MiscWeb},
+		{FlowMeta{Proto: TCP, ServerPort: 443, ClientHello: BuildClientHello("obscure-unknown.example")}, MiscSecureWeb},
+		{FlowMeta{Proto: TCP, ServerPort: 8443, ClientHello: BuildClientHello("")}, EncryptedTCP},
+		{FlowMeta{Proto: TCP, ServerPort: 9999}, NonWebTCP},
+		{FlowMeta{Proto: UDP, ServerPort: 9999}, MiscUDP},
+		{FlowMeta{Proto: TCP, ServerPort: 80, HTTPHead: BuildHTTPRequest("GET", "cdn9.unknownvideo.example", "/v.mp4", "", "video/mp4")}, MiscVideo},
+		{FlowMeta{Proto: TCP, ServerPort: 80, HTTPHead: BuildHTTPRequest("GET", "cdn9.unknownaudio.example", "/a.mp3", "", "audio/mpeg")}, MiscAudio},
+	}
+	for _, tc := range cases {
+		if got := c.Classify(tc.meta); got.App != tc.want {
+			t.Errorf("flow %+v classified %q, want %q", tc.meta.ServerPort, got.App, tc.want)
+		}
+	}
+}
+
+func TestClassifyPortFirstAblation(t *testing.T) {
+	c := NewClassifier()
+	// A Dropbox flow on port 445: hostname-first finds Dropbox,
+	// port-first misattributes it to Windows file sharing.
+	meta := FlowMeta{Proto: TCP, ServerPort: 445, ClientHello: BuildClientHello("client.dropbox.com")}
+	if r := c.Classify(meta); r.App != "Dropbox" {
+		t.Errorf("hostname-first = %q", r.App)
+	}
+	c.PortFirst = true
+	if r := c.Classify(meta); r.App != "Windows file sharing" {
+		t.Errorf("port-first = %q", r.App)
+	}
+}
+
+func TestClassifyNeverEmpty(t *testing.T) {
+	c := NewClassifier()
+	err := quick.Check(func(port uint16, udp bool, junk []byte) bool {
+		p := TCP
+		if udp {
+			p = UDP
+		}
+		r := c.Classify(FlowMeta{Proto: p, ServerPort: port, HTTPHead: junk})
+		return r.App != ""
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOSFromUserAgentTable(t *testing.T) {
+	for _, os := range []OS{OSWindows, OSiOS, OSMacOSX, OSAndroid, OSChromeOS, OSPlayStation, OSLinux, OSBlackBerry, OSWindowsMobile} {
+		ua := UserAgentFor(os)
+		if got := OSFromUserAgent(ua); got != os {
+			t.Errorf("UA round trip for %v = %v (ua %q)", os, got, ua)
+		}
+	}
+	if OSFromUserAgent("") != OSUnknown {
+		t.Error("empty UA should be Unknown")
+	}
+	if OSFromUserAgent("curl/7.35") != OSOther {
+		t.Error("unrecognized UA should be Other")
+	}
+}
+
+func TestOSFromDHCPTable(t *testing.T) {
+	for _, os := range []OS{OSWindows, OSiOS, OSMacOSX, OSAndroid, OSChromeOS, OSPlayStation, OSLinux, OSBlackBerry, OSWindowsMobile} {
+		fp, ok := DHCPFingerprintFor(os)
+		if !ok {
+			t.Errorf("no fingerprint for %v", os)
+			continue
+		}
+		if got := OSFromDHCP(fp); got != os {
+			t.Errorf("DHCP round trip for %v = %v", os, got)
+		}
+	}
+	if OSFromDHCP([]byte{9, 9, 9}) != OSUnknown {
+		t.Error("unknown fingerprint should be Unknown")
+	}
+}
+
+func TestInferOSAgreement(t *testing.T) {
+	fp, _ := DHCPFingerprintFor(OSAndroid)
+	got := InferOS([3]byte{0x38, 0xaa, 0x3c}, [][]byte{fp}, []string{UserAgentFor(OSAndroid)})
+	if got != OSAndroid {
+		t.Errorf("agreeing signals = %v", got)
+	}
+}
+
+func TestInferOSConflictingDHCP(t *testing.T) {
+	// Dual-boot: two different fingerprints from one MAC -> Unknown.
+	fpW, _ := DHCPFingerprintFor(OSWindows)
+	fpL, _ := DHCPFingerprintFor(OSLinux)
+	got := InferOS([3]byte{}, [][]byte{fpW, fpL}, nil)
+	if got != OSUnknown {
+		t.Errorf("dual-boot = %v, want Unknown", got)
+	}
+}
+
+func TestInferOSConflictingUAvsDHCP(t *testing.T) {
+	fpW, _ := DHCPFingerprintFor(OSWindows)
+	got := InferOS([3]byte{}, [][]byte{fpW}, []string{UserAgentFor(OSiOS)})
+	if got != OSUnknown {
+		t.Errorf("conflicting DHCP/UA = %v, want Unknown", got)
+	}
+}
+
+func TestInferOSVendorOnlyWeakSignal(t *testing.T) {
+	// Sony Interactive OUI alone identifies a PlayStation.
+	got := InferOS([3]byte{0xf8, 0xd0, 0xac}, nil, nil)
+	if got != OSPlayStation {
+		t.Errorf("sony OUI = %v", got)
+	}
+	// No signals at all: Unknown.
+	if InferOS([3]byte{0xde, 0xad, 0x01}, nil, nil) != OSUnknown {
+		t.Error("no signals should be Unknown")
+	}
+}
+
+func TestInferOSUserAgentOnly(t *testing.T) {
+	got := InferOS([3]byte{}, nil, []string{UserAgentFor(OSChromeOS)})
+	if got != OSChromeOS {
+		t.Errorf("UA-only = %v", got)
+	}
+}
+
+func TestHotspotVendors(t *testing.T) {
+	if !IsHotspotVendor("Novatel Wireless") || !IsHotspotVendor("Sierra Wireless") || !IsHotspotVendor("Pantech") {
+		t.Error("hotspot vendors missing")
+	}
+	if IsHotspotVendor("Apple") {
+		t.Error("Apple flagged as hotspot vendor")
+	}
+	if len(HotspotOUIs()) < 3 {
+		t.Errorf("HotspotOUIs = %d entries", len(HotspotOUIs()))
+	}
+	for _, oui := range HotspotOUIs() {
+		if !IsHotspotVendor(VendorFromOUI(oui)) {
+			t.Errorf("OUI %v not a hotspot vendor", oui)
+		}
+	}
+}
+
+func TestOSStringsMatchTable3(t *testing.T) {
+	want := map[OS]string{
+		OSWindows:       "Windows",
+		OSiOS:           "Apple iOS",
+		OSMacOSX:        "Mac OS X",
+		OSAndroid:       "Android",
+		OSUnknown:       "Unknown",
+		OSChromeOS:      "Chrome OS",
+		OSOther:         "Other",
+		OSPlayStation:   "Sony Playstation OS",
+		OSLinux:         "Linux",
+		OSBlackBerry:    "RIM BlackBerry",
+		OSWindowsMobile: "Mobile Windows OSes",
+	}
+	for os, name := range want {
+		if os.String() != name {
+			t.Errorf("%d.String() = %q, want %q", os, os.String(), name)
+		}
+	}
+	if len(AllOSes()) != 11 {
+		t.Errorf("AllOSes = %d, want 11 rows", len(AllOSes()))
+	}
+}
+
+func TestIsMobile(t *testing.T) {
+	for _, os := range []OS{OSiOS, OSAndroid, OSBlackBerry, OSWindowsMobile} {
+		if !os.IsMobile() {
+			t.Errorf("%v not mobile", os)
+		}
+	}
+	for _, os := range []OS{OSWindows, OSMacOSX, OSLinux, OSPlayStation} {
+		if os.IsMobile() {
+			t.Errorf("%v flagged mobile", os)
+		}
+	}
+}
+
+func BenchmarkClassifySNI(b *testing.B) {
+	c := NewClassifier()
+	meta := FlowMeta{Proto: TCP, ServerPort: 443, ClientHello: BuildClientHello("v12.googlevideo.com")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(meta)
+	}
+}
+
+func BenchmarkParseClientHello(b *testing.B) {
+	raw := BuildClientHello("edge.example.com")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseClientHelloSNI(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,398 @@
+// Package apps implements the application-identification pipeline the
+// Meraki access points run (paper Sections 2.1 and 3.3): parsers that
+// extract metadata from flow artifacts (DNS queries, TLS ClientHello
+// SNI, HTTP request headers, ports), a rule engine of roughly two
+// hundred application-identification rules, the application category
+// taxonomy of Table 6, and the OS-inference heuristics of Section 3.2
+// (MAC OUI prefix, DHCP option fingerprints, HTTP User-Agent).
+package apps
+
+// Category is the application category taxonomy of Table 6.
+type Category uint8
+
+const (
+	CatOther Category = iota
+	CatVideoMusic
+	CatFileSharing
+	CatSocial
+	CatEmail
+	CatVoIP
+	CatP2P
+	CatSoftwareUpdates
+	CatGaming
+	CatSports
+	CatNews
+	CatOnlineBackup
+	CatBlogging
+	CatWebFileSharing
+	numCategories
+)
+
+// String returns the paper's name for the category.
+func (c Category) String() string {
+	switch c {
+	case CatOther:
+		return "Other"
+	case CatVideoMusic:
+		return "Video & music"
+	case CatFileSharing:
+		return "File sharing"
+	case CatSocial:
+		return "Social web & photo sharing"
+	case CatEmail:
+		return "Email"
+	case CatVoIP:
+		return "VoIP & video conferencing"
+	case CatP2P:
+		return "Peer-to-peer (P2P)"
+	case CatSoftwareUpdates:
+		return "Software & anti-virus updates"
+	case CatGaming:
+		return "Gaming"
+	case CatSports:
+		return "Sports"
+	case CatNews:
+		return "News"
+	case CatOnlineBackup:
+		return "Online backup"
+	case CatBlogging:
+		return "Blogging"
+	case CatWebFileSharing:
+		return "Web file sharing"
+	default:
+		return "unknown"
+	}
+}
+
+// Categories returns all categories in display order.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// Proto is a transport protocol.
+type Proto uint8
+
+const (
+	// TCP transport.
+	TCP Proto = iota
+	// UDP transport.
+	UDP
+)
+
+// String names the protocol.
+func (p Proto) String() string {
+	if p == UDP {
+		return "UDP"
+	}
+	return "TCP"
+}
+
+// AppInfo describes one application the rule set can identify, plus the
+// calibration targets the fleet generator uses to reproduce Table 5.
+type AppInfo struct {
+	// Name as reported in Table 5.
+	Name string
+	// Category per Table 6.
+	Category Category
+	// Hosts are DNS/SNI/HTTP-Host suffixes that identify the app.
+	Hosts []string
+	// Ports are well-known server ports for non-web protocols.
+	Ports []uint16
+	// Proto is the dominant transport.
+	Proto Proto
+	// Secure marks TLS traffic (identified via SNI rather than HTTP).
+	Secure bool
+
+	// Calibration targets for January 2015, from Table 5.
+	// ShareOfBytes is the fraction of all weekly bytes.
+	ShareOfBytes float64
+	// DownloadFrac is the download share of the app's bytes.
+	DownloadFrac float64
+	// ClientFrac is the fraction of all clients that use the app in a
+	// week.
+	ClientFrac float64
+	// YoYBytes is the 2014→2015 byte growth multiplier (1.62 = +62%).
+	YoYBytes float64
+}
+
+// Misc-bucket application names produced when no specific rule matches.
+// They appear in Table 5 alongside named applications.
+const (
+	MiscWeb       = "Miscellaneous web"
+	MiscSecureWeb = "Miscellaneous secure web"
+	MiscVideo     = "Miscellaneous video"
+	MiscAudio     = "Miscellaneous audio"
+	NonWebTCP     = "Non-web TCP"
+	MiscUDP       = "UDP"
+	EncryptedTCP  = "Encrypted TCP (SSL)"
+	UnknownApp    = "Unknown"
+)
+
+// Catalog returns the application catalog: every named application in
+// Table 5 plus the misc buckets and a tail of smaller applications that
+// fill out the category totals of Table 6. The calibration fields are
+// the paper's January 2015 values (approximated where the published
+// table is ambiguous; see EXPERIMENTS.md).
+func Catalog() []AppInfo {
+	const totalClients = 5578126.0
+	cf := func(n float64) float64 { return n / totalClients }
+	return []AppInfo{
+		// ---- Misc buckets (classified by fallback rules). ----
+		{Name: MiscWeb, Category: CatOther, Proto: TCP,
+			ShareOfBytes: 0.138, DownloadFrac: 0.80, ClientFrac: cf(4623630), YoYBytes: 1.55},
+		{Name: MiscSecureWeb, Category: CatOther, Proto: TCP, Secure: true,
+			ShareOfBytes: 0.077, DownloadFrac: 0.94, ClientFrac: cf(5115023), YoYBytes: 1.94},
+		{Name: NonWebTCP, Category: CatOther, Proto: TCP,
+			ShareOfBytes: 0.070, DownloadFrac: 0.76, ClientFrac: cf(2900000), YoYBytes: 1.76},
+		{Name: MiscUDP, Category: CatOther, Proto: UDP,
+			ShareOfBytes: 0.032, DownloadFrac: 0.61, ClientFrac: cf(3705171), YoYBytes: 1.60},
+		{Name: MiscVideo, Category: CatVideoMusic, Proto: TCP,
+			ShareOfBytes: 0.051, DownloadFrac: 0.91, ClientFrac: cf(1383386), YoYBytes: 1.61},
+		{Name: MiscAudio, Category: CatVideoMusic, Proto: TCP,
+			ShareOfBytes: 0.0066, DownloadFrac: 0.97, ClientFrac: cf(460262), YoYBytes: 1.54},
+		{Name: EncryptedTCP, Category: CatOther, Proto: TCP, Secure: true,
+			ShareOfBytes: 0.0031, DownloadFrac: 0.65, ClientFrac: cf(1441775), YoYBytes: 1.50},
+
+		// ---- Video & music. ----
+		{Name: "YouTube", Category: CatVideoMusic, Secure: true,
+			Hosts:        []string{"youtube.com", "googlevideo.com", "ytimg.com", "youtu.be"},
+			ShareOfBytes: 0.103, DownloadFrac: 0.97, ClientFrac: cf(3500000), YoYBytes: 1.70},
+		{Name: "Netflix", Category: CatVideoMusic, Secure: true,
+			Hosts:        []string{"netflix.com", "nflxvideo.net", "nflximg.net", "nflxext.com"},
+			ShareOfBytes: 0.098, DownloadFrac: 0.98, ClientFrac: cf(161014), YoYBytes: 1.76},
+		{Name: "iTunes", Category: CatVideoMusic, Secure: true,
+			Hosts:        []string{"itunes.apple.com", "mzstatic.com", "itunes.com", "phobos.apple.com"},
+			ShareOfBytes: 0.054, DownloadFrac: 0.98, ClientFrac: cf(2230787), YoYBytes: 1.66},
+		{Name: "Pandora", Category: CatVideoMusic, Secure: true,
+			Hosts:        []string{"pandora.com", "p-cdn.com"},
+			ShareOfBytes: 0.0064, DownloadFrac: 0.97, ClientFrac: cf(182753), YoYBytes: 1.25},
+		{Name: "Spotify", Category: CatVideoMusic, Secure: true,
+			Hosts:        []string{"spotify.com", "scdn.co", "spotify.map.fastly.net"},
+			Ports:        []uint16{4070},
+			ShareOfBytes: 0.0056, DownloadFrac: 0.98, ClientFrac: cf(209219), YoYBytes: 2.42},
+		{Name: "Hulu", Category: CatVideoMusic, Secure: true,
+			Hosts:        []string{"hulu.com", "huluim.com", "hulustream.com"},
+			ShareOfBytes: 0.0036, DownloadFrac: 0.98, ClientFrac: cf(51667), YoYBytes: 2.02},
+		{Name: "Xfinity TV", Category: CatVideoMusic, Secure: true,
+			Hosts:        []string{"xfinity.com", "comcast.net", "xfinitytv.comcast.net"},
+			ShareOfBytes: 0.0026, DownloadFrac: 0.98, ClientFrac: cf(12802), YoYBytes: 1.87},
+		{Name: "Vimeo", Category: CatVideoMusic, Secure: true,
+			Hosts:        []string{"vimeo.com", "vimeocdn.com"},
+			ShareOfBytes: 0.0020, DownloadFrac: 0.97, ClientFrac: cf(310000), YoYBytes: 1.5},
+		{Name: "Twitch", Category: CatVideoMusic, Secure: true,
+			Hosts:        []string{"twitch.tv", "ttvnw.net", "jtvnw.net"},
+			ShareOfBytes: 0.0018, DownloadFrac: 0.98, ClientFrac: cf(90000), YoYBytes: 1.9},
+
+		// ---- File sharing. ----
+		{Name: "Windows file sharing", Category: CatFileSharing, Proto: TCP,
+			Ports:        []uint16{445, 139},
+			ShareOfBytes: 0.045, DownloadFrac: 0.66, ClientFrac: cf(740591), YoYBytes: 1.48},
+		{Name: "Apple file sharing", Category: CatFileSharing, Proto: TCP,
+			Ports:        []uint16{548},
+			ShareOfBytes: 0.022, DownloadFrac: 0.44, ClientFrac: cf(21951), YoYBytes: 1.18},
+		{Name: "Dropbox", Category: CatFileSharing, Secure: true,
+			Hosts:        []string{"dropbox.com", "dropboxstatic.com", "getdropbox.com"},
+			ShareOfBytes: 0.012, DownloadFrac: 0.60, ClientFrac: cf(369068), YoYBytes: 0.985},
+		{Name: "Microsoft Skydrive", Category: CatFileSharing, Secure: true,
+			Hosts:        []string{"skydrive.live.com", "onedrive.live.com", "storage.live.com"},
+			ShareOfBytes: 0.0023, DownloadFrac: 0.25, ClientFrac: cf(269437), YoYBytes: 0.90},
+		{Name: "Box", Category: CatFileSharing, Secure: true,
+			Hosts:        []string{"box.com", "boxcdn.net"},
+			ShareOfBytes: 0.0012, DownloadFrac: 0.55, ClientFrac: cf(90000), YoYBytes: 1.3},
+
+		// ---- Social web & photo sharing. ----
+		{Name: "Facebook", Category: CatSocial, Secure: true,
+			Hosts:        []string{"facebook.com", "fbcdn.net", "fb.com", "fbstatic-a.akamaihd.net"},
+			ShareOfBytes: 0.029, DownloadFrac: 0.93, ClientFrac: cf(3579926), YoYBytes: 1.61},
+		{Name: "Instagram", Category: CatSocial, Secure: true,
+			Hosts:        []string{"instagram.com", "cdninstagram.com"},
+			ShareOfBytes: 0.0091, DownloadFrac: 0.96, ClientFrac: cf(831935), YoYBytes: 1.45},
+		{Name: "Twitter", Category: CatSocial, Secure: true,
+			Hosts:        []string{"twitter.com", "twimg.com", "t.co"},
+			ShareOfBytes: 0.0033, DownloadFrac: 0.91, ClientFrac: cf(1925505), YoYBytes: 1.67},
+		{Name: "Pinterest", Category: CatSocial, Secure: true,
+			Hosts:        []string{"pinterest.com", "pinimg.com"},
+			ShareOfBytes: 0.0012, DownloadFrac: 0.95, ClientFrac: cf(420000), YoYBytes: 1.6},
+		{Name: "Snapchat", Category: CatSocial, Secure: true,
+			Hosts:        []string{"snapchat.com", "sc-cdn.net", "feelinsonice.appspot.com"},
+			ShareOfBytes: 0.0008, DownloadFrac: 0.85, ClientFrac: cf(350000), YoYBytes: 2.5},
+
+		// ---- Email. ----
+		{Name: "Gmail", Category: CatEmail, Secure: true,
+			Hosts:        []string{"mail.google.com", "gmail.com", "googlemail.com"},
+			ShareOfBytes: 0.0062, DownloadFrac: 0.74, ClientFrac: cf(1337755), YoYBytes: 1.26},
+		{Name: "Windows Live Hotmail and Outlook", Category: CatEmail, Secure: true,
+			Hosts:        []string{"hotmail.com", "outlook.com", "mail.live.com", "outlook.office365.com"},
+			ShareOfBytes: 0.0047, DownloadFrac: 0.64, ClientFrac: cf(366272), YoYBytes: 3.16},
+		{Name: "Other web-based email", Category: CatEmail, Secure: true,
+			Hosts:        []string{"mail.yahoo.com", "mail.aol.com", "mail.comcast.net", "roundcube.net", "squirrelmail.org"},
+			ShareOfBytes: 0.0025, DownloadFrac: 0.49, ClientFrac: cf(277919), YoYBytes: 0.936},
+		{Name: "IMAP/SMTP email", Category: CatEmail, Proto: TCP,
+			Ports:        []uint16{993, 143, 587, 465, 25, 995, 110},
+			ShareOfBytes: 0.0030, DownloadFrac: 0.70, ClientFrac: cf(600000), YoYBytes: 1.2},
+
+		// ---- VoIP & video conferencing. ----
+		{Name: "Skype", Category: CatVoIP, Secure: true,
+			Hosts:        []string{"skype.com", "skypeassets.com", "skypedata.akadns.net"},
+			Ports:        []uint16{33033},
+			ShareOfBytes: 0.0069, DownloadFrac: 0.49, ClientFrac: cf(392878), YoYBytes: 1.48},
+		{Name: "Dropcam", Category: CatVoIP, Secure: true,
+			Hosts:        []string{"dropcam.com", "nexusapi.dropcam.com", "stream.dropcam.com"},
+			ShareOfBytes: 0.0042, DownloadFrac: 0.05, ClientFrac: cf(2940), YoYBytes: 1.72},
+		{Name: "WebEx", Category: CatVoIP, Secure: true,
+			Hosts:        []string{"webex.com", "wbx2.com"},
+			ShareOfBytes: 0.0010, DownloadFrac: 0.50, ClientFrac: cf(80000), YoYBytes: 1.4},
+		{Name: "FaceTime", Category: CatVoIP, Proto: UDP,
+			Ports:        []uint16{3478, 16393},
+			ShareOfBytes: 0.0009, DownloadFrac: 0.50, ClientFrac: cf(250000), YoYBytes: 1.5},
+
+		// ---- P2P. ----
+		{Name: "BitTorrent", Category: CatP2P, Proto: TCP,
+			Ports:        []uint16{6881, 6882, 6883, 6889, 51413},
+			ShareOfBytes: 0.0069, DownloadFrac: 0.58, ClientFrac: cf(38294), YoYBytes: 0.915},
+		{Name: "Encrypted P2P", Category: CatP2P, Proto: TCP,
+			Ports:        []uint16{4662, 4672, 16881},
+			ShareOfBytes: 0.0033, DownloadFrac: 0.97, ClientFrac: cf(81673), YoYBytes: 1.17},
+
+		// ---- Software & anti-virus updates. ----
+		{Name: "Software updates", Category: CatSoftwareUpdates,
+			Hosts:        []string{"windowsupdate.com", "update.microsoft.com", "swcdn.apple.com", "swscan.apple.com", "avast.com", "symantecliveupdate.com"},
+			ShareOfBytes: 0.0094, DownloadFrac: 0.98, ClientFrac: cf(689677), YoYBytes: 1.36},
+
+		// ---- Gaming. ----
+		{Name: "Steam", Category: CatGaming, Secure: true,
+			Hosts:        []string{"steampowered.com", "steamcontent.com", "steamstatic.com"},
+			Ports:        []uint16{27030, 27031},
+			ShareOfBytes: 0.0035, DownloadFrac: 0.98, ClientFrac: cf(21011), YoYBytes: 1.47},
+		{Name: "Xbox Live", Category: CatGaming, Secure: true,
+			Hosts:        []string{"xboxlive.com", "xbox.com"},
+			Ports:        []uint16{3074},
+			ShareOfBytes: 0.0013, DownloadFrac: 0.95, ClientFrac: cf(60000), YoYBytes: 1.5},
+		{Name: "PlayStation Network", Category: CatGaming, Secure: true,
+			Hosts:        []string{"playstation.net", "playstation.com", "sonyentertainmentnetwork.com"},
+			ShareOfBytes: 0.0009, DownloadFrac: 0.96, ClientFrac: cf(50000), YoYBytes: 1.5},
+
+		// ---- Sports. ----
+		{Name: "ESPN", Category: CatSports, Secure: true,
+			Hosts:        []string{"espn.com", "espn.go.com", "espncdn.com"},
+			ShareOfBytes: 0.0027, DownloadFrac: 0.98, ClientFrac: cf(202971), YoYBytes: 2.22},
+		{Name: "MLB.tv", Category: CatSports, Secure: true,
+			Hosts:        []string{"mlb.com", "mlbstatic.com"},
+			ShareOfBytes: 0.0001, DownloadFrac: 0.98, ClientFrac: cf(23000), YoYBytes: 1.5},
+
+		// ---- News. ----
+		{Name: "CNN", Category: CatNews,
+			Hosts:        []string{"cnn.com", "cdn.turner.com"},
+			ShareOfBytes: 0.0008, DownloadFrac: 0.95, ClientFrac: cf(300000), YoYBytes: 1.76},
+		{Name: "BBC", Category: CatNews,
+			Hosts:        []string{"bbc.co.uk", "bbc.com", "bbci.co.uk"},
+			ShareOfBytes: 0.0006, DownloadFrac: 0.95, ClientFrac: cf(200000), YoYBytes: 1.7},
+		{Name: "New York Times", Category: CatNews, Secure: true,
+			Hosts:        []string{"nytimes.com", "nyt.com"},
+			ShareOfBytes: 0.0004, DownloadFrac: 0.95, ClientFrac: cf(180000), YoYBytes: 1.8},
+		{Name: "Reddit", Category: CatNews, Secure: true,
+			Hosts:        []string{"reddit.com", "redditstatic.com", "redd.it"},
+			ShareOfBytes: 0.0004, DownloadFrac: 0.96, ClientFrac: cf(220000), YoYBytes: 1.8},
+
+		// ---- Online backup. ----
+		{Name: "Crashplan", Category: CatOnlineBackup, Secure: true,
+			Hosts:        []string{"crashplan.com", "code42.com"},
+			Ports:        []uint16{4282},
+			ShareOfBytes: 0.0007, DownloadFrac: 0.042, ClientFrac: cf(3200), YoYBytes: 1.1},
+		{Name: "Backblaze", Category: CatOnlineBackup, Secure: true,
+			Hosts:        []string{"backblaze.com", "backblazeb2.com"},
+			ShareOfBytes: 0.0005, DownloadFrac: 0.042, ClientFrac: cf(2400), YoYBytes: 1.1},
+		{Name: "Carbonite", Category: CatOnlineBackup, Secure: true,
+			Hosts:        []string{"carbonite.com"},
+			ShareOfBytes: 0.0003, DownloadFrac: 0.042, ClientFrac: cf(1976), YoYBytes: 1.1},
+
+		// ---- Blogging. ----
+		{Name: "Tumblr", Category: CatOther, Secure: true,
+			Hosts:        []string{"tumblr.com", "media.tumblr.com"},
+			ShareOfBytes: 0.0057, DownloadFrac: 0.97, ClientFrac: cf(270482), YoYBytes: 1.31},
+		{Name: "WordPress", Category: CatBlogging,
+			Hosts:        []string{"wordpress.com", "wp.com", "gravatar.com"},
+			ShareOfBytes: 0.00025, DownloadFrac: 0.97, ClientFrac: cf(300000), YoYBytes: 0.66},
+		{Name: "Blogger", Category: CatBlogging,
+			Hosts:        []string{"blogger.com", "blogspot.com"},
+			ShareOfBytes: 0.00014, DownloadFrac: 0.97, ClientFrac: cf(187085), YoYBytes: 0.66},
+
+		// ---- Web file sharing. ----
+		{Name: "Mediafire", Category: CatWebFileSharing,
+			Hosts:        []string{"mediafire.com"},
+			ShareOfBytes: 0.0001, DownloadFrac: 0.978, ClientFrac: cf(6800), YoYBytes: 0.73},
+		{Name: "Hotfile", Category: CatWebFileSharing,
+			Hosts:        []string{"hotfile.com"},
+			ShareOfBytes: 0.00007, DownloadFrac: 0.978, ClientFrac: cf(4022), YoYBytes: 0.73},
+
+		// ---- Other (named). ----
+		{Name: "CDNs", Category: CatOther,
+			Hosts:        []string{"akamaihd.net", "akamai.net", "cloudfront.net", "edgecastcdn.net", "fastly.net", "llnwd.net"},
+			ShareOfBytes: 0.039, DownloadFrac: 0.72, ClientFrac: cf(3157028), YoYBytes: 1.81},
+		{Name: "Google HTTPS", Category: CatOther, Secure: true,
+			Hosts:        []string{"google.com", "gstatic.com", "googleapis.com", "googleusercontent.com"},
+			ShareOfBytes: 0.026, DownloadFrac: 0.85, ClientFrac: cf(3953002), YoYBytes: 1.67},
+		{Name: "apple.com", Category: CatOther, Secure: true,
+			Hosts:        []string{"apple.com", "icloud.com", "cdn-apple.com"},
+			ShareOfBytes: 0.019, DownloadFrac: 0.94, ClientFrac: cf(2763663), YoYBytes: 1.79},
+		{Name: "Google", Category: CatOther,
+			Hosts:        []string{"www.google.com", "google-analytics.com", "googlesyndication.com", "doubleclick.net"},
+			ShareOfBytes: 0.018, DownloadFrac: 0.85, ClientFrac: cf(3804317), YoYBytes: 1.19},
+		{Name: "Google Drive", Category: CatOther, Secure: true,
+			Hosts:        []string{"drive.google.com", "docs.google.com", "drive.googleusercontent.com"},
+			ShareOfBytes: 0.012, DownloadFrac: 0.79, ClientFrac: cf(1325938), YoYBytes: 4.74},
+		{Name: "RTMP (Adobe Flash)", Category: CatOther, Proto: TCP,
+			Ports:        []uint16{1935},
+			ShareOfBytes: 0.0062, DownloadFrac: 0.96, ClientFrac: cf(141403), YoYBytes: 1.10},
+		{Name: "microsoft.com", Category: CatOther,
+			Hosts:        []string{"microsoft.com", "msn.com", "live.com", "bing.com"},
+			ShareOfBytes: 0.0059, DownloadFrac: 0.94, ClientFrac: cf(861136), YoYBytes: 1.15},
+		{Name: "Remote desktop", Category: CatOther, Proto: TCP,
+			Ports:        []uint16{3389, 5900},
+			ShareOfBytes: 0.0029, DownloadFrac: 0.88, ClientFrac: cf(93876), YoYBytes: 1.66},
+		{Name: "Amazon", Category: CatOther, Secure: true,
+			Hosts:        []string{"amazon.com", "images-amazon.com", "ssl-images-amazon.com", "amazonaws.com"},
+			ShareOfBytes: 0.0045, DownloadFrac: 0.90, ClientFrac: cf(1900000), YoYBytes: 1.6},
+		{Name: "Yahoo", Category: CatOther,
+			Hosts:        []string{"yahoo.com", "yimg.com", "yahooapis.com"},
+			ShareOfBytes: 0.0030, DownloadFrac: 0.92, ClientFrac: cf(1500000), YoYBytes: 1.1},
+		{Name: "Wikipedia", Category: CatOther, Secure: true,
+			Hosts:        []string{"wikipedia.org", "wikimedia.org"},
+			ShareOfBytes: 0.0010, DownloadFrac: 0.96, ClientFrac: cf(900000), YoYBytes: 1.3},
+		{Name: "LinkedIn", Category: CatOther, Secure: true,
+			Hosts:        []string{"linkedin.com", "licdn.com"},
+			ShareOfBytes: 0.0008, DownloadFrac: 0.93, ClientFrac: cf(600000), YoYBytes: 1.4},
+		{Name: "SSH", Category: CatOther, Proto: TCP,
+			Ports:        []uint16{22},
+			ShareOfBytes: 0.0005, DownloadFrac: 0.60, ClientFrac: cf(120000), YoYBytes: 1.2},
+		{Name: "DNS", Category: CatOther, Proto: UDP,
+			Ports:        []uint16{53},
+			ShareOfBytes: 0.0004, DownloadFrac: 0.55, ClientFrac: cf(5000000), YoYBytes: 1.35},
+		{Name: "NTP", Category: CatOther, Proto: UDP,
+			Ports:        []uint16{123},
+			ShareOfBytes: 0.0001, DownloadFrac: 0.50, ClientFrac: cf(4500000), YoYBytes: 1.35},
+	}
+}
+
+// CatalogByName indexes the catalog by application name.
+func CatalogByName() map[string]AppInfo {
+	m := make(map[string]AppInfo)
+	for _, a := range Catalog() {
+		m[a.Name] = a
+	}
+	return m
+}
+
+// IsMiscBucket reports whether the application name is one of the
+// fallback buckets rather than a rule-identified application.
+func IsMiscBucket(name string) bool {
+	switch name {
+	case MiscWeb, MiscSecureWeb, MiscVideo, MiscAudio, NonWebTCP, MiscUDP, EncryptedTCP, UnknownApp:
+		return true
+	}
+	return false
+}

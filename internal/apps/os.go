@@ -1,0 +1,299 @@
+package apps
+
+import (
+	"bytes"
+	"strings"
+)
+
+// OS is the client operating system taxonomy of Table 3.
+type OS uint8
+
+const (
+	OSUnknown OS = iota
+	OSWindows
+	OSiOS
+	OSMacOSX
+	OSAndroid
+	OSChromeOS
+	OSPlayStation
+	OSLinux
+	OSBlackBerry
+	OSWindowsMobile
+	OSOther
+	numOSes
+)
+
+// String returns the paper's name for the operating system.
+func (o OS) String() string {
+	switch o {
+	case OSWindows:
+		return "Windows"
+	case OSiOS:
+		return "Apple iOS"
+	case OSMacOSX:
+		return "Mac OS X"
+	case OSAndroid:
+		return "Android"
+	case OSChromeOS:
+		return "Chrome OS"
+	case OSPlayStation:
+		return "Sony Playstation OS"
+	case OSLinux:
+		return "Linux"
+	case OSBlackBerry:
+		return "RIM BlackBerry"
+	case OSWindowsMobile:
+		return "Mobile Windows OSes"
+	case OSOther:
+		return "Other"
+	default:
+		return "Unknown"
+	}
+}
+
+// AllOSes returns every OS in Table 3 display order.
+func AllOSes() []OS {
+	return []OS{
+		OSWindows, OSiOS, OSMacOSX, OSAndroid, OSUnknown, OSChromeOS,
+		OSOther, OSPlayStation, OSLinux, OSBlackBerry, OSWindowsMobile,
+	}
+}
+
+// IsMobile reports whether the OS is a handheld platform — used for the
+// paper's mobile-versus-desktop usage comparisons.
+func (o OS) IsMobile() bool {
+	switch o {
+	case OSiOS, OSAndroid, OSBlackBerry, OSWindowsMobile:
+		return true
+	}
+	return false
+}
+
+// DHCP fingerprints: the option-55 parameter request lists that identify
+// client OS families, as in the device-driver fingerprinting literature
+// the paper cites. Keys are the raw option lists.
+var dhcpFingerprints = []struct {
+	params []byte
+	os     OS
+}{
+	{[]byte{1, 15, 3, 6, 44, 46, 47, 31, 33, 121, 249, 43}, OSWindows},           // Win7/8
+	{[]byte{1, 3, 6, 15, 31, 33, 43, 44, 46, 47, 119, 121, 249, 252}, OSWindows}, // Win10 preview
+	{[]byte{1, 121, 3, 6, 15, 119, 252, 95, 44, 46}, OSMacOSX},
+	{[]byte{1, 121, 3, 6, 15, 119, 252}, OSiOS},
+	{[]byte{1, 3, 6, 15, 26, 28, 51, 58, 59, 43}, OSAndroid},
+	{[]byte{1, 3, 6, 12, 15, 26, 28, 51, 58, 59}, OSChromeOS},
+	{[]byte{1, 3, 15, 6}, OSPlayStation},
+	{[]byte{1, 28, 2, 3, 15, 6, 119, 12, 44, 47, 26, 121, 42}, OSLinux}, // dhclient
+	{[]byte{1, 3, 6, 15, 12}, OSBlackBerry},
+	{[]byte{1, 3, 6, 15, 31, 33, 43, 44, 46, 47, 121, 249, 252}, OSWindowsMobile},
+}
+
+// DHCPFingerprintFor returns the canonical option-55 list a client of
+// the given OS sends, for traffic synthesis. The second result is false
+// for OSes with no stable fingerprint (they emit a generic list).
+func DHCPFingerprintFor(os OS) ([]byte, bool) {
+	for _, fp := range dhcpFingerprints {
+		if fp.os == os {
+			out := make([]byte, len(fp.params))
+			copy(out, fp.params)
+			return out, true
+		}
+	}
+	return []byte{1, 3, 6, 15}, false
+}
+
+// OSFromDHCP identifies an OS from a DHCP option-55 parameter list.
+func OSFromDHCP(params []byte) OS {
+	for _, fp := range dhcpFingerprints {
+		if bytes.Equal(fp.params, params) {
+			return fp.os
+		}
+	}
+	return OSUnknown
+}
+
+// OSFromUserAgent identifies an OS from an HTTP User-Agent string.
+func OSFromUserAgent(ua string) OS {
+	switch {
+	case strings.Contains(ua, "Windows Phone"), strings.Contains(ua, "IEMobile"):
+		return OSWindowsMobile
+	case strings.Contains(ua, "Windows NT"):
+		return OSWindows
+	case strings.Contains(ua, "iPhone"), strings.Contains(ua, "iPad"), strings.Contains(ua, "iPod"):
+		return OSiOS
+	case strings.Contains(ua, "Mac OS X"):
+		return OSMacOSX
+	case strings.Contains(ua, "CrOS"):
+		return OSChromeOS
+	case strings.Contains(ua, "Android"):
+		return OSAndroid
+	case strings.Contains(ua, "PlayStation"):
+		return OSPlayStation
+	case strings.Contains(ua, "BlackBerry"), strings.Contains(ua, "BB10"):
+		return OSBlackBerry
+	case strings.Contains(ua, "Linux"):
+		return OSLinux
+	case ua == "":
+		return OSUnknown
+	default:
+		return OSOther
+	}
+}
+
+// UserAgentFor returns a realistic User-Agent string for the OS, for
+// traffic synthesis.
+func UserAgentFor(os OS) string {
+	switch os {
+	case OSWindows:
+		return "Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/39.0.2171.95 Safari/537.36"
+	case OSiOS:
+		return "Mozilla/5.0 (iPhone; CPU iPhone OS 8_1_2 like Mac OS X) AppleWebKit/600.1.4 (KHTML, like Gecko) Version/8.0 Mobile/12B440 Safari/600.1.4"
+	case OSMacOSX:
+		return "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10_1) AppleWebKit/600.2.5 (KHTML, like Gecko) Version/8.0.2 Safari/600.2.5"
+	case OSAndroid:
+		return "Mozilla/5.0 (Linux; Android 4.4.4; Nexus 5 Build/KTU84P) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/39.0.2171.93 Mobile Safari/537.36"
+	case OSChromeOS:
+		return "Mozilla/5.0 (X11; CrOS x86_64 6457.83.0) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/39.0.2171.96 Safari/537.36"
+	case OSPlayStation:
+		return "Mozilla/5.0 (PlayStation 4 2.03) AppleWebKit/537.73 (KHTML, like Gecko)"
+	case OSLinux:
+		return "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/39.0.2171.95 Safari/537.36"
+	case OSBlackBerry:
+		return "Mozilla/5.0 (BB10; Touch) AppleWebKit/537.35+ (KHTML, like Gecko) Version/10.2.1.3247 Mobile Safari/537.35+"
+	case OSWindowsMobile:
+		return "Mozilla/5.0 (Mobile; Windows Phone 8.1; Android 4.0; ARM; Trident/7.0; Touch; rv:11.0; IEMobile/11.0) like iPhone OS 7_0_3 Mac OS X"
+	default:
+		return ""
+	}
+}
+
+// Vendor OUI prefixes the study's section 3.2 heuristics consult, and
+// the section 4.1 mobile-hotspot detection uses.
+var ouiVendors = map[[3]byte]string{
+	{0x00, 0x18, 0x0a}: "Cisco Meraki",
+	{0xac, 0xbc, 0x32}: "Apple",
+	{0x28, 0xcf, 0xe9}: "Apple",
+	{0x00, 0x17, 0xf2}: "Apple",
+	{0x00, 0x50, 0xf2}: "Microsoft",
+	{0x28, 0x18, 0x78}: "Microsoft",
+	{0x94, 0x39, 0xe5}: "Hon Hai/Foxconn",
+	{0x9c, 0xd9, 0x17}: "Motorola",
+	{0xf8, 0xa9, 0xd0}: "LG",
+	{0x38, 0xaa, 0x3c}: "Samsung",
+	{0x00, 0x1d, 0xba}: "Sony",
+	{0xf8, 0xd0, 0xac}: "Sony Interactive",
+	{0x00, 0x24, 0x23}: "Novatel Wireless",
+	{0x00, 0x15, 0xff}: "Novatel Wireless",
+	{0x00, 0x26, 0x5e}: "Pantech",
+	{0x00, 0x0e, 0x3b}: "Sierra Wireless",
+	{0x00, 0x14, 0x3e}: "Sierra Wireless",
+	{0x00, 0x21, 0xe8}: "RIM",
+	{0x00, 0x1c, 0xbf}: "Intel",
+	{0x00, 0x1e, 0x8c}: "ASUSTek",
+	{0x00, 0x90, 0x4c}: "Epigram/Broadcom",
+}
+
+// hotspotVendors are the personal-hotspot makers the paper names in
+// Section 4.1 (Novatel, Pantech, Sierra Wireless, etc.).
+var hotspotVendors = map[string]bool{
+	"Novatel Wireless": true,
+	"Pantech":          true,
+	"Sierra Wireless":  true,
+}
+
+// VendorFromOUI returns the vendor name for a MAC prefix, or "".
+func VendorFromOUI(oui [3]byte) string { return ouiVendors[oui] }
+
+// IsHotspotVendor reports whether the vendor is a known personal mobile
+// hotspot maker.
+func IsHotspotVendor(vendor string) bool { return hotspotVendors[vendor] }
+
+// HotspotOUIs returns the known hotspot OUI prefixes, for synthesis.
+func HotspotOUIs() [][3]byte {
+	var out [][3]byte
+	for oui, v := range ouiVendors {
+		if hotspotVendors[v] {
+			out = append(out, oui)
+		}
+	}
+	return out
+}
+
+// osFromVendor maps an OUI vendor to a likely OS family. Apple is
+// ambiguous between iOS and Mac OS X, so it gives no vote.
+func osFromVendor(vendor string) OS {
+	switch vendor {
+	case "Sony Interactive":
+		return OSPlayStation
+	case "RIM":
+		return OSBlackBerry
+	case "Samsung", "Motorola", "LG":
+		return OSAndroid
+	default:
+		return OSUnknown
+	}
+}
+
+// InferOS combines the three heuristics of Section 3.2 — MAC OUI prefix,
+// DHCP fingerprint, and HTTP User-Agent inspection — into one OS verdict
+// per client MAC. Conflicting strong signals (a device presenting
+// multiple DHCP fingerprints, or user agents from two OS families)
+// yield OSUnknown, matching the paper's description of the Unknown row.
+func InferOS(oui [3]byte, dhcpParamLists [][]byte, userAgents []string) OS {
+	votes := make(map[OS]int)
+
+	var dhcpVotes []OS
+	for _, params := range dhcpParamLists {
+		if os := OSFromDHCP(params); os != OSUnknown {
+			dhcpVotes = append(dhcpVotes, os)
+		}
+	}
+	if conflicting(dhcpVotes) {
+		// Dual-boot or VM host: multiple fingerprints from one MAC.
+		return OSUnknown
+	}
+	if len(dhcpVotes) > 0 {
+		votes[dhcpVotes[0]] += 2
+	}
+
+	var uaVotes []OS
+	for _, ua := range userAgents {
+		if os := OSFromUserAgent(ua); os != OSUnknown && os != OSOther {
+			uaVotes = append(uaVotes, os)
+		}
+	}
+	if conflicting(uaVotes) {
+		return OSUnknown
+	}
+	if len(uaVotes) > 0 {
+		votes[uaVotes[0]] += 2
+	}
+
+	if os := osFromVendor(VendorFromOUI(oui)); os != OSUnknown {
+		votes[os]++
+	}
+
+	best, bestScore := OSUnknown, 0
+	for os, score := range votes {
+		if score > bestScore {
+			best, bestScore = os, score
+		}
+	}
+	if bestScore == 0 {
+		return OSUnknown
+	}
+	// Strong disagreement between DHCP and UA.
+	if len(dhcpVotes) > 0 && len(uaVotes) > 0 && dhcpVotes[0] != uaVotes[0] {
+		return OSUnknown
+	}
+	return best
+}
+
+func conflicting(votes []OS) bool {
+	for i := 1; i < len(votes); i++ {
+		if votes[i] != votes[0] {
+			return true
+		}
+	}
+	return false
+}

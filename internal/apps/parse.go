@@ -1,0 +1,334 @@
+package apps
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors returned by the protocol parsers.
+var (
+	ErrNotHTTP      = errors.New("apps: not an HTTP request head")
+	ErrNotTLS       = errors.New("apps: not a TLS ClientHello")
+	ErrShortMessage = errors.New("apps: truncated message")
+	ErrNotDNS       = errors.New("apps: not a DNS query")
+)
+
+// HTTPRequest is the metadata the slow path extracts from a packet
+// containing an HTTP request header.
+type HTTPRequest struct {
+	Method    string
+	Path      string
+	Host      string
+	UserAgent string
+	// ContentType mirrors the Content-Type the server returned for the
+	// flow, when the AP has seen the response; used to put unmatched
+	// video/audio streams into the misc video/audio buckets.
+	ContentType string
+}
+
+// ParseHTTPRequest parses the head of an HTTP/1.x request (request line
+// plus headers, terminated by a blank line or end of input).
+func ParseHTTPRequest(b []byte) (*HTTPRequest, error) {
+	// Request line: METHOD SP PATH SP HTTP/1.x
+	lineEnd := bytes.IndexByte(b, '\n')
+	if lineEnd < 0 {
+		lineEnd = len(b)
+	}
+	line := strings.TrimRight(string(b[:lineEnd]), "\r")
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return nil, ErrNotHTTP
+	}
+	switch parts[0] {
+	case "GET", "POST", "PUT", "HEAD", "DELETE", "OPTIONS", "CONNECT", "PATCH":
+	default:
+		return nil, ErrNotHTTP
+	}
+	req := &HTTPRequest{Method: parts[0], Path: parts[1]}
+	rest := b
+	if lineEnd < len(b) {
+		rest = b[lineEnd+1:]
+	} else {
+		rest = nil
+	}
+	for len(rest) > 0 {
+		end := bytes.IndexByte(rest, '\n')
+		var hline string
+		if end < 0 {
+			hline = string(rest)
+			rest = nil
+		} else {
+			hline = string(rest[:end])
+			rest = rest[end+1:]
+		}
+		hline = strings.TrimRight(hline, "\r")
+		if hline == "" {
+			break
+		}
+		colon := strings.IndexByte(hline, ':')
+		if colon < 0 {
+			continue
+		}
+		name := strings.ToLower(strings.TrimSpace(hline[:colon]))
+		value := strings.TrimSpace(hline[colon+1:])
+		switch name {
+		case "host":
+			req.Host = stripPort(value)
+		case "user-agent":
+			req.UserAgent = value
+		case "x-observed-content-type":
+			// The simulated AP annotates flows with the response
+			// content type it observed; carried as a header here.
+			req.ContentType = value
+		}
+	}
+	return req, nil
+}
+
+func stripPort(host string) string {
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		return host[:i]
+	}
+	return host
+}
+
+// BuildHTTPRequest synthesizes an HTTP request head with the given
+// fields, as the traffic generator emits.
+func BuildHTTPRequest(method, host, path, userAgent, contentType string) []byte {
+	var b bytes.Buffer
+	if method == "" {
+		method = "GET"
+	}
+	if path == "" {
+		path = "/"
+	}
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", method, path)
+	fmt.Fprintf(&b, "Host: %s\r\n", host)
+	if userAgent != "" {
+		fmt.Fprintf(&b, "User-Agent: %s\r\n", userAgent)
+	}
+	if contentType != "" {
+		fmt.Fprintf(&b, "X-Observed-Content-Type: %s\r\n", contentType)
+	}
+	b.WriteString("Accept: */*\r\n\r\n")
+	return b.Bytes()
+}
+
+// TLS record/handshake constants for the ClientHello parser.
+const (
+	tlsRecordHandshake = 22
+	tlsHandshakeHello  = 1
+	tlsExtensionSNI    = 0
+	tlsSNIHostname     = 0
+)
+
+// ParseClientHelloSNI extracts the server_name extension from a TLS
+// ClientHello record, exactly as the AP slow path inspects SSL
+// handshakes. It returns ErrNotTLS for non-TLS input and an empty string
+// for a ClientHello without SNI.
+func ParseClientHelloSNI(b []byte) (string, error) {
+	// TLS record header: type(1) version(2) length(2).
+	if len(b) < 5 || b[0] != tlsRecordHandshake {
+		return "", ErrNotTLS
+	}
+	recLen := int(binary.BigEndian.Uint16(b[3:5]))
+	if len(b) < 5+recLen {
+		return "", ErrShortMessage
+	}
+	hs := b[5 : 5+recLen]
+	// Handshake header: type(1) length(3).
+	if len(hs) < 4 || hs[0] != tlsHandshakeHello {
+		return "", ErrNotTLS
+	}
+	hsLen := int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3])
+	if len(hs) < 4+hsLen {
+		return "", ErrShortMessage
+	}
+	p := hs[4 : 4+hsLen]
+	// client_version(2) random(32).
+	if len(p) < 34 {
+		return "", ErrShortMessage
+	}
+	p = p[34:]
+	// session_id.
+	if len(p) < 1 {
+		return "", ErrShortMessage
+	}
+	sidLen := int(p[0])
+	if len(p) < 1+sidLen {
+		return "", ErrShortMessage
+	}
+	p = p[1+sidLen:]
+	// cipher_suites.
+	if len(p) < 2 {
+		return "", ErrShortMessage
+	}
+	csLen := int(binary.BigEndian.Uint16(p))
+	if len(p) < 2+csLen {
+		return "", ErrShortMessage
+	}
+	p = p[2+csLen:]
+	// compression_methods.
+	if len(p) < 1 {
+		return "", ErrShortMessage
+	}
+	cmLen := int(p[0])
+	if len(p) < 1+cmLen {
+		return "", ErrShortMessage
+	}
+	p = p[1+cmLen:]
+	if len(p) < 2 {
+		return "", nil // no extensions: legal, no SNI
+	}
+	extLen := int(binary.BigEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < extLen {
+		return "", ErrShortMessage
+	}
+	p = p[:extLen]
+	for len(p) >= 4 {
+		extType := binary.BigEndian.Uint16(p)
+		l := int(binary.BigEndian.Uint16(p[2:]))
+		if len(p) < 4+l {
+			return "", ErrShortMessage
+		}
+		body := p[4 : 4+l]
+		p = p[4+l:]
+		if extType != tlsExtensionSNI {
+			continue
+		}
+		// server_name_list: length(2) then entries of
+		// type(1) length(2) name.
+		if len(body) < 2 {
+			return "", ErrShortMessage
+		}
+		listLen := int(binary.BigEndian.Uint16(body))
+		body = body[2:]
+		if len(body) < listLen {
+			return "", ErrShortMessage
+		}
+		for len(body) >= 3 {
+			nameType := body[0]
+			nameLen := int(binary.BigEndian.Uint16(body[1:]))
+			if len(body) < 3+nameLen {
+				return "", ErrShortMessage
+			}
+			if nameType == tlsSNIHostname {
+				return string(body[3 : 3+nameLen]), nil
+			}
+			body = body[3+nameLen:]
+		}
+	}
+	return "", nil
+}
+
+// BuildClientHello synthesizes a minimal TLS 1.2 ClientHello carrying the
+// given SNI, byte-compatible with ParseClientHelloSNI and shaped like
+// what a real client emits.
+func BuildClientHello(sni string) []byte {
+	var ext []byte
+	if sni != "" {
+		name := []byte(sni)
+		entry := make([]byte, 3+len(name))
+		entry[0] = tlsSNIHostname
+		binary.BigEndian.PutUint16(entry[1:], uint16(len(name)))
+		copy(entry[3:], name)
+		list := make([]byte, 2+len(entry))
+		binary.BigEndian.PutUint16(list, uint16(len(entry)))
+		copy(list[2:], entry)
+		hdr := make([]byte, 4)
+		binary.BigEndian.PutUint16(hdr, tlsExtensionSNI)
+		binary.BigEndian.PutUint16(hdr[2:], uint16(len(list)))
+		ext = append(hdr, list...)
+	}
+	body := make([]byte, 0, 64+len(ext))
+	body = append(body, 3, 3) // TLS 1.2
+	var random [32]byte
+	body = append(body, random[:]...)
+	body = append(body, 0)    // empty session id
+	body = append(body, 0, 4) // two cipher suites
+	body = append(body, 0x13, 0x01, 0x00, 0x2f)
+	body = append(body, 1, 0) // one compression method: null
+	extBlock := make([]byte, 2+len(ext))
+	binary.BigEndian.PutUint16(extBlock, uint16(len(ext)))
+	copy(extBlock[2:], ext)
+	body = append(body, extBlock...)
+
+	hs := make([]byte, 4+len(body))
+	hs[0] = tlsHandshakeHello
+	hs[1] = byte(len(body) >> 16)
+	hs[2] = byte(len(body) >> 8)
+	hs[3] = byte(len(body))
+	copy(hs[4:], body)
+
+	rec := make([]byte, 5+len(hs))
+	rec[0] = tlsRecordHandshake
+	rec[1], rec[2] = 3, 1
+	binary.BigEndian.PutUint16(rec[3:], uint16(len(hs)))
+	copy(rec[5:], hs)
+	return rec
+}
+
+// ParseDNSQuery extracts the first question name from a DNS query
+// message, as the slow path inspects the initial lookup of each flow.
+func ParseDNSQuery(b []byte) (string, error) {
+	// Header: id(2) flags(2) qdcount(2) an(2) ns(2) ar(2) = 12 bytes.
+	if len(b) < 12 {
+		return "", ErrNotDNS
+	}
+	if b[2]&0x80 != 0 {
+		return "", ErrNotDNS // response, not query
+	}
+	qd := binary.BigEndian.Uint16(b[4:6])
+	if qd == 0 {
+		return "", ErrNotDNS
+	}
+	p := b[12:]
+	var labels []string
+	for {
+		if len(p) < 1 {
+			return "", ErrShortMessage
+		}
+		l := int(p[0])
+		if l == 0 {
+			break
+		}
+		if l >= 0xc0 {
+			return "", ErrNotDNS // compression pointers invalid in query names
+		}
+		if len(p) < 1+l {
+			return "", ErrShortMessage
+		}
+		labels = append(labels, string(p[1:1+l]))
+		p = p[1+l:]
+	}
+	if len(labels) == 0 {
+		return "", ErrNotDNS
+	}
+	return strings.Join(labels, "."), nil
+}
+
+// BuildDNSQuery synthesizes a DNS A-record query for the given name.
+func BuildDNSQuery(id uint16, name string) []byte {
+	b := make([]byte, 12, 12+len(name)+6)
+	binary.BigEndian.PutUint16(b[0:], id)
+	b[2] = 0x01 // RD
+	binary.BigEndian.PutUint16(b[4:], 1)
+	for _, label := range strings.Split(name, ".") {
+		if label == "" {
+			continue
+		}
+		if len(label) > 63 {
+			label = label[:63]
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	b = append(b, 0)    // root label
+	b = append(b, 0, 1) // QTYPE A
+	b = append(b, 0, 1) // QCLASS IN
+	return b
+}

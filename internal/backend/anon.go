@@ -1,0 +1,50 @@
+package backend
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+
+	"wlanscale/internal/dot11"
+)
+
+// Anonymizer produces stable pseudonyms for identifiers before analysis
+// export — the paper's dataset is "an anonymized subset of
+// measurements" and "data are presented only as an aggregate". The
+// pseudonyms are HMAC-SHA256 under a secret, so they are consistent
+// within a dataset but unlinkable without the key.
+type Anonymizer struct {
+	key []byte
+}
+
+// NewAnonymizer creates an anonymizer with the given secret.
+func NewAnonymizer(secret []byte) *Anonymizer {
+	k := make([]byte, len(secret))
+	copy(k, secret)
+	return &Anonymizer{key: k}
+}
+
+func (a *Anonymizer) tag(domain string, data []byte) string {
+	m := hmac.New(sha256.New, a.key)
+	m.Write([]byte(domain))
+	m.Write([]byte{0})
+	m.Write(data)
+	return hex.EncodeToString(m.Sum(nil)[:8])
+}
+
+// MAC returns the pseudonym for a MAC address. The OUI class (Meraki /
+// hotspot vendor / other) is preserved in the prefix because the
+// analyses need it, but the address itself is not recoverable.
+func (a *Anonymizer) MAC(m dot11.MAC) string {
+	return "mac:" + a.tag("mac", m[:])
+}
+
+// SSID returns the pseudonym for a network name.
+func (a *Anonymizer) SSID(ssid string) string {
+	return "ssid:" + a.tag("ssid", []byte(ssid))
+}
+
+// Serial returns the pseudonym for a device serial.
+func (a *Anonymizer) Serial(serial string) string {
+	return "dev:" + a.tag("serial", []byte(serial))
+}

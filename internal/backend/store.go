@@ -1,0 +1,472 @@
+// Package backend implements the Meraki backend's data layer (paper
+// Section 2): ingestion of device reports with (serial, seqno)
+// deduplication, aggregation of usage by client MAC across access
+// points (to account for roaming), per-device time series of radio
+// counters, neighbor tables, link-probe windows and scan samples, HMAC
+// anonymization of identifiers for analysis exports, and gob snapshot
+// persistence.
+package backend
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/telemetry"
+)
+
+// ClientAggregate is everything the backend knows about one client MAC,
+// merged across every AP that reported it (roaming aggregation,
+// Section 2.3).
+type ClientAggregate struct {
+	MAC  dot11.MAC
+	Band dot11.Band
+	// RSSIdB is the most recent signal report.
+	RSSIdB int32
+	Caps   dot11.Capabilities
+	// Apps maps application name to byte totals.
+	Apps map[string]*telemetry.AppUsageRecord
+	// UserAgents and DHCPFingerprints feed OS inference.
+	UserAgents       []string
+	DHCPFingerprints [][]byte
+	// APs counts how many distinct devices reported this client.
+	APs map[string]bool
+}
+
+// Total returns the client's total bytes.
+func (c *ClientAggregate) Total() uint64 {
+	var t uint64
+	for _, a := range c.Apps {
+		t += a.UpBytes + a.DownBytes
+	}
+	return t
+}
+
+// OS runs the Section 3.2 inference over the aggregate's artifacts.
+func (c *ClientAggregate) OS() apps.OS {
+	return apps.InferOS(c.MAC.OUI(), c.DHCPFingerprints, c.UserAgents)
+}
+
+// LinkKey identifies a directed AP-AP link.
+type LinkKey struct {
+	From string // reporting device serial
+	To   dot11.MAC
+	Band dot11.Band
+}
+
+// LinkSeries is the stored window series for one link.
+type LinkSeries struct {
+	Key     LinkKey
+	Sent    []uint32
+	Deliver []uint32
+}
+
+// MeanDelivery returns the series' average delivery ratio.
+func (l *LinkSeries) MeanDelivery() float64 {
+	var s, d float64
+	for i := range l.Sent {
+		s += float64(l.Sent[i])
+		d += float64(l.Deliver[i])
+	}
+	if s == 0 {
+		return 0
+	}
+	return d / s
+}
+
+// Ratios returns the per-window delivery ratios.
+func (l *LinkSeries) Ratios() []float64 {
+	out := make([]float64, len(l.Sent))
+	for i := range l.Sent {
+		if l.Sent[i] > 0 {
+			out[i] = float64(l.Deliver[i]) / float64(l.Sent[i])
+		}
+	}
+	return out
+}
+
+// RadioSample is one stored counter snapshot.
+type RadioSample struct {
+	Timestamp uint64
+	Band      dot11.Band
+	Channel   int
+	Busy      float64
+	Decodable float64
+	Tx        float64
+}
+
+// ScanPoint is one stored scanning-radio observation.
+type ScanPoint struct {
+	Timestamp uint64
+	Band      dot11.Band
+	Channel   int
+	Busy      float64
+	Decodable float64
+}
+
+// NeighborEntry is a deduplicated overheard BSS for one device.
+type NeighborEntry struct {
+	BSSID   dot11.BSSID
+	SSID    string
+	Band    dot11.Band
+	Channel int
+	RSSIdB  int32
+	Vendor  string
+}
+
+// Store is the backend datastore. It is safe for concurrent use.
+type Store struct {
+	mu sync.Mutex
+
+	seen    map[string]uint64 // highest seq per serial
+	dupes   int
+	ingests int
+
+	clients   map[dot11.MAC]*ClientAggregate
+	links     map[LinkKey]*LinkSeries
+	radio     map[string][]RadioSample
+	scans     map[string][]ScanPoint
+	neighbors map[string]map[dot11.BSSID]NeighborEntry
+	crashes   map[string][]telemetry.CrashRecord
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{
+		seen:      make(map[string]uint64),
+		clients:   make(map[dot11.MAC]*ClientAggregate),
+		links:     make(map[LinkKey]*LinkSeries),
+		radio:     make(map[string][]RadioSample),
+		scans:     make(map[string][]ScanPoint),
+		neighbors: make(map[string]map[dot11.BSSID]NeighborEntry),
+		crashes:   make(map[string][]telemetry.CrashRecord),
+	}
+}
+
+// Ingest merges one report. Re-delivered reports (same serial, seqno not
+// above the high-water mark) are dropped, making harvest idempotent.
+func (s *Store) Ingest(r *telemetry.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.SeqNo != 0 {
+		if hw, ok := s.seen[r.Serial]; ok && r.SeqNo <= hw {
+			s.dupes++
+			return
+		}
+		s.seen[r.Serial] = r.SeqNo
+	}
+	s.ingests++
+
+	for _, rs := range r.Radios {
+		cyc := float64(rs.CycleUS)
+		if cyc == 0 {
+			continue
+		}
+		s.radio[r.Serial] = append(s.radio[r.Serial], RadioSample{
+			Timestamp: r.Timestamp,
+			Band:      rs.Band,
+			Channel:   rs.Channel,
+			Busy:      float64(rs.RxClearUS) / cyc,
+			Decodable: float64(rs.Rx11US) / cyc,
+			Tx:        float64(rs.TxUS) / cyc,
+		})
+	}
+	for _, c := range r.Clients {
+		agg, ok := s.clients[c.MAC]
+		if !ok {
+			agg = &ClientAggregate{
+				MAC:  c.MAC,
+				Apps: make(map[string]*telemetry.AppUsageRecord),
+				APs:  make(map[string]bool),
+			}
+			s.clients[c.MAC] = agg
+		}
+		agg.Band = c.Band
+		agg.RSSIdB = c.RSSIdB
+		agg.Caps = c.Caps
+		agg.APs[r.Serial] = true
+		for _, ua := range c.UserAgents {
+			agg.addUA(ua)
+		}
+		for _, fp := range c.DHCPFingerprints {
+			agg.addFP(fp)
+		}
+		for _, a := range c.Apps {
+			cur, ok := agg.Apps[a.App]
+			if !ok {
+				cur = &telemetry.AppUsageRecord{App: a.App}
+				agg.Apps[a.App] = cur
+			}
+			cur.UpBytes += a.UpBytes
+			cur.DownBytes += a.DownBytes
+			cur.Flows += a.Flows
+		}
+	}
+	for _, l := range r.LinkWindows {
+		k := LinkKey{From: r.Serial, To: l.Peer, Band: l.Band}
+		series, ok := s.links[k]
+		if !ok {
+			series = &LinkSeries{Key: k}
+			s.links[k] = series
+		}
+		series.Sent = append(series.Sent, l.Sent)
+		series.Deliver = append(series.Deliver, l.Delivered)
+	}
+	for _, sc := range r.ScanSamples {
+		s.scans[r.Serial] = append(s.scans[r.Serial], ScanPoint{
+			Timestamp: r.Timestamp,
+			Band:      sc.Band,
+			Channel:   sc.Channel,
+			Busy:      float64(sc.BusyPermille) / 1000,
+			Decodable: float64(sc.DecodablePermille) / 1000,
+		})
+	}
+	if len(r.Crashes) > 0 {
+		s.crashes[r.Serial] = append(s.crashes[r.Serial], r.Crashes...)
+	}
+	for _, n := range r.Neighbors {
+		m, ok := s.neighbors[r.Serial]
+		if !ok {
+			m = make(map[dot11.BSSID]NeighborEntry)
+			s.neighbors[r.Serial] = m
+		}
+		m[n.BSSID] = NeighborEntry{
+			BSSID: n.BSSID, SSID: n.SSID, Band: n.Band,
+			Channel: n.Channel, RSSIdB: n.RSSIdB, Vendor: n.Vendor,
+		}
+	}
+}
+
+func (c *ClientAggregate) addUA(ua string) {
+	for _, e := range c.UserAgents {
+		if e == ua {
+			return
+		}
+	}
+	c.UserAgents = append(c.UserAgents, ua)
+}
+
+func (c *ClientAggregate) addFP(fp []byte) {
+	for _, e := range c.DHCPFingerprints {
+		if string(e) == string(fp) {
+			return
+		}
+	}
+	cp := make([]byte, len(fp))
+	copy(cp, fp)
+	c.DHCPFingerprints = append(c.DHCPFingerprints, cp)
+}
+
+// Stats summarizes ingestion.
+func (s *Store) Stats() (ingests, dupes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingests, s.dupes
+}
+
+// NumClients returns the number of distinct client MACs.
+func (s *Store) NumClients() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// Clients returns the aggregates sorted by MAC.
+func (s *Store) Clients() []*ClientAggregate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*ClientAggregate, 0, len(s.clients))
+	for _, c := range s.clients {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MAC.Uint64() < out[j].MAC.Uint64() })
+	return out
+}
+
+// Links returns every stored link series, sorted for determinism.
+func (s *Store) Links() []*LinkSeries {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*LinkSeries, 0, len(s.links))
+	for _, l := range s.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Band != b.Band {
+			return a.Band < b.Band
+		}
+		return a.To.Uint64() < b.To.Uint64()
+	})
+	return out
+}
+
+// RadioSeries returns a device's stored counter samples.
+func (s *Store) RadioSeries(serial string) []RadioSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.radio[serial]
+}
+
+// RadioSerials returns the serials with radio samples, sorted.
+func (s *Store) RadioSerials() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.radio))
+	for k := range s.radio {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ScanSeries returns a device's stored scan points.
+func (s *Store) ScanSeries(serial string) []ScanPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scans[serial]
+}
+
+// ScanSerials returns the serials with scan data, sorted.
+func (s *Store) ScanSerials() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.scans))
+	for k := range s.scans {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Neighbors returns a device's deduplicated neighbor table, sorted by
+// BSSID.
+func (s *Store) Neighbors(serial string) []NeighborEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.neighbors[serial]
+	out := make([]NeighborEntry, 0, len(m))
+	for _, n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].BSSID.Uint64() < out[j].BSSID.Uint64() })
+	return out
+}
+
+// NeighborSerials returns the serials with neighbor tables, sorted.
+func (s *Store) NeighborSerials() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.neighbors))
+	for k := range s.neighbors {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Crashes returns a device's stored crash records.
+func (s *Store) Crashes(serial string) []telemetry.CrashRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashes[serial]
+}
+
+// CrashSerials returns the serials with crash reports, sorted.
+func (s *Store) CrashSerials() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.crashes))
+	for k := range s.crashes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NeighborCount returns the size of a device's deduplicated neighbor
+// table (both bands).
+func (s *Store) NeighborCount(serial string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.neighbors[serial])
+}
+
+// snapshot is the gob-persisted form of the store.
+type snapshot struct {
+	Seen      map[string]uint64
+	Clients   map[dot11.MAC]*ClientAggregate
+	Links     map[LinkKey]*LinkSeries
+	Radio     map[string][]RadioSample
+	Scans     map[string][]ScanPoint
+	Neighbors map[string]map[dot11.BSSID]NeighborEntry
+	Crashes   map[string][]telemetry.CrashRecord
+}
+
+// Save writes a gob snapshot.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return gob.NewEncoder(w).Encode(snapshot{
+		Seen: s.seen, Clients: s.clients, Links: s.links,
+		Radio: s.radio, Scans: s.scans, Neighbors: s.neighbors,
+		Crashes: s.crashes,
+	})
+}
+
+// Load replaces the store contents from a gob snapshot.
+func (s *Store) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("backend: load: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen = snap.Seen
+	s.clients = snap.Clients
+	s.links = snap.Links
+	s.radio = snap.Radio
+	s.scans = snap.Scans
+	s.neighbors = snap.Neighbors
+	s.crashes = snap.Crashes
+	if s.crashes == nil {
+		s.crashes = make(map[string][]telemetry.CrashRecord)
+	}
+	for _, c := range s.clients {
+		if c.Apps == nil {
+			c.Apps = make(map[string]*telemetry.AppUsageRecord)
+		}
+		if c.APs == nil {
+			c.APs = make(map[string]bool)
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the snapshot to a file path.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Save(f)
+}
+
+// LoadFile reads a snapshot from a file path.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f)
+}

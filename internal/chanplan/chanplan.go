@@ -1,0 +1,199 @@
+// Package chanplan implements the paper's second practical implication:
+// "channel planning using a utilization measure to identify the best
+// wireless channel". It provides two selection policies — the naive
+// count-based policy (fewest detected APs) and the utilization-based
+// policy the paper's Figures 7/8 argue for — plus a fleet-level planner
+// that assigns channels to the APs of one network while avoiding
+// co-channel overlap between peers.
+package chanplan
+
+import (
+	"fmt"
+	"sort"
+
+	"wlanscale/internal/airtime"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/telemetry"
+)
+
+// Policy selects a serving channel from survey data.
+type Policy uint8
+
+const (
+	// ByCount picks the channel with the fewest detected networks —
+	// the policy the paper shows to be insufficient.
+	ByCount Policy = iota
+	// ByUtilization picks the channel with the lowest measured busy
+	// fraction.
+	ByUtilization
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == ByUtilization {
+		return "by-utilization"
+	}
+	return "by-count"
+}
+
+// Survey is the per-channel evidence a planner works from: the detected
+// network count (from the scanner's beacon decodes) and the measured
+// busy fraction (from the scanning radio's counters).
+type Survey struct {
+	Channel dot11.Channel
+	// Networks is the number of distinct networks detected.
+	Networks int
+	// Busy is the measured mean utilization in [0,1].
+	Busy float64
+}
+
+// BuildSurveys combines a neighbor scan with utilization sweeps into
+// per-channel surveys for one band. Candidates are restricted to the
+// non-DFS channels a default plan uses (all three 2.4 GHz
+// non-overlapping channels; UNII-1/3 at 5 GHz).
+func BuildSurveys(band dot11.Band, neighbors []telemetry.NeighborRecord, hood *airtime.Neighborhood, todHours float64, windows int) []Survey {
+	if windows < 1 {
+		windows = 1
+	}
+	counts := make(map[int]int)
+	for _, rec := range neighbors {
+		if rec.Band == band {
+			counts[rec.Channel]++
+		}
+	}
+	var out []Survey
+	for _, ch := range CandidateChannels(band) {
+		var busy float64
+		for w := 0; w < windows; w++ {
+			busy += hood.ObserveED(ch, todHours).Busy
+		}
+		out = append(out, Survey{
+			Channel:  ch,
+			Networks: counts[ch.Number],
+			Busy:     busy / float64(windows),
+		})
+	}
+	return out
+}
+
+// CandidateChannels returns the channels a default (non-DFS) plan
+// considers for the band.
+func CandidateChannels(band dot11.Band) []dot11.Channel {
+	var nums []int
+	if band == dot11.Band24 {
+		nums = dot11.NonOverlapping24
+	} else {
+		nums = []int{36, 40, 44, 48, 149, 153, 157, 161}
+	}
+	out := make([]dot11.Channel, 0, len(nums))
+	for _, n := range nums {
+		if ch, ok := dot11.ChannelByNumber(band, n); ok {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// Pick selects a channel from the surveys under the policy. Ties break
+// toward the lower channel number for determinism. It returns false for
+// an empty survey set.
+func Pick(surveys []Survey, policy Policy) (Survey, bool) {
+	if len(surveys) == 0 {
+		return Survey{}, false
+	}
+	best := surveys[0]
+	for _, s := range surveys[1:] {
+		switch policy {
+		case ByUtilization:
+			if s.Busy < best.Busy || (s.Busy == best.Busy && s.Channel.Number < best.Channel.Number) {
+				best = s
+			}
+		default:
+			if s.Networks < best.Networks || (s.Networks == best.Networks && s.Channel.Number < best.Channel.Number) {
+				best = s
+			}
+		}
+	}
+	return best, true
+}
+
+// Assignment is one AP's planned channel.
+type Assignment struct {
+	Serial  string
+	Channel dot11.Channel
+	// Expected is the survey's busy fraction on the chosen channel.
+	Expected float64
+}
+
+// PlanNetwork assigns channels to a network's APs from their individual
+// surveys, one AP at a time in serial order: each AP picks the best
+// channel under the policy with a penalty for channels already taken by
+// peers (so a three-AP office lands on 1/6/11 rather than piling onto
+// the globally quietest channel). The peer penalty approximates the
+// co-channel cost of sharing a site.
+func PlanNetwork(surveysByAP map[string][]Survey, policy Policy) []Assignment {
+	serials := make([]string, 0, len(surveysByAP))
+	for s := range surveysByAP {
+		serials = append(serials, s)
+	}
+	sort.Strings(serials)
+
+	taken := make(map[int]int) // channel -> peers already assigned
+	const peerPenaltyBusy = 0.25
+	const peerPenaltyCount = 10
+
+	var out []Assignment
+	for _, serial := range serials {
+		surveys := surveysByAP[serial]
+		adjusted := make([]Survey, len(surveys))
+		for i, s := range surveys {
+			adj := s
+			adj.Busy += float64(taken[s.Channel.Number]) * peerPenaltyBusy
+			adj.Networks += taken[s.Channel.Number] * peerPenaltyCount
+			adjusted[i] = adj
+		}
+		best, ok := Pick(adjusted, policy)
+		if !ok {
+			continue
+		}
+		taken[best.Channel.Number]++
+		// Report the unpenalized expectation.
+		for _, s := range surveys {
+			if s.Channel.Number == best.Channel.Number {
+				best = s
+				break
+			}
+		}
+		out = append(out, Assignment{Serial: serial, Channel: best.Channel, Expected: best.Busy})
+	}
+	return out
+}
+
+// Evaluate measures the realized mean busy fraction of a set of
+// assignments against live neighborhoods — the planner's report card.
+func Evaluate(assignments []Assignment, hoods map[string]*airtime.Neighborhood, todHours float64, windows int) float64 {
+	if windows < 1 {
+		windows = 1
+	}
+	var total float64
+	var n int
+	for _, a := range assignments {
+		hood, ok := hoods[a.Serial]
+		if !ok {
+			continue
+		}
+		for w := 0; w < windows; w++ {
+			total += hood.ObserveED(a.Channel, todHours).Busy
+		}
+		n += windows
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// String renders an assignment.
+func (a Assignment) String() string {
+	return fmt.Sprintf("%s -> ch %d (%s, expect %.1f%% busy)", a.Serial, a.Channel.Number, a.Channel.Band, a.Expected*100)
+}

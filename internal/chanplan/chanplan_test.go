@@ -1,0 +1,205 @@
+package chanplan
+
+import (
+	"strings"
+	"testing"
+
+	"wlanscale/internal/airtime"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/rng"
+	"wlanscale/internal/telemetry"
+)
+
+func ch(t *testing.T, band dot11.Band, n int) dot11.Channel {
+	t.Helper()
+	c, ok := dot11.ChannelByNumber(band, n)
+	if !ok {
+		t.Fatalf("channel %d missing", n)
+	}
+	return c
+}
+
+// crowdedButIdleHood builds the paper's counterexample: channel 11
+// crowded with idle networks, channel 1 sparse but saturated.
+func crowdedButIdleHood(t *testing.T) *airtime.Neighborhood {
+	t.Helper()
+	root := rng.New(1)
+	hood := airtime.NewNeighborhood()
+	ch1 := ch(t, dot11.Band24, 1)
+	ch11 := ch(t, dot11.Band24, 11)
+	for i := 0; i < 20; i++ {
+		hood.Add(airtime.NewBeaconSource(ch11, -58, 1, 0))
+	}
+	for i := 0; i < 3; i++ {
+		hood.Add(airtime.NewBeaconSource(ch1, -58, 1, 0))
+		hood.Add(airtime.NewClientTrafficSource(ch1, -55, 0.3, 0, root.SplitN("h", i)))
+	}
+	return hood
+}
+
+func neighborsFor(t *testing.T, chNum, count int) []telemetry.NeighborRecord {
+	t.Helper()
+	out := make([]telemetry.NeighborRecord, count)
+	for i := range out {
+		out[i] = telemetry.NeighborRecord{Band: dot11.Band24, Channel: chNum}
+	}
+	return out
+}
+
+func TestCandidateChannels(t *testing.T) {
+	c24 := CandidateChannels(dot11.Band24)
+	if len(c24) != 3 {
+		t.Fatalf("2.4 GHz candidates = %d, want 3", len(c24))
+	}
+	c5 := CandidateChannels(dot11.Band5)
+	if len(c5) != 8 {
+		t.Fatalf("5 GHz candidates = %d, want 8 (UNII-1/3)", len(c5))
+	}
+	for _, c := range c5 {
+		if c.DFS {
+			t.Errorf("DFS channel %d in default candidates", c.Number)
+		}
+	}
+}
+
+func TestBuildSurveysAndPolicyDivergence(t *testing.T) {
+	hood := crowdedButIdleHood(t)
+	neighbors := append(neighborsFor(t, 11, 20), neighborsFor(t, 1, 3)...)
+	surveys := BuildSurveys(dot11.Band24, neighbors, hood, 13, 10)
+	if len(surveys) != 3 {
+		t.Fatalf("surveys = %d", len(surveys))
+	}
+
+	byCount, ok := Pick(surveys, ByCount)
+	if !ok {
+		t.Fatal("Pick failed")
+	}
+	byUtil, ok := Pick(surveys, ByUtilization)
+	if !ok {
+		t.Fatal("Pick failed")
+	}
+	// Count-based policy falls for sparse-but-saturated channel 1... or
+	// channel 6 (empty). With ch6 empty both its count and util are 0,
+	// so both policies would pick 6; force the interesting case by
+	// removing ch6 from the surveys.
+	var no6 []Survey
+	for _, s := range surveys {
+		if s.Channel.Number != 6 {
+			no6 = append(no6, s)
+		}
+	}
+	byCount, _ = Pick(no6, ByCount)
+	byUtil, _ = Pick(no6, ByUtilization)
+	if byCount.Channel.Number != 1 {
+		t.Errorf("count policy picked ch %d, want the sparse saturated ch 1", byCount.Channel.Number)
+	}
+	if byUtil.Channel.Number != 11 {
+		t.Errorf("utilization policy picked ch %d, want the crowded idle ch 11", byUtil.Channel.Number)
+	}
+	if byUtil.Busy >= byCount.Busy {
+		t.Errorf("utilization policy did not find a quieter channel: %.2f vs %.2f", byUtil.Busy, byCount.Busy)
+	}
+}
+
+func TestPickEmpty(t *testing.T) {
+	if _, ok := Pick(nil, ByCount); ok {
+		t.Error("Pick(nil) succeeded")
+	}
+}
+
+func TestPickTieBreaksLowChannel(t *testing.T) {
+	s := []Survey{
+		{Channel: ch(t, dot11.Band24, 11), Networks: 2, Busy: 0.1},
+		{Channel: ch(t, dot11.Band24, 1), Networks: 2, Busy: 0.1},
+	}
+	got, _ := Pick(s, ByCount)
+	if got.Channel.Number != 1 {
+		t.Errorf("tie broke to ch %d, want 1", got.Channel.Number)
+	}
+	got, _ = Pick(s, ByUtilization)
+	if got.Channel.Number != 1 {
+		t.Errorf("util tie broke to ch %d", got.Channel.Number)
+	}
+}
+
+func TestPlanNetworkSpreadsPeers(t *testing.T) {
+	// Three APs with identical flat surveys must spread across 1/6/11
+	// rather than stack on one channel.
+	flat := func() []Survey {
+		var out []Survey
+		for _, c := range CandidateChannels(dot11.Band24) {
+			out = append(out, Survey{Channel: c, Networks: 5, Busy: 0.1})
+		}
+		return out
+	}
+	surveys := map[string][]Survey{
+		"AP-A": flat(), "AP-B": flat(), "AP-C": flat(),
+	}
+	plan := PlanNetwork(surveys, ByUtilization)
+	if len(plan) != 3 {
+		t.Fatalf("assignments = %d", len(plan))
+	}
+	used := map[int]bool{}
+	for _, a := range plan {
+		if used[a.Channel.Number] {
+			t.Errorf("channel %d assigned twice", a.Channel.Number)
+		}
+		used[a.Channel.Number] = true
+	}
+	if !strings.Contains(plan[0].String(), "ch ") {
+		t.Error("assignment String malformed")
+	}
+}
+
+func TestPlanNetworkDeterministic(t *testing.T) {
+	mk := func() map[string][]Survey {
+		return map[string][]Survey{
+			"AP-2": {{Channel: ch(t, dot11.Band24, 1), Busy: 0.3}, {Channel: ch(t, dot11.Band24, 6), Busy: 0.1}},
+			"AP-1": {{Channel: ch(t, dot11.Band24, 1), Busy: 0.05}, {Channel: ch(t, dot11.Band24, 6), Busy: 0.2}},
+		}
+	}
+	a := PlanNetwork(mk(), ByUtilization)
+	b := PlanNetwork(mk(), ByUtilization)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("plan not deterministic")
+		}
+	}
+	// Serial order: AP-1 plans first and takes its best channel (1).
+	if a[0].Serial != "AP-1" || a[0].Channel.Number != 1 {
+		t.Errorf("first assignment = %+v", a[0])
+	}
+}
+
+func TestEvaluatePolicies(t *testing.T) {
+	// Fleet-level: utilization-planned assignments should realize no
+	// more busy time than count-planned ones on the adversarial hood.
+	hood := crowdedButIdleHood(t)
+	neighbors := append(neighborsFor(t, 11, 20), neighborsFor(t, 1, 3)...)
+	surveys := BuildSurveys(dot11.Band24, neighbors, hood, 13, 10)
+	var no6 []Survey
+	for _, s := range surveys {
+		if s.Channel.Number != 6 {
+			no6 = append(no6, s)
+		}
+	}
+	perAP := map[string][]Survey{"AP-X": no6}
+	hoods := map[string]*airtime.Neighborhood{"AP-X": hood}
+
+	planCount := PlanNetwork(perAP, ByCount)
+	planUtil := PlanNetwork(perAP, ByUtilization)
+	busyCount := Evaluate(planCount, hoods, 13, 20)
+	busyUtil := Evaluate(planUtil, hoods, 13, 20)
+	if busyUtil > busyCount {
+		t.Errorf("utilization plan busier: %.3f vs %.3f", busyUtil, busyCount)
+	}
+	if Evaluate(nil, hoods, 13, 5) != 0 {
+		t.Error("empty plan should evaluate to 0")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if ByCount.String() != "by-count" || ByUtilization.String() != "by-utilization" {
+		t.Error("policy names wrong")
+	}
+}

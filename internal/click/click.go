@@ -1,0 +1,162 @@
+// Package click is a minimal Click-modular-router-style element pipeline
+// (Kohler et al.), mirroring how the Meraki access points structure their
+// data path (paper Section 2.1): a fast path that only counts and
+// forwards, and a slow path that runs protocol inspection on the small
+// set of interesting packets (DNS, TCP SYN/FIN, HTTP headers, SSL
+// handshakes). Elements are composed into a graph with push semantics.
+package click
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/dot11"
+)
+
+// Packet is the unit the pipeline pushes. In the simulation a Packet can
+// represent either a single slow-path packet carrying metadata, or a
+// fast-path aggregate of Length bytes belonging to one flow.
+type Packet struct {
+	// Client is the client MAC the packet belongs to.
+	Client dot11.MAC
+	// FlowID identifies the flow within the client.
+	FlowID uint64
+	// Upstream is true for client-to-network packets.
+	Upstream bool
+	// Length is the payload byte count this packet accounts for.
+	Length int
+	// Meta carries the slow-path artifacts (non-nil only for packets
+	// the filter diverts to the slow path).
+	Meta *apps.FlowMeta
+}
+
+// Element is a pipeline stage.
+type Element interface {
+	// Name identifies the element in pipeline dumps.
+	Name() string
+	// Push processes one packet and forwards it as the element sees
+	// fit.
+	Push(p *Packet)
+}
+
+// Chain connects elements in sequence: each element's Push is invoked in
+// order with the same packet.
+type Chain struct {
+	name     string
+	elements []Element
+}
+
+// NewChain builds a named chain of elements.
+func NewChain(name string, elements ...Element) *Chain {
+	return &Chain{name: name, elements: elements}
+}
+
+// Name implements Element.
+func (c *Chain) Name() string { return c.name }
+
+// Push implements Element.
+func (c *Chain) Push(p *Packet) {
+	for _, e := range c.elements {
+		e.Push(p)
+	}
+}
+
+// String renders the chain topology.
+func (c *Chain) String() string {
+	names := make([]string, len(c.elements))
+	for i, e := range c.elements {
+		names[i] = e.Name()
+	}
+	return fmt.Sprintf("%s -> [%s]", c.name, strings.Join(names, " -> "))
+}
+
+// Counter counts packets and bytes passing through; safe for concurrent
+// push.
+type Counter struct {
+	name    string
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// NewCounter creates a named counter element.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Name implements Element.
+func (c *Counter) Name() string { return c.name }
+
+// Push implements Element.
+func (c *Counter) Push(p *Packet) {
+	c.packets.Add(1)
+	c.bytes.Add(uint64(p.Length))
+}
+
+// Packets returns the packet count.
+func (c *Counter) Packets() uint64 { return c.packets.Load() }
+
+// Bytes returns the byte count.
+func (c *Counter) Bytes() uint64 { return c.bytes.Load() }
+
+// PathSwitch diverts slow-path packets (those carrying Meta) to the slow
+// element and everything else to the fast element — the fast/slow split
+// of Section 2.1.
+type PathSwitch struct {
+	Fast Element
+	Slow Element
+}
+
+// Name implements Element.
+func (s *PathSwitch) Name() string { return "path-switch" }
+
+// Push implements Element.
+func (s *PathSwitch) Push(p *Packet) {
+	if p.Meta != nil {
+		if s.Slow != nil {
+			s.Slow.Push(p)
+		}
+		return
+	}
+	if s.Fast != nil {
+		s.Fast.Push(p)
+	}
+}
+
+// Func adapts a function to the Element interface.
+type Func struct {
+	Label string
+	Fn    func(*Packet)
+}
+
+// Name implements Element.
+func (f Func) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return "func"
+}
+
+// Push implements Element.
+func (f Func) Push(p *Packet) { f.Fn(p) }
+
+// Filter forwards a packet to Next only when Keep returns true.
+type Filter struct {
+	Label string
+	Keep  func(*Packet) bool
+	Next  Element
+}
+
+// Name implements Element.
+func (f *Filter) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return "filter"
+}
+
+// Push implements Element.
+func (f *Filter) Push(p *Packet) {
+	if f.Keep(p) && f.Next != nil {
+		f.Next.Push(p)
+	}
+}

@@ -1,0 +1,117 @@
+package click
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/dot11"
+)
+
+func TestCounterCounts(t *testing.T) {
+	c := NewCounter("test")
+	c.Push(&Packet{Length: 100})
+	c.Push(&Packet{Length: 50})
+	if c.Packets() != 2 || c.Bytes() != 150 {
+		t.Errorf("counter = %d pkts %d bytes", c.Packets(), c.Bytes())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter("conc")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Push(&Packet{Length: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Packets() != 8000 || c.Bytes() != 8000 {
+		t.Errorf("concurrent counter = %d/%d", c.Packets(), c.Bytes())
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Element {
+		return Func{Label: name, Fn: func(*Packet) { order = append(order, name) }}
+	}
+	ch := NewChain("main", mk("a"), mk("b"), mk("c"))
+	ch.Push(&Packet{})
+	if strings.Join(order, "") != "abc" {
+		t.Errorf("order = %v", order)
+	}
+	if !strings.Contains(ch.String(), "a -> b -> c") {
+		t.Errorf("String = %q", ch.String())
+	}
+	if ch.Name() != "main" {
+		t.Errorf("Name = %q", ch.Name())
+	}
+}
+
+func TestPathSwitch(t *testing.T) {
+	fast := NewCounter("fast")
+	slow := NewCounter("slow")
+	s := &PathSwitch{Fast: fast, Slow: slow}
+	s.Push(&Packet{Length: 10})
+	s.Push(&Packet{Length: 20, Meta: &apps.FlowMeta{}})
+	if fast.Packets() != 1 || slow.Packets() != 1 {
+		t.Errorf("switch routed fast=%d slow=%d", fast.Packets(), slow.Packets())
+	}
+	if s.Name() != "path-switch" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestPathSwitchNilBranches(t *testing.T) {
+	s := &PathSwitch{}
+	// Must not panic with nil branches.
+	s.Push(&Packet{})
+	s.Push(&Packet{Meta: &apps.FlowMeta{}})
+}
+
+func TestFilter(t *testing.T) {
+	kept := NewCounter("kept")
+	f := &Filter{
+		Label: "big-only",
+		Keep:  func(p *Packet) bool { return p.Length > 100 },
+		Next:  kept,
+	}
+	f.Push(&Packet{Length: 50})
+	f.Push(&Packet{Length: 500})
+	if kept.Packets() != 1 {
+		t.Errorf("filter kept %d", kept.Packets())
+	}
+	if f.Name() != "big-only" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	anon := &Filter{Keep: func(*Packet) bool { return true }}
+	if anon.Name() != "filter" {
+		t.Errorf("anon Name = %q", anon.Name())
+	}
+	anon.Push(&Packet{}) // nil Next must not panic
+}
+
+func TestFuncName(t *testing.T) {
+	f := Func{Fn: func(*Packet) {}}
+	if f.Name() != "func" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}
+
+func TestPacketFields(t *testing.T) {
+	p := &Packet{
+		Client:   dot11.MAC{1, 2, 3, 4, 5, 6},
+		FlowID:   42,
+		Upstream: true,
+		Length:   1500,
+	}
+	if p.Client.String() != "01:02:03:04:05:06" || p.FlowID != 42 {
+		t.Errorf("packet = %+v", p)
+	}
+}

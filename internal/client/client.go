@@ -1,0 +1,266 @@
+// Package client models the WiFi client devices of the study: their
+// operating systems (Table 3), the 802.11 capabilities they advertise
+// (Table 4) and how those shift between the two measurement years, the
+// identification artifacts they emit (MAC OUI, DHCP fingerprints, HTTP
+// User-Agents), their band-selection behaviour at association time
+// (Figure 1), and their weekly application usage profile (Tables 3/5/6).
+package client
+
+import (
+	"wlanscale/internal/apps"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/rng"
+)
+
+// Device is one client device.
+type Device struct {
+	// MAC is the device's MAC address; the OUI matches the OS vendor
+	// ecosystem so the backend's OUI heuristic has something to read.
+	MAC dot11.MAC
+	// OS is the device's true operating system. The measurement
+	// pipeline must *infer* this from artifacts; tables are built from
+	// the inference, not from this field.
+	OS apps.OS
+	// Caps are the 802.11 capabilities the device advertises.
+	Caps dot11.Capabilities
+	// UsageScale multiplies the device's traffic draws (desktops pull
+	// several times more than phones).
+	UsageScale float64
+	// Ambiguous marks devices that present conflicting identification
+	// artifacts (dual-boot, VMs, embedded boxes) and should classify as
+	// Unknown.
+	Ambiguous bool
+	// TxPowerDBm is the client's transmit power (clients run well below
+	// AP power, which is why uplink RSSI at the AP is modest).
+	TxPowerDBm float64
+}
+
+// osMixEntry weights the OS populations per epoch, derived from
+// Table 3's client counts ("true" OS before inference; the Unknown rows
+// of Table 3 emerge from ambiguous devices, embedded Linux, etc.).
+type osMixEntry struct {
+	os               apps.OS
+	w2014            float64
+	w2015            float64
+	scale14, scale15 float64 // MB/client relative to the fleet mean
+}
+
+// The per-OS usage scales are Table 3's MB/client columns divided by the
+// fleet mean (311 MB in 2014, 367 MB in 2015).
+var osMix = []osMixEntry{
+	{apps.OSWindows, 642782, 822761, 671.0 / 311, 751.0 / 367},
+	{apps.OSiOS, 1903268, 2550379, 156.0 / 311, 224.0 / 367},
+	{apps.OSMacOSX, 253206, 313976, 1271.0 / 311, 1487.0 / 367},
+	{apps.OSAndroid, 953950, 1535859, 72.0 / 311, 121.0 / 367},
+	{apps.OSUnknown, 250474, 228182, 358.0 / 311, 357.0 / 367},
+	{apps.OSChromeOS, 55309, 178095, 316.0 / 311, 366.0 / 367},
+	{apps.OSOther, 20849, 13969, 728.0 / 311, 1951.0 / 367},
+	{apps.OSPlayStation, 4905, 4267, 3005.0 / 311, 5319.0 / 367},
+	{apps.OSLinux, 1661, 4402, 518.0 / 311, 1393.0 / 367},
+	{apps.OSBlackBerry, 29108, 13681, 13.6 / 311, 11.0 / 367},
+	{apps.OSWindowsMobile, 8523, 4943, 23.0 / 311, 26.0 / 367},
+}
+
+// OSMix returns the OS population weights for the epoch, in a stable
+// order aligned with OSMixOSes.
+func OSMix(e epoch.Epoch) []float64 {
+	out := make([]float64, len(osMix))
+	for i, m := range osMix {
+		if e == epoch.Jan2014 {
+			out[i] = m.w2014
+		} else {
+			out[i] = m.w2015
+		}
+	}
+	return out
+}
+
+// OSMixOSes returns the OS for each index of OSMix.
+func OSMixOSes() []apps.OS {
+	out := make([]apps.OS, len(osMix))
+	for i, m := range osMix {
+		out[i] = m.os
+	}
+	return out
+}
+
+// usageScale returns the device's MB/client scale for the epoch.
+func usageScale(os apps.OS, e epoch.Epoch) float64 {
+	for _, m := range osMix {
+		if m.os == os {
+			if e == epoch.Jan2014 {
+				return m.scale14
+			}
+			return m.scale15
+		}
+	}
+	return 1
+}
+
+// capParams are per-OS capability probabilities for one epoch.
+type capParams struct {
+	ac      float64 // P(802.11ac)
+	fiveGHz float64 // P(5 GHz capable), including the ac devices
+	n       float64 // P(802.11n)
+	s2      float64 // P(exactly 2 streams)
+	s3      float64 // P(exactly 3 streams)
+	s4      float64 // P(exactly 4 streams)
+	w40If5  float64 // P(40 MHz | 5 GHz capable)
+	w40If24 float64 // P(40 MHz | 2.4 GHz only)
+}
+
+// Capability parameters per OS for January 2015, chosen so the
+// population aggregates land on Table 4's right column given the
+// Table 3 OS mix.
+var caps2015 = map[apps.OS]capParams{
+	apps.OSWindows:       {ac: 0.16, fiveGHz: 0.62, n: 0.985, s2: 0.45, s3: 0.05, s4: 0.06, w40If5: 0.95, w40If24: 0.03},
+	apps.OSiOS:           {ac: 0.20, fiveGHz: 0.76, n: 0.995, s2: 0.08, s3: 0, s4: 0, w40If5: 0.95, w40If24: 0.01},
+	apps.OSMacOSX:        {ac: 0.45, fiveGHz: 0.97, n: 1.0, s2: 0.40, s3: 0.45, s4: 0.09, w40If5: 0.98, w40If24: 0.05},
+	apps.OSAndroid:       {ac: 0.13, fiveGHz: 0.46, n: 0.97, s2: 0.15, s3: 0.01, s4: 0.01, w40If5: 0.94, w40If24: 0.02},
+	apps.OSUnknown:       {ac: 0.05, fiveGHz: 0.35, n: 0.90, s2: 0.10, s3: 0.01, s4: 0.03, w40If5: 0.90, w40If24: 0.02},
+	apps.OSChromeOS:      {ac: 0.12, fiveGHz: 0.55, n: 0.99, s2: 0.30, s3: 0.01, s4: 0.01, w40If5: 0.95, w40If24: 0.02},
+	apps.OSOther:         {ac: 0.10, fiveGHz: 0.50, n: 0.95, s2: 0.20, s3: 0.05, s4: 0.05, w40If5: 0.90, w40If24: 0.02},
+	apps.OSPlayStation:   {ac: 0, fiveGHz: 0.40, n: 0.80, s2: 0.05, s3: 0, s4: 0, w40If5: 0.60, w40If24: 0},
+	apps.OSLinux:         {ac: 0.10, fiveGHz: 0.55, n: 0.95, s2: 0.35, s3: 0.08, s4: 0.10, w40If5: 0.90, w40If24: 0.05},
+	apps.OSBlackBerry:    {ac: 0, fiveGHz: 0.40, n: 0.95, s2: 0, s3: 0, s4: 0, w40If5: 0.80, w40If24: 0},
+	apps.OSWindowsMobile: {ac: 0, fiveGHz: 0.35, n: 0.95, s2: 0, s3: 0, s4: 0, w40If5: 0.80, w40If24: 0},
+}
+
+// Capability parameters for January 2014 (Table 4's left column).
+var caps2014 = map[apps.OS]capParams{
+	apps.OSWindows:       {ac: 0.03, fiveGHz: 0.52, n: 0.96, s2: 0.22, s3: 0.03, s4: 0.025, w40If5: 0.42, w40If24: 0.02},
+	apps.OSiOS:           {ac: 0.005, fiveGHz: 0.55, n: 0.97, s2: 0.02, s3: 0, s4: 0, w40If5: 0.35, w40If24: 0.01},
+	apps.OSMacOSX:        {ac: 0.15, fiveGHz: 0.95, n: 1.0, s2: 0.45, s3: 0.35, s4: 0.035, w40If5: 0.75, w40If24: 0.05},
+	apps.OSAndroid:       {ac: 0.015, fiveGHz: 0.33, n: 0.93, s2: 0.05, s3: 0, s4: 0, w40If5: 0.40, w40If24: 0.01},
+	apps.OSUnknown:       {ac: 0.01, fiveGHz: 0.30, n: 0.88, s2: 0.08, s3: 0.01, s4: 0.01, w40If5: 0.40, w40If24: 0.02},
+	apps.OSChromeOS:      {ac: 0.02, fiveGHz: 0.45, n: 0.98, s2: 0.20, s3: 0, s4: 0, w40If5: 0.45, w40If24: 0.02},
+	apps.OSOther:         {ac: 0.02, fiveGHz: 0.45, n: 0.92, s2: 0.15, s3: 0.04, s4: 0.02, w40If5: 0.45, w40If24: 0.02},
+	apps.OSPlayStation:   {ac: 0, fiveGHz: 0.30, n: 0.70, s2: 0.03, s3: 0, s4: 0, w40If5: 0.30, w40If24: 0},
+	apps.OSLinux:         {ac: 0.02, fiveGHz: 0.50, n: 0.92, s2: 0.30, s3: 0.06, s4: 0.05, w40If5: 0.50, w40If24: 0.03},
+	apps.OSBlackBerry:    {ac: 0, fiveGHz: 0.35, n: 0.90, s2: 0, s3: 0, s4: 0, w40If5: 0.35, w40If24: 0},
+	apps.OSWindowsMobile: {ac: 0, fiveGHz: 0.30, n: 0.90, s2: 0, s3: 0, s4: 0, w40If5: 0.35, w40If24: 0},
+}
+
+func capsFor(e epoch.Epoch) map[apps.OS]capParams {
+	if e == epoch.Jan2014 {
+		return caps2014
+	}
+	return caps2015
+}
+
+// OUI prefixes per OS ecosystem, drawn from the apps package vendor
+// table so inference can round-trip.
+var osOUIs = map[apps.OS][][3]byte{
+	apps.OSWindows:       {{0x00, 0x1c, 0xbf}, {0x00, 0x1e, 0x8c}, {0x28, 0x18, 0x78}},
+	apps.OSiOS:           {{0xac, 0xbc, 0x32}, {0x28, 0xcf, 0xe9}},
+	apps.OSMacOSX:        {{0x00, 0x17, 0xf2}, {0x28, 0xcf, 0xe9}},
+	apps.OSAndroid:       {{0x38, 0xaa, 0x3c}, {0x9c, 0xd9, 0x17}, {0xf8, 0xa9, 0xd0}},
+	apps.OSChromeOS:      {{0x94, 0x39, 0xe5}},
+	apps.OSPlayStation:   {{0xf8, 0xd0, 0xac}},
+	apps.OSLinux:         {{0x00, 0x90, 0x4c}},
+	apps.OSBlackBerry:    {{0x00, 0x21, 0xe8}},
+	apps.OSWindowsMobile: {{0x00, 0x50, 0xf2}},
+	apps.OSUnknown:       {{0x00, 0x90, 0x4c}, {0x94, 0x39, 0xe5}},
+	apps.OSOther:         {{0x00, 0x1d, 0xba}, {0x94, 0x39, 0xe5}},
+}
+
+// New creates a device of the given OS for the epoch, drawing its
+// capabilities, MAC, and usage scale from src.
+func New(os apps.OS, e epoch.Epoch, serial uint64, src *rng.Source) *Device {
+	p := capsFor(e)[os]
+	c := dot11.Capabilities{G: src.Bool(0.999)}
+	c.N = src.Bool(p.n)
+	if src.Bool(p.ac) {
+		c.AC = true
+	} else if p.fiveGHz > p.ac {
+		// fiveGHz is the *total* P(5 GHz); ac devices already have it,
+		// so condition the remaining probability on not-ac.
+		c.FiveGHz = src.Bool((p.fiveGHz - p.ac) / (1 - p.ac))
+	}
+	switch {
+	case src.Bool(p.s4):
+		c.Streams = 4
+	case src.Bool(p.s3):
+		c.Streams = 3
+	case src.Bool(p.s2):
+		c.Streams = 2
+	default:
+		c.Streams = 1
+	}
+	if c.FiveGHz || c.AC {
+		c.Width40 = src.Bool(p.w40If5)
+	} else {
+		c.Width40 = src.Bool(p.w40If24)
+	}
+	c = c.Normalize()
+
+	ouis := osOUIs[os]
+	oui := ouis[src.IntN(len(ouis))]
+	return &Device{
+		MAC:        dot11.MACFromUint64(oui, serial),
+		OS:         os,
+		Caps:       c,
+		UsageScale: usageScale(os, e),
+		Ambiguous:  os == apps.OSUnknown || src.Bool(0.015),
+		TxPowerDBm: clientTxPower(os),
+	}
+}
+
+// NewFromMix draws a device whose OS follows the epoch's population mix.
+func NewFromMix(e epoch.Epoch, serial uint64, src *rng.Source) *Device {
+	oses := OSMixOSes()
+	os := oses[src.Categorical(OSMix(e))]
+	return New(os, e, serial, src)
+}
+
+func clientTxPower(os apps.OS) float64 {
+	if os.IsMobile() {
+		return 12 // handhelds run lower TX power
+	}
+	return 15
+}
+
+// Artifacts generates the identification artifacts the device leaves on
+// the network: DHCP fingerprints and User-Agent strings. Ambiguous
+// devices emit conflicting fingerprints (the dual-boot/VM case the paper
+// describes); others emit their OS's canonical artifacts.
+func (d *Device) Artifacts(src *rng.Source) (dhcp [][]byte, userAgents []string) {
+	if d.Ambiguous {
+		fp1, _ := apps.DHCPFingerprintFor(apps.OSWindows)
+		fp2, _ := apps.DHCPFingerprintFor(apps.OSLinux)
+		return [][]byte{fp1, fp2}, nil
+	}
+	fp, ok := apps.DHCPFingerprintFor(d.OS)
+	if ok {
+		dhcp = append(dhcp, fp)
+	}
+	if ua := apps.UserAgentFor(d.OS); ua != "" && src.Bool(0.9) {
+		userAgents = append(userAgents, ua)
+	}
+	return dhcp, userAgents
+}
+
+// AssociationBand picks the band the device associates on, given the
+// SNRs it observes toward the AP on each band. Real clients are
+// conservative about 5 GHz: they prefer it only when its signal is
+// strong, which — combined with the extra 5 GHz attenuation — produces
+// the paper's 80/20 split despite 65% of clients being 5 GHz capable.
+func (d *Device) AssociationBand(snr24, snr5 float64, src *rng.Source) dot11.Band {
+	if !d.Caps.FiveGHz {
+		return dot11.Band24
+	}
+	if snr5 < 33 {
+		// Clients only take 5 GHz when its signal is strong; the band's
+		// extra attenuation puts most of the floor past this point,
+		// pinning ~80% of associations to 2.4 GHz even though ~65% of
+		// clients are capable (Figure 1).
+		return dot11.Band24
+	}
+	// Strong 5 GHz: most, but not all, clients take it (legacy
+	// preference lists, sticky behaviour).
+	if src.Bool(0.75) {
+		return dot11.Band5
+	}
+	return dot11.Band24
+}

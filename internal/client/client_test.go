@@ -1,0 +1,339 @@
+package client
+
+import (
+	"math"
+	"testing"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/rng"
+)
+
+func makeFleet(t *testing.T, e epoch.Epoch, n int, seed uint64) []*Device {
+	t.Helper()
+	root := rng.New(seed)
+	out := make([]*Device, n)
+	for i := range out {
+		out[i] = NewFromMix(e, uint64(i), root.SplitN("dev", i))
+	}
+	return out
+}
+
+func TestCapabilityAggregatesMatchTable4_2015(t *testing.T) {
+	devs := makeFleet(t, epoch.Jan2015, 30000, 1)
+	var cc dot11.CapabilityCounts
+	for _, d := range devs {
+		cc.Add(d.Caps)
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"802.11g", cc.Fraction(cc.G), 0.999, 0.01},
+		{"802.11n", cc.Fraction(cc.N), 0.977, 0.02},
+		{"5 GHz", cc.Fraction(cc.FiveGHz), 0.649, 0.05},
+		{"40 MHz", cc.Fraction(cc.Width40), 0.638, 0.06},
+		{"802.11ac", cc.Fraction(cc.AC), 0.18, 0.04},
+		{"2 streams", cc.Fraction(cc.TwoStreams), 0.193, 0.05},
+		{"3 streams", cc.Fraction(cc.ThreeStreams), 0.038, 0.02},
+		{"4 streams", cc.Fraction(cc.FourStreams), 0.018, 0.012},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("Jan 2015 %s = %.3f, want %.3f±%.3f (Table 4)", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestCapabilityAggregatesMatchTable4_2014(t *testing.T) {
+	devs := makeFleet(t, epoch.Jan2014, 30000, 2)
+	var cc dot11.CapabilityCounts
+	for _, d := range devs {
+		cc.Add(d.Caps)
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"5 GHz", cc.Fraction(cc.FiveGHz), 0.489, 0.05},
+		{"40 MHz", cc.Fraction(cc.Width40), 0.234, 0.05},
+		{"802.11ac", cc.Fraction(cc.AC), 0.025, 0.02},
+		{"2 streams", cc.Fraction(cc.TwoStreams), 0.077, 0.035},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("Jan 2014 %s = %.3f, want %.3f±%.3f (Table 4)", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestOSMixProportions(t *testing.T) {
+	devs := makeFleet(t, epoch.Jan2015, 30000, 3)
+	counts := make(map[apps.OS]int)
+	for _, d := range devs {
+		counts[d.OS]++
+	}
+	frac := func(os apps.OS) float64 { return float64(counts[os]) / float64(len(devs)) }
+	// iOS should dominate (~45%), Android ~27%, Windows ~14.5%.
+	if f := frac(apps.OSiOS); math.Abs(f-0.45) > 0.03 {
+		t.Errorf("iOS share = %.3f, want ~0.45", f)
+	}
+	if f := frac(apps.OSAndroid); math.Abs(f-0.27) > 0.03 {
+		t.Errorf("Android share = %.3f, want ~0.27", f)
+	}
+	if f := frac(apps.OSWindows); math.Abs(f-0.145) > 0.02 {
+		t.Errorf("Windows share = %.3f, want ~0.145", f)
+	}
+	// Three times more iOS than Windows devices (Section 3.2).
+	if r := frac(apps.OSiOS) / frac(apps.OSWindows); r < 2.4 || r > 3.9 {
+		t.Errorf("iOS/Windows ratio = %.2f, want ~3.1", r)
+	}
+}
+
+func TestOSMixAligned(t *testing.T) {
+	if len(OSMix(epoch.Jan2014)) != len(OSMixOSes()) {
+		t.Fatal("mix and OS lists misaligned")
+	}
+}
+
+func TestDeviceMACMatchesEcosystem(t *testing.T) {
+	root := rng.New(4)
+	d := New(apps.OSPlayStation, epoch.Jan2015, 1, root.Split("ps"))
+	if v := apps.VendorFromOUI(d.MAC.OUI()); v != "Sony Interactive" {
+		t.Errorf("PlayStation vendor = %q", v)
+	}
+	d = New(apps.OSiOS, epoch.Jan2015, 2, root.Split("ios"))
+	if v := apps.VendorFromOUI(d.MAC.OUI()); v != "Apple" {
+		t.Errorf("iOS vendor = %q", v)
+	}
+}
+
+func TestArtifactsRoundTripToInference(t *testing.T) {
+	root := rng.New(5)
+	// For unambiguous devices with stable fingerprints, the pipeline
+	// must recover the OS.
+	for _, os := range []apps.OS{apps.OSWindows, apps.OSiOS, apps.OSMacOSX, apps.OSAndroid, apps.OSChromeOS, apps.OSPlayStation, apps.OSBlackBerry} {
+		d := New(os, epoch.Jan2015, 7, root.Split(os.String()))
+		d.Ambiguous = false
+		dhcp, uas := d.Artifacts(root.Split("art" + os.String()))
+		got := apps.InferOS(d.MAC.OUI(), dhcp, uas)
+		if got != os {
+			t.Errorf("inference for %v = %v", os, got)
+		}
+	}
+}
+
+func TestAmbiguousDeviceInfersUnknown(t *testing.T) {
+	root := rng.New(6)
+	d := New(apps.OSWindows, epoch.Jan2015, 1, root.Split("d"))
+	d.Ambiguous = true
+	dhcp, uas := d.Artifacts(root.Split("a"))
+	if got := apps.InferOS(d.MAC.OUI(), dhcp, uas); got != apps.OSUnknown {
+		t.Errorf("ambiguous device inferred %v", got)
+	}
+}
+
+func TestAssociationBand(t *testing.T) {
+	root := rng.New(7)
+	d24 := New(apps.OSBlackBerry, epoch.Jan2014, 1, root.Split("bb"))
+	d24.Caps.FiveGHz = false
+	d24.Caps.AC = false
+	if d24.AssociationBand(40, 40, root) != dot11.Band24 {
+		t.Error("2.4-only client chose 5 GHz")
+	}
+	cap5 := New(apps.OSMacOSX, epoch.Jan2015, 2, root.Split("mac"))
+	cap5.Caps.FiveGHz = true
+	// Weak 5 GHz: always 2.4.
+	for i := 0; i < 50; i++ {
+		if cap5.AssociationBand(40, 10, root) != dot11.Band24 {
+			t.Fatal("client with weak 5 GHz signal chose 5 GHz")
+		}
+	}
+	// Strong 5 GHz: mostly 5 GHz.
+	n5 := 0
+	for i := 0; i < 1000; i++ {
+		if cap5.AssociationBand(40, 35, root) == dot11.Band5 {
+			n5++
+		}
+	}
+	if n5 < 650 || n5 > 850 {
+		t.Errorf("strong-5GHz association rate = %d/1000, want ~750", n5)
+	}
+}
+
+func TestUsageScalesFollowTable3(t *testing.T) {
+	// Mac OS X devices consume roughly twice what Windows devices do,
+	// and Windows several times more than Android (Section 3.2).
+	mac := usageScale(apps.OSMacOSX, epoch.Jan2015)
+	win := usageScale(apps.OSWindows, epoch.Jan2015)
+	android := usageScale(apps.OSAndroid, epoch.Jan2015)
+	if r := mac / win; r < 1.7 || r > 2.3 {
+		t.Errorf("mac/windows usage ratio = %.2f, want ~2", r)
+	}
+	if r := win / android; r < 4 || r > 9 {
+		t.Errorf("windows/android usage ratio = %.2f, want ~6", r)
+	}
+}
+
+func TestWeeklyFlowsCalibration(t *testing.T) {
+	root := rng.New(8)
+	catalog := apps.Catalog()
+	const n = 4000
+	var total float64
+	netflixUsers, netflixBytes := 0, 0.0
+	for i := 0; i < n; i++ {
+		d := NewFromMix(epoch.Jan2015, uint64(i), root.SplitN("dev", i))
+		flows := d.WeeklyFlows(epoch.Jan2015, catalog, root.SplitN("usage", i))
+		hadNetflix := false
+		for _, f := range flows {
+			b := float64(f.UpBytes + f.DownBytes)
+			total += b
+			if f.App.Name == "Netflix" {
+				hadNetflix = true
+				netflixBytes += b
+			}
+		}
+		if hadNetflix {
+			netflixUsers++
+		}
+	}
+	meanMB := total / n / 1e6
+	// Fleet mean is 367 MB/client; the log-normal tail makes the sample
+	// mean noisy, so accept a wide band.
+	if meanMB < 150 || meanMB > 800 {
+		t.Errorf("fleet mean = %.0f MB/client, want ~367", meanMB)
+	}
+	// Netflix penetration ~2.9%.
+	pen := float64(netflixUsers) / n
+	if pen < 0.01 || pen > 0.06 {
+		t.Errorf("netflix penetration = %.3f, want ~0.029", pen)
+	}
+}
+
+func TestWeeklyFlows2014Smaller(t *testing.T) {
+	root := rng.New(9)
+	catalog := apps.Catalog()
+	var b14, b15 float64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		d14 := NewFromMix(epoch.Jan2014, uint64(i), root.SplitN("d14", i))
+		for _, f := range d14.WeeklyFlows(epoch.Jan2014, catalog, root.SplitN("u14", i)) {
+			b14 += float64(f.UpBytes + f.DownBytes)
+		}
+		d15 := NewFromMix(epoch.Jan2015, uint64(i), root.SplitN("d15", i))
+		for _, f := range d15.WeeklyFlows(epoch.Jan2015, catalog, root.SplitN("u15", i)) {
+			b15 += float64(f.UpBytes + f.DownBytes)
+		}
+	}
+	if b15 <= b14 {
+		t.Errorf("per-client usage did not grow: 2014=%.0f 2015=%.0f", b14, b15)
+	}
+}
+
+func TestGeneratedFlowsClassifyCorrectly(t *testing.T) {
+	root := rng.New(10)
+	c := apps.NewClassifier()
+	catalog := apps.Catalog()
+	misses := 0
+	totalNamed := 0
+	for i := 0; i < 300; i++ {
+		d := NewFromMix(epoch.Jan2015, uint64(i), root.SplitN("dev", i))
+		for _, fs := range d.WeeklyFlows(epoch.Jan2015, catalog, root.SplitN("u", i)) {
+			meta := BuildMeta(fs, apps.UserAgentFor(d.OS))
+			got := c.Classify(meta)
+			if apps.IsMiscBucket(fs.App.Name) {
+				// Misc traffic must land in SOME misc bucket of the
+				// right family.
+				if !apps.IsMiscBucket(got.App) {
+					t.Errorf("misc flow (%s) classified as %q", fs.App.Name, got.App)
+				}
+				continue
+			}
+			totalNamed++
+			if got.App != fs.App.Name {
+				misses++
+				if misses < 5 {
+					t.Logf("miss: %s -> %s (host %q port %d rule %s)", fs.App.Name, got.App, fs.Host, fs.Port, got.Rule)
+				}
+			}
+		}
+	}
+	if totalNamed == 0 {
+		t.Fatal("no named flows generated")
+	}
+	if rate := float64(misses) / float64(totalNamed); rate > 0.02 {
+		t.Errorf("named-app misclassification rate = %.3f (%d/%d)", rate, misses, totalNamed)
+	}
+}
+
+func TestMiscBucketsClassifyToThemselves(t *testing.T) {
+	root := rng.New(11)
+	c := apps.NewClassifier()
+	byName := apps.CatalogByName()
+	for _, name := range []string{apps.MiscWeb, apps.MiscSecureWeb, apps.MiscVideo, apps.MiscAudio, apps.NonWebTCP, apps.MiscUDP, apps.EncryptedTCP} {
+		fs := FlowSpec{App: byName[name], Proto: byName[name].Proto, Secure: byName[name].Secure}
+		fillEndpoint(&fs, root.Split(name))
+		got := c.Classify(BuildMeta(fs, ""))
+		if got.App != name {
+			t.Errorf("%s flow classified as %q", name, got.App)
+		}
+	}
+}
+
+func TestMeanBytesPerUserNetflix(t *testing.T) {
+	byName := apps.CatalogByName()
+	m := meanBytesPerUser(byName["Netflix"], epoch.Jan2015)
+	// "each client consumed nearly 1.2 GB in a week" (Section 3.3).
+	if m < 0.9e9 || m > 1.5e9 {
+		t.Errorf("Netflix mean = %.2g bytes/user-week, want ~1.2e9", m)
+	}
+}
+
+func TestMeanBytesDropcamUploadHeavy(t *testing.T) {
+	byName := apps.CatalogByName()
+	dc := byName["Dropcam"]
+	m := meanBytesPerUser(dc, epoch.Jan2015)
+	// ~2.8 GB per client per week.
+	if m < 2e9 || m > 4e9 {
+		t.Errorf("Dropcam mean = %.2g", m)
+	}
+	if dc.DownloadFrac > 0.1 {
+		t.Errorf("Dropcam download frac = %v, want ~0.05 (uploads 19x)", dc.DownloadFrac)
+	}
+}
+
+func TestBuildMetaArtifacts(t *testing.T) {
+	byName := apps.CatalogByName()
+	fs := FlowSpec{App: byName["Netflix"], Host: "www.netflix.com", Port: 443, Proto: apps.TCP, Secure: true}
+	m := BuildMeta(fs, "")
+	if len(m.ClientHello) == 0 || len(m.DNSQuery) == 0 || len(m.HTTPHead) != 0 {
+		t.Errorf("TLS meta = hello:%d dns:%d http:%d", len(m.ClientHello), len(m.DNSQuery), len(m.HTTPHead))
+	}
+	fs2 := FlowSpec{App: byName["CNN"], Host: "www.cnn.com", Port: 80, Proto: apps.TCP}
+	m2 := BuildMeta(fs2, apps.UserAgentFor(apps.OSWindows))
+	if len(m2.HTTPHead) == 0 || len(m2.ClientHello) != 0 {
+		t.Error("HTTP meta missing head")
+	}
+}
+
+func BenchmarkNewDevice(b *testing.B) {
+	root := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		NewFromMix(epoch.Jan2015, uint64(i), root.SplitN("d", i))
+	}
+}
+
+func BenchmarkWeeklyFlows(b *testing.B) {
+	root := rng.New(2)
+	catalog := apps.Catalog()
+	d := NewFromMix(epoch.Jan2015, 1, root.Split("d"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.WeeklyFlows(epoch.Jan2015, catalog, root.SplitN("u", i))
+	}
+}

@@ -1,0 +1,264 @@
+package client
+
+import (
+	"fmt"
+	"math"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/rng"
+)
+
+// Fleet-wide calibration constants from the paper: total weekly bytes
+// and client counts per usage epoch (Table 3's "All" row).
+const (
+	TotalBytes2015   = 1950e12
+	TotalBytes2014   = TotalBytes2015 / 1.62
+	TotalClients2015 = 5578126
+	TotalClients2014 = 4070000
+)
+
+// FlowSpec is one generated flow: what the client will actually do on
+// the network during the measurement week. The traffic emitter turns a
+// FlowSpec into wire artifacts (DNS query, TLS ClientHello or HTTP head)
+// that the AP pipeline classifies — generation and classification are
+// deliberately separated so classifier errors show up in the tables.
+type FlowSpec struct {
+	// App is the ground-truth application (not visible to the
+	// pipeline).
+	App apps.AppInfo
+	// Host is the server hostname the flow contacts ("" for flows with
+	// no resolvable name, e.g. raw TCP or P2P).
+	Host string
+	// Port is the server port.
+	Port uint16
+	// Proto is the transport.
+	Proto apps.Proto
+	// Secure selects TLS (SNI) vs plain HTTP artifacts.
+	Secure bool
+	// ContentType is the response content type for HTTP flows that
+	// carry one (drives the misc video/audio buckets).
+	ContentType string
+	// UpBytes and DownBytes are the flow's weekly byte totals.
+	UpBytes, DownBytes uint64
+}
+
+// appAffinity returns a relative preference multiplier for an OS using
+// an app, normalized elsewhere so fleet-wide participation stays at the
+// catalog's ClientFrac. Only ecosystem-bound apps need entries.
+func appAffinity(app string, os apps.OS) float64 {
+	switch app {
+	case "iTunes", "Apple file sharing", "apple.com":
+		switch os {
+		case apps.OSiOS, apps.OSMacOSX:
+			return 2.0
+		case apps.OSWindows:
+			return 0.4
+		default:
+			return 0.1
+		}
+	case "Windows file sharing", "microsoft.com":
+		switch os {
+		case apps.OSWindows, apps.OSWindowsMobile:
+			return 2.2
+		case apps.OSMacOSX, apps.OSLinux:
+			return 0.4
+		default:
+			return 0.15
+		}
+	case "Microsoft Skydrive":
+		if os == apps.OSWindows || os == apps.OSWindowsMobile {
+			return 2.5
+		}
+		return 0.4
+	case "Xbox Live", "PlayStation Network", "Steam":
+		switch os {
+		case apps.OSPlayStation:
+			return 20
+		case apps.OSWindows:
+			return 1.8
+		case apps.OSiOS, apps.OSAndroid, apps.OSBlackBerry, apps.OSWindowsMobile:
+			return 0.2
+		default:
+			return 0.5
+		}
+	case "Instagram", "Snapchat":
+		if os.IsMobile() {
+			return 2.0
+		}
+		return 0.3
+	case "Crashplan", "Backblaze", "Carbonite":
+		switch os {
+		case apps.OSMacOSX, apps.OSWindows, apps.OSLinux:
+			return 2.5
+		default:
+			return 0.05
+		}
+	case "Dropcam":
+		// Dropcam cameras are embedded Linux boxes.
+		switch os {
+		case apps.OSLinux, apps.OSUnknown, apps.OSOther:
+			return 12
+		default:
+			return 0.05
+		}
+	default:
+		return 1
+	}
+}
+
+// affinityNorms caches, per app, the expected affinity under the 2015 OS
+// mix so participation can be renormalized.
+var affinityNorms = computeAffinityNorms()
+
+func computeAffinityNorms() map[string]float64 {
+	weights := OSMix(epoch.Jan2015)
+	oses := OSMixOSes()
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	norms := make(map[string]float64)
+	for _, app := range apps.Catalog() {
+		var e float64
+		for i, os := range oses {
+			e += weights[i] / total * appAffinity(app.Name, os)
+		}
+		if e <= 0 {
+			e = 1
+		}
+		norms[app.Name] = e
+	}
+	return norms
+}
+
+// meanBytesPerUser returns the calibrated mean weekly bytes a
+// participating client moves through the app in the given epoch.
+func meanBytesPerUser(app apps.AppInfo, e epoch.Epoch) float64 {
+	if app.ClientFrac <= 0 {
+		return 0
+	}
+	appBytes2015 := app.ShareOfBytes * TotalBytes2015
+	if e == epoch.Jan2014 {
+		appBytes2014 := appBytes2015 / app.YoYBytes
+		return appBytes2014 / (app.ClientFrac * TotalClients2014)
+	}
+	return appBytes2015 / (app.ClientFrac * TotalClients2015)
+}
+
+// WeeklyFlows generates the device's flows for one measurement week.
+// The catalog argument is typically apps.Catalog(); passing a subset
+// narrows the simulation for focused tests.
+func (d *Device) WeeklyFlows(e epoch.Epoch, catalog []apps.AppInfo, src *rng.Source) []FlowSpec {
+	var flows []FlowSpec
+	for _, app := range catalog {
+		p := app.ClientFrac * appAffinity(app.Name, d.OS) / affinityNorms[app.Name]
+		if !src.Bool(p) {
+			continue
+		}
+		mean := meanBytesPerUser(app, e) * d.UsageScale
+		if mean <= 0 {
+			continue
+		}
+		// Log-normal per-user draw around the calibrated mean.
+		const sigma = 1.5
+		total := src.LogNormal(math.Log(mean)-sigma*sigma/2, sigma)
+		if total < 1024 {
+			total = 1024
+		}
+		nFlows := 1 + src.IntN(4)
+		shares := make([]float64, nFlows)
+		var sum float64
+		for i := range shares {
+			shares[i] = src.Exp(1)
+			sum += shares[i]
+		}
+		for i := 0; i < nFlows; i++ {
+			fbytes := total * shares[i] / sum
+			downFrac := app.DownloadFrac
+			// Small per-flow wobble, clamped.
+			downFrac += src.Normal(0, 0.03)
+			if downFrac < 0 {
+				downFrac = 0
+			}
+			if downFrac > 1 {
+				downFrac = 1
+			}
+			fs := FlowSpec{
+				App:       app,
+				Proto:     app.Proto,
+				Secure:    app.Secure,
+				DownBytes: uint64(fbytes * downFrac),
+				UpBytes:   uint64(fbytes * (1 - downFrac)),
+			}
+			fillEndpoint(&fs, src)
+			flows = append(flows, fs)
+		}
+	}
+	return flows
+}
+
+// fillEndpoint picks the host/port artifacts for the flow, including the
+// synthetic unknown hosts that land in the misc buckets.
+func fillEndpoint(fs *FlowSpec, src *rng.Source) {
+	app := fs.App
+	switch app.Name {
+	case apps.MiscWeb:
+		fs.Host = randomUnknownHost(src)
+		fs.Port = 80
+	case apps.MiscSecureWeb:
+		fs.Host = randomUnknownHost(src)
+		fs.Port = 443
+		fs.Secure = true
+	case apps.MiscVideo:
+		fs.Host = randomUnknownHost(src)
+		fs.Port = 80
+		fs.ContentType = "video/mp4"
+	case apps.MiscAudio:
+		fs.Host = randomUnknownHost(src)
+		fs.Port = 80
+		fs.ContentType = "audio/mpeg"
+	case apps.NonWebTCP:
+		fs.Port = uint16(10000 + src.IntN(40000))
+	case apps.MiscUDP:
+		fs.Proto = apps.UDP
+		fs.Port = uint16(10000 + src.IntN(40000))
+	case apps.EncryptedTCP:
+		fs.Host = "" // TLS without SNI
+		fs.Port = uint16(8000 + src.IntN(2000))
+		fs.Secure = true
+	default:
+		if len(app.Hosts) > 0 {
+			fs.Host = "www." + app.Hosts[src.IntN(len(app.Hosts))]
+		}
+		switch {
+		case len(app.Ports) > 0:
+			fs.Port = app.Ports[src.IntN(len(app.Ports))]
+		case app.Secure:
+			fs.Port = 443
+		default:
+			fs.Port = 80
+		}
+	}
+}
+
+func randomUnknownHost(src *rng.Source) string {
+	return fmt.Sprintf("host%d.site-%04d.example", src.IntN(1000), src.IntN(10000))
+}
+
+// BuildMeta turns a FlowSpec into the wire artifacts the AP slow path
+// sees: the preceding DNS lookup plus either a TLS ClientHello or an
+// HTTP request head. userAgent may be empty.
+func BuildMeta(fs FlowSpec, userAgent string) apps.FlowMeta {
+	m := apps.FlowMeta{Proto: fs.Proto, ServerPort: fs.Port}
+	if fs.Host != "" {
+		m.DNSQuery = apps.BuildDNSQuery(0x2b2b, fs.Host)
+	}
+	switch {
+	case fs.Secure:
+		m.ClientHello = apps.BuildClientHello(fs.Host)
+	case fs.Host != "":
+		m.HTTPHead = apps.BuildHTTPRequest("GET", fs.Host, "/", userAgent, fs.ContentType)
+	}
+	return m
+}

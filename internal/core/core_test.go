@@ -1,0 +1,509 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/meshprobe"
+)
+
+// The study fixture is expensive; build it once for the whole package.
+var (
+	fixtureOnce sync.Once
+	fixture     *Study
+	fixNow      *UsageEpoch
+	fixBefore   *UsageEpoch
+	fixErr      error
+)
+
+func testConfig() Config {
+	return Config{
+		Seed:          7,
+		UsageNetworks: 60,
+		ClientCap:     250,
+		LinkNetworks:  80,
+		LinkWindows:   40,
+		Sampling:      meshprobe.BinomialApprox,
+		UtilAPs:       120,
+		UtilWindows:   16,
+		ScanAPs:       90,
+	}
+}
+
+func study(t *testing.T) (*Study, *UsageEpoch, *UsageEpoch) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixture, fixErr = NewStudy(testConfig())
+		if fixErr != nil {
+			return
+		}
+		fixNow, fixErr = fixture.RunUsageEpoch(fixture.Fleet15)
+		if fixErr != nil {
+			return
+		}
+		fixBefore, fixErr = fixture.RunUsageEpoch(fixture.Fleet14)
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixture, fixNow, fixBefore
+}
+
+func TestDefaultAndFullConfigs(t *testing.T) {
+	d := DefaultConfig()
+	if d.UsageNetworks <= 0 || d.LinkWindows <= 0 {
+		t.Error("default config degenerate")
+	}
+	f := d.Full()
+	if f.UsageNetworks != 20667 || f.LinkWindows != meshprobe.WindowsPerWeek {
+		t.Errorf("full config = %+v", f)
+	}
+}
+
+func TestTable1Hardware(t *testing.T) {
+	r := Table1Hardware()
+	out := r.Render()
+	for _, want := range []string{"MR16", "MR18", "23 dBm", "Scanning radio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Industries(t *testing.T) {
+	s, _, _ := study(t)
+	r := Table2Industries(s.Fleet15)
+	if len(r.Rows) != 19 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Scaled total should approximate the paper's 20,667.
+	if r.Total < 15000 || r.Total > 27000 {
+		t.Errorf("scaled total = %d, want ~20667", r.Total)
+	}
+	if !strings.Contains(r.Render(), "Education") {
+		t.Error("render missing Education row")
+	}
+}
+
+func TestTable3HeadlineClaims(t *testing.T) {
+	_, now, before := study(t)
+	r := Table3UsageByOS(now, before)
+
+	// Total growth: clients +37%, usage +62%, per-client +18%.
+	if r.All.ClientsIncrease < 0.15 || r.All.ClientsIncrease > 0.6 {
+		t.Errorf("client growth = %+.2f, want ~+0.37", r.All.ClientsIncrease)
+	}
+	if r.All.TBIncrease < 0.3 || r.All.TBIncrease > 1.1 {
+		t.Errorf("usage growth = %+.2f, want ~+0.62", r.All.TBIncrease)
+	}
+	if r.All.MBIncrease < 0.0 || r.All.MBIncrease > 0.5 {
+		t.Errorf("per-client growth = %+.2f, want ~+0.18", r.All.MBIncrease)
+	}
+	// Total absolute scale: ~1950 TB and ~5.6M clients. The test-scale
+	// ClientCap truncates the lognormal tail, so totals run low here;
+	// uncapped runs land near the paper (see EXPERIMENTS.md).
+	if r.All.TB < 700 || r.All.TB > 4500 {
+		t.Errorf("total = %.0f TB, want ~1950 uncapped", r.All.TB)
+	}
+	if r.All.Clients < 2e6 || r.All.Clients > 10e6 {
+		t.Errorf("clients = %.0f, want ~5.6M uncapped", r.All.Clients)
+	}
+
+	rows := make(map[apps.OS]OSRow)
+	for _, row := range r.Rows {
+		rows[row.OS] = row
+	}
+	// Windows, iOS and Mac dominate bytes; iOS has ~3x Windows clients.
+	if rows[apps.OSiOS].Clients < 2*rows[apps.OSWindows].Clients {
+		t.Errorf("iOS clients (%.0f) not ~3x Windows (%.0f)",
+			rows[apps.OSiOS].Clients, rows[apps.OSWindows].Clients)
+	}
+	// Macs pull roughly twice the per-client bytes of Windows.
+	ratio := rows[apps.OSMacOSX].MBPerClient / rows[apps.OSWindows].MBPerClient
+	if ratio < 1.3 || ratio > 3.2 {
+		t.Errorf("mac/windows MB-per-client ratio = %.2f, want ~2", ratio)
+	}
+	// Mobile platforms are download-heavy (~90%).
+	if rows[apps.OSAndroid].PctDownload < 0.8 {
+		t.Errorf("Android download share = %.2f", rows[apps.OSAndroid].PctDownload)
+	}
+	// The Unknown row exists (ambiguous devices).
+	if rows[apps.OSUnknown].Clients == 0 {
+		t.Error("no Unknown clients; ambiguity path dead")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Windows") || !strings.Contains(out, "All") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestTable4CapabilityTrends(t *testing.T) {
+	_, now, before := study(t)
+	r := Table4Capabilities(now, before)
+	if r.Now.Total == 0 || r.Before.Total == 0 {
+		t.Fatal("no capability records")
+	}
+	f5Now := r.Now.Fraction(r.Now.FiveGHz)
+	f5Before := r.Before.Fraction(r.Before.FiveGHz)
+	if math.Abs(f5Now-0.649) > 0.07 {
+		t.Errorf("5 GHz 2015 = %.3f, want ~0.649", f5Now)
+	}
+	if math.Abs(f5Before-0.489) > 0.07 {
+		t.Errorf("5 GHz 2014 = %.3f, want ~0.489", f5Before)
+	}
+	acNow := r.Now.Fraction(r.Now.AC)
+	if math.Abs(acNow-0.18) > 0.06 {
+		t.Errorf("11ac 2015 = %.3f, want ~0.18", acNow)
+	}
+	if acBefore := r.Before.Fraction(r.Before.AC); acBefore > acNow {
+		t.Error("11ac decreased year-over-year")
+	}
+	if !strings.Contains(r.Render(), "802.11ac") {
+		t.Error("render missing 11ac row")
+	}
+}
+
+func TestTable5TopApps(t *testing.T) {
+	_, now, before := study(t)
+	r := Table5TopApps(now, before, 40)
+	if len(r.Rows) != 40 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Rows must be sorted by bytes.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].TB > r.Rows[i-1].TB {
+			t.Fatal("rows not sorted by TB")
+		}
+	}
+	byName := make(map[string]AppRow)
+	for _, row := range r.Rows {
+		byName[row.Name] = row
+	}
+	// Video heavy hitters present and download-dominated.
+	for _, name := range []string{"YouTube", "Netflix", "iTunes"} {
+		row, ok := byName[name]
+		if !ok {
+			t.Errorf("%s missing from top 40", name)
+			continue
+		}
+		if row.PctDownload < 0.9 {
+			t.Errorf("%s download share = %.2f", name, row.PctDownload)
+		}
+	}
+	// Netflix per-client ~1.2 GB/week.
+	if nf, ok := byName["Netflix"]; ok {
+		if nf.MBPerClient < 600 || nf.MBPerClient > 2500 {
+			t.Errorf("Netflix MB/client = %.0f, want ~1200", nf.MBPerClient)
+		}
+	}
+	// Misc buckets appear as rows, as in the paper.
+	if _, ok := byName[apps.MiscWeb]; !ok {
+		t.Error("Miscellaneous web missing")
+	}
+	// Dropcam is upload-dominated when present.
+	if dc, ok := byName["Dropcam"]; ok && dc.PctDownload > 0.3 {
+		t.Errorf("Dropcam download share = %.2f, want ~0.05", dc.PctDownload)
+	}
+	if !strings.Contains(r.Render(), "Netflix") {
+		t.Error("render missing Netflix")
+	}
+}
+
+func TestTable6Categories(t *testing.T) {
+	_, now, before := study(t)
+	r := Table6Categories(now, before)
+	byCat := make(map[apps.Category]AppRow)
+	for _, row := range r.Rows {
+		byCat[row.Category] = row
+	}
+	// Table 6 headline shares: Other ~47%, Video ~34%, File sharing
+	// ~8.4%.
+	if v := byCat[apps.CatOther].PctTotal; math.Abs(v-0.47) > 0.12 {
+		t.Errorf("Other share = %.2f, want ~0.47", v)
+	}
+	if v := byCat[apps.CatVideoMusic].PctTotal; math.Abs(v-0.34) > 0.1 {
+		t.Errorf("Video share = %.2f, want ~0.34", v)
+	}
+	if v := byCat[apps.CatFileSharing].PctTotal; math.Abs(v-0.084) > 0.05 {
+		t.Errorf("File sharing share = %.2f, want ~0.084", v)
+	}
+	// Video is ~97% download; file sharing balanced; online backup
+	// upload-dominated.
+	if v := byCat[apps.CatVideoMusic].PctDownload; v < 0.9 {
+		t.Errorf("video download share = %.2f", v)
+	}
+	if v := byCat[apps.CatFileSharing].PctDownload; v < 0.4 || v > 0.8 {
+		t.Errorf("file sharing download share = %.2f, want ~0.58", v)
+	}
+	if row, ok := byCat[apps.CatOnlineBackup]; ok {
+		if row.PctDownload > 0.25 {
+			t.Errorf("online backup download share = %.2f, want ~0.04", row.PctDownload)
+		}
+	}
+	if !strings.Contains(r.Render(), "Video & music") {
+		t.Error("render missing video row")
+	}
+}
+
+func TestFigure1BandSplitAndSNR(t *testing.T) {
+	_, now, _ := study(t)
+	r := Figure1RSSI(now)
+	// ~80% of clients on 2.4 GHz despite ~65% being capable.
+	if f := r.Fraction24(); f < 0.68 || f > 0.92 {
+		t.Errorf("2.4 GHz share = %.2f, want ~0.8", f)
+	}
+	if r.CapableFiveGHz < 0.55 || r.CapableFiveGHz > 0.75 {
+		t.Errorf("capable share = %.2f, want ~0.65", r.CapableFiveGHz)
+	}
+	// Median SNR ~28 dB.
+	if m := r.RSSI24.Median(); m < 20 || m > 36 {
+		t.Errorf("2.4 GHz median SNR = %.1f, want ~28", m)
+	}
+	if !strings.Contains(r.Render(), "median SNR") {
+		t.Error("render missing SNR line")
+	}
+}
+
+func TestTable7AndFigure2(t *testing.T) {
+	s, _, _ := study(t)
+	now, err := s.RunNeighborScan(epoch.Jan2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.RunNeighborScan(epoch.Jul2014)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 7 uses per-AP means; scale is irrelevant for them.
+	r := Table7NearbyNetworks(now, before, 1)
+	if r.PerAP24Now < 40 || r.PerAP24Now > 65 {
+		t.Errorf("2.4 GHz networks/AP = %.1f, want ~55", r.PerAP24Now)
+	}
+	if r.PerAP24Before < 20 || r.PerAP24Before > 38 {
+		t.Errorf("2.4 GHz before = %.1f, want ~28.6", r.PerAP24Before)
+	}
+	if r.PerAP5Now < 2.3 || r.PerAP5Now > 5.5 {
+		t.Errorf("5 GHz networks/AP = %.2f, want ~3.68", r.PerAP5Now)
+	}
+	if r.PerAP5Before >= r.PerAP5Now {
+		t.Error("5 GHz neighbor count did not grow")
+	}
+	if r.HotspotShare24Now < 0.1 || r.HotspotShare24Now > 0.3 {
+		t.Errorf("hotspot share = %.2f, want ~0.19", r.HotspotShare24Now)
+	}
+	if r.HotspotShare5Now > 0.1 {
+		t.Errorf("5 GHz hotspot share = %.2f, want ~0.017", r.HotspotShare5Now)
+	}
+	if !strings.Contains(r.Render(), "six months ago") {
+		t.Error("Table 7 render malformed")
+	}
+
+	f2 := Figure2NearbyByChannel(now, 1)
+	if ex := f2.Channel1Excess(); ex < 0.15 || ex > 0.6 {
+		t.Errorf("channel 1 excess = %.2f, want ~0.37", ex)
+	}
+	if f2.Counts5[36] == 0 {
+		t.Error("no 5 GHz networks on channel 36")
+	}
+	if !strings.Contains(f2.Render(), "ch 6") {
+		t.Error("Figure 2 render missing channels")
+	}
+}
+
+func TestFigure3DeliveryShapes(t *testing.T) {
+	s, _, _ := study(t)
+	r := s.RunFigure3()
+	if r.Now24.N() == 0 || r.Now5.N() == 0 {
+		t.Fatal("no links measured")
+	}
+	// Intermediate delivery dominates 2.4 GHz.
+	if f := IntermediateFraction(r.Now24, 0.05, 0.95); f < 0.4 {
+		t.Errorf("2.4 GHz intermediate fraction = %.2f, want majority", f)
+	}
+	// Over half of 5 GHz links deliver essentially everything.
+	if f := r.Now5.FractionAtLeast(0.90); f < 0.45 {
+		t.Errorf("5 GHz near-full fraction = %.2f, want > ~0.5", f)
+	}
+	// 2.4 GHz degraded over six months (median moved down).
+	if r.Now24.Median() >= r.Before24.Median() {
+		t.Errorf("2.4 GHz median now %.3f vs before %.3f; no degradation",
+			r.Now24.Median(), r.Before24.Median())
+	}
+	// 5 GHz links are more consistent than 2.4 GHz.
+	if r.Now5.Median() <= r.Now24.Median() {
+		t.Error("5 GHz links not better than 2.4 GHz")
+	}
+	if !strings.Contains(r.Render(), "intermediate") {
+		t.Error("Figure 3 render malformed")
+	}
+}
+
+func TestFigures4And5Series(t *testing.T) {
+	s, _, _ := study(t)
+	for _, band := range []dot11.Band{dot11.Band24, dot11.Band5} {
+		r := s.RunLinkSeries(band)
+		if len(r.Series) == 0 {
+			t.Fatalf("%s: no series picked", band)
+		}
+		for name, series := range r.Series {
+			if len(series) != meshprobe.WindowsPerWeek {
+				t.Fatalf("%s series length = %d", name, len(series))
+			}
+			var mn, mx = 1.0, 0.0
+			for _, v := range series {
+				mn = math.Min(mn, v)
+				mx = math.Max(mx, v)
+			}
+			if mx-mn < 0.05 {
+				t.Errorf("%s: series flat (%.2f..%.2f); Figures 4/5 show variation", name, mn, mx)
+			}
+		}
+		if !strings.Contains(r.Render(), "link") {
+			t.Error("series render malformed")
+		}
+	}
+}
+
+func TestFigure6UtilizationLevels(t *testing.T) {
+	s, _, _ := study(t)
+	r, err := s.RunFigure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Util24.N() == 0 {
+		t.Fatal("no utilization samples")
+	}
+	med24 := r.Util24.Median()
+	p90 := r.Util24.Quantile(0.9)
+	// Figure 6: 2.4 GHz median ~25%, p90 ~50%.
+	if med24 < 0.15 || med24 > 0.38 {
+		t.Errorf("2.4 GHz median utilization = %.2f, want ~0.25", med24)
+	}
+	if p90 < 0.33 || p90 > 0.70 {
+		t.Errorf("2.4 GHz p90 utilization = %.2f, want ~0.5", p90)
+	}
+	// 5 GHz much lower: median ~5%, p90 ~30%.
+	med5 := r.Util5.Median()
+	if med5 < 0.005 || med5 > 0.15 {
+		t.Errorf("5 GHz median utilization = %.2f, want ~0.05", med5)
+	}
+	if med5 >= med24 {
+		t.Error("5 GHz utilization not below 2.4 GHz")
+	}
+	if !strings.Contains(r.Render(), "median") {
+		t.Error("Figure 6 render malformed")
+	}
+}
+
+func TestFigures7And8NoCorrelation(t *testing.T) {
+	s, _, _ := study(t)
+	for _, band := range []dot11.Band{dot11.Band24, dot11.Band5} {
+		r, err := s.RunScatter(band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Scatter.N() < 100 {
+			t.Fatalf("%s: only %d scatter points", band, r.Scatter.N())
+		}
+		// The paper's key negative result: neighbor count does not
+		// predict utilization. Correlation must stay weak.
+		if rho := math.Abs(r.Scatter.Pearson()); rho > 0.5 {
+			t.Errorf("%s: |Pearson| = %.3f; expected weak correlation", band, rho)
+		}
+		if !strings.Contains(r.Render(), "Pearson") {
+			t.Error("scatter render malformed")
+		}
+	}
+}
+
+func TestFigure9DayNight(t *testing.T) {
+	s, _, _ := study(t)
+	r, err := s.RunFigure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Day24.N() == 0 || r.Day5.N() == 0 {
+		t.Fatal("no sweep samples")
+	}
+	// Day must exceed night at 2.4 GHz (by ~5 points at the median).
+	gap := r.Day24.Median() - r.Night24.Median()
+	if gap <= 0 {
+		t.Errorf("day-night gap = %.3f; day should be busier", gap)
+	}
+	if gap > 0.2 {
+		t.Errorf("day-night gap = %.3f; implausibly large", gap)
+	}
+	// 5 GHz skews toward zero (most channels unused).
+	if r.Day5.Median() > 0.05 {
+		t.Errorf("5 GHz median across all channels = %.3f, want ~0", r.Day5.Median())
+	}
+	if !strings.Contains(r.Render(), "night") {
+		t.Error("Figure 9 render malformed")
+	}
+}
+
+func TestFigure10MostlyDecodable(t *testing.T) {
+	s, _, _ := study(t)
+	r, err := s.RunFigure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decodable24.N() == 0 {
+		t.Fatal("no decodable samples")
+	}
+	// The majority of busy time contains decodable 802.11 headers.
+	if m := r.Decodable24.Median(); m < 0.5 {
+		t.Errorf("2.4 GHz median decodable fraction = %.2f, want > 0.5", m)
+	}
+	if !strings.Contains(r.Render(), "decodable") {
+		t.Error("Figure 10 render malformed")
+	}
+}
+
+func TestFigure11Structure(t *testing.T) {
+	s, _, _ := study(t)
+	r, err := s.RunFigure11(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Spectrum24) != 4096 || len(r.Spectrum5) != 4096 {
+		t.Fatalf("spectrum lengths = %d/%d", len(r.Spectrum24), len(r.Spectrum5))
+	}
+	if len(r.Segments24) == 0 || len(r.Segments5) == 0 {
+		t.Fatal("no occupied segments recovered")
+	}
+	// The 5 GHz scene contains a wide (40 MHz-class) occupancy spilling
+	// past a 20 MHz segment; the 2.4 GHz scene is dominated by the
+	// 20 MHz packet plus narrowband hops.
+	var widest5 float64
+	for _, seg := range r.Segments5 {
+		if w := seg.WidthHz(); w > widest5 {
+			widest5 = w
+		}
+	}
+	if widest5 < 15e6 {
+		t.Errorf("widest 5 GHz segment = %.1f MHz; 20/40 MHz structure missing", widest5/1e6)
+	}
+	if !strings.Contains(r.Render(), "occupied") {
+		t.Error("Figure 11 render malformed")
+	}
+}
+
+func TestUsageEpochIngestStats(t *testing.T) {
+	_, now, _ := study(t)
+	ing, dup := now.Store.Stats()
+	if ing == 0 {
+		t.Fatal("nothing ingested")
+	}
+	if dup != 0 {
+		t.Errorf("unexpected duplicate reports: %d", dup)
+	}
+	if now.Store.NumClients() == 0 {
+		t.Fatal("no clients in store")
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/meshprobe"
+)
+
+// smallConfig is a fast configuration for determinism checks.
+func smallConfig(seed uint64) Config {
+	return Config{
+		Seed:          seed,
+		UsageNetworks: 12,
+		ClientCap:     60,
+		LinkNetworks:  15,
+		LinkWindows:   10,
+		Sampling:      meshprobe.BinomialApprox,
+		UtilAPs:       20,
+		UtilWindows:   6,
+		ScanAPs:       15,
+	}
+}
+
+// TestStudyDeterministic verifies that two studies built from the same
+// seed produce byte-identical renders for every experiment — the
+// property that makes EXPERIMENTS.md numbers stable.
+func TestStudyDeterministic(t *testing.T) {
+	render := func() map[string]string {
+		s, err := NewStudy(smallConfig(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		now, err := s.RunUsageEpoch(s.Fleet15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := s.RunUsageEpoch(s.Fleet14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]string{
+			"table2": Table2Industries(s.Fleet15).Render(),
+			"table3": Table3UsageByOS(now, before).Render(),
+			"table4": Table4Capabilities(now, before).Render(),
+			"table5": Table5TopApps(now, before, 20).Render(),
+			"table6": Table6Categories(now, before).Render(),
+			"fig1":   Figure1RSSI(now).Render(),
+			"fig3":   s.RunFigure3().Render(),
+		}
+		scanNow, err := s.RunNeighborScan(epoch.Jan2015)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanBefore, err := s.RunNeighborScan(epoch.Jul2014)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["table7"] = Table7NearbyNetworks(scanNow, scanBefore, 1).Render()
+		out["fig2"] = Figure2NearbyByChannel(scanNow, 1).Render()
+		f6, err := s.RunFigure6()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["fig6"] = f6.Render()
+		f7, err := s.RunScatter(dot11.Band24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["fig7"] = f7.Render()
+		f9, err := s.RunFigure9()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["fig9"] = f9.Render()
+		f10, err := s.RunFigure10()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["fig10"] = f10.Render()
+		f11, err := s.RunFigure11(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["fig11"] = f11.Render()
+		return out
+	}
+	a := render()
+	b := render()
+	for name, want := range a {
+		if b[name] != want {
+			t.Errorf("%s differs between identical seeds", name)
+		}
+	}
+}
+
+// TestStudySeedSensitivity verifies different seeds actually produce
+// different universes (the determinism above is not a constant).
+func TestStudySeedSensitivity(t *testing.T) {
+	mk := func(seed uint64) string {
+		s, err := NewStudy(smallConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		now, err := s.RunUsageEpoch(s.Fleet15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := s.RunUsageEpoch(s.Fleet14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Table3UsageByOS(now, before).Render()
+	}
+	if mk(1) == mk(2) {
+		t.Error("different seeds produced identical Table 3")
+	}
+}
+
+// TestUsageEpochRerunStable verifies re-running the same epoch on a
+// fresh study gives the same store contents (the epochs are generated,
+// not accumulated).
+func TestUsageEpochRerunStable(t *testing.T) {
+	s1, err := NewStudy(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, err := s1.RunUsageEpoch(s1.Fleet15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewStudy(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := s2.RunUsageEpoch(s2.Fleet15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.Store.NumClients() != u2.Store.NumClients() {
+		t.Fatalf("client counts differ: %d vs %d", u1.Store.NumClients(), u2.Store.NumClients())
+	}
+	c1, c2 := u1.Store.Clients(), u2.Store.Clients()
+	for i := range c1 {
+		if c1[i].MAC != c2[i].MAC || c1[i].Total() != c2[i].Total() {
+			t.Fatalf("client %d differs: %v/%d vs %v/%d", i, c1[i].MAC, c1[i].Total(), c2[i].MAC, c2[i].Total())
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/stats"
+	"wlanscale/internal/telemetry"
+)
+
+// NeighborScan holds the decoded neighbor tables for every AP of the
+// link fleet at one epoch.
+type NeighborScan struct {
+	Epoch epoch.Epoch
+	// PerAP holds each AP's non-Meraki networks per band.
+	PerAP []APNeighbors
+}
+
+// APNeighbors is one AP's scan summary.
+type APNeighbors struct {
+	Serial string
+	Nets24 []telemetry.NeighborRecord
+	Nets5  []telemetry.NeighborRecord
+	// Hotspots24 counts mobile-hotspot networks at 2.4 GHz, identified
+	// by vendor OUI exactly as Section 4.1 does.
+	Hotspots24 int
+	Hotspots5  int
+}
+
+// RunNeighborScan scans every AP's environment at the given epoch,
+// excluding other Meraki devices as Table 7 specifies.
+func (s *Study) RunNeighborScan(e epoch.Epoch) (*NeighborScan, error) {
+	res := &NeighborScan{Epoch: e}
+	for _, n := range s.LinkFleet.Networks {
+		for apIdx, a := range n.APs {
+			env, err := s.LinkFleet.Environment(n, apIdx, e)
+			if err != nil {
+				return nil, err
+			}
+			an := APNeighbors{Serial: a.Serial}
+			for _, rec := range a.ScanNeighbors(env.Neighbors24) {
+				if rec.Vendor == "Cisco Meraki" {
+					continue
+				}
+				an.Nets24 = append(an.Nets24, rec)
+				if apps.IsHotspotVendor(rec.Vendor) {
+					an.Hotspots24++
+				}
+			}
+			for _, rec := range a.ScanNeighbors(env.Neighbors5) {
+				if rec.Vendor == "Cisco Meraki" {
+					continue
+				}
+				an.Nets5 = append(an.Nets5, rec)
+				if apps.IsHotspotVendor(rec.Vendor) {
+					an.Hotspots5++
+				}
+			}
+			res.PerAP = append(res.PerAP, an)
+		}
+	}
+	return res, nil
+}
+
+// Table7Result reproduces Table 7 (nearby-network growth over six
+// months) plus the hotspot counts quoted in Section 4.1.
+type Table7Result struct {
+	// APs is the reporting AP count (paper scale).
+	APs float64
+	// Rows: networks and networks-per-AP for each (band, epoch).
+	Nets24Now, Nets24Before   float64
+	Nets5Now, Nets5Before     float64
+	PerAP24Now, PerAP24Before float64
+	PerAP5Now, PerAP5Before   float64
+	// Hotspot counts (paper scale) and shares.
+	Hotspots24Now, Hotspots24Before float64
+	HotspotShare24Now               float64
+	HotspotShare5Now                float64
+}
+
+// Table7NearbyNetworks compares the two scan epochs.
+func Table7NearbyNetworks(now, before *NeighborScan, scale float64) *Table7Result {
+	res := &Table7Result{}
+	nAPs := float64(len(now.PerAP))
+	res.APs = nAPs * scale
+	for _, an := range now.PerAP {
+		res.Nets24Now += float64(len(an.Nets24)) * scale
+		res.Nets5Now += float64(len(an.Nets5)) * scale
+		res.Hotspots24Now += float64(an.Hotspots24) * scale
+	}
+	var h5 float64
+	for _, an := range now.PerAP {
+		h5 += float64(an.Hotspots5) * scale
+	}
+	for _, an := range before.PerAP {
+		res.Nets24Before += float64(len(an.Nets24)) * scale
+		res.Nets5Before += float64(len(an.Nets5)) * scale
+		res.Hotspots24Before += float64(an.Hotspots24) * scale
+	}
+	if nAPs > 0 {
+		res.PerAP24Now = res.Nets24Now / (nAPs * scale)
+		res.PerAP24Before = res.Nets24Before / (nAPs * scale)
+		res.PerAP5Now = res.Nets5Now / (nAPs * scale)
+		res.PerAP5Before = res.Nets5Before / (nAPs * scale)
+	}
+	if res.Nets24Now > 0 {
+		res.HotspotShare24Now = res.Hotspots24Now / res.Nets24Now
+	}
+	if res.Nets5Now > 0 {
+		res.HotspotShare5Now = h5 / res.Nets5Now
+	}
+	return res
+}
+
+// Render prints Table 7.
+func (r *Table7Result) Render() string {
+	t := stats.NewTable("Table 7: Nearby (non-Meraki) networks over six months",
+		"", "Networks", "Networks per AP")
+	t.AddRow("2.4 GHz (now)", fmt.Sprintf("%.0f", r.Nets24Now), fmt.Sprintf("%.2f", r.PerAP24Now))
+	t.AddRow("2.4 GHz (six months ago)", fmt.Sprintf("%.0f", r.Nets24Before), fmt.Sprintf("%.2f", r.PerAP24Before))
+	t.AddRow("5 GHz (now)", fmt.Sprintf("%.0f", r.Nets5Now), fmt.Sprintf("%.2f", r.PerAP5Now))
+	t.AddRow("5 GHz (six months ago)", fmt.Sprintf("%.0f", r.Nets5Before), fmt.Sprintf("%.2f", r.PerAP5Before))
+	t.AddNote(fmt.Sprintf("%.0f APs reporting; mobile hotspots: %.0f now (%.1f%% of 2.4 GHz networks) vs %.0f six months ago; %.1f%% at 5 GHz",
+		r.APs, r.Hotspots24Now, r.HotspotShare24Now*100, r.Hotspots24Before, r.HotspotShare5Now*100))
+	return t.String()
+}
+
+// Figure2Result reproduces Figure 2: nearby networks by channel number.
+type Figure2Result struct {
+	// Counts24 and Counts5 map channel number to paper-scale network
+	// counts.
+	Counts24, Counts5 map[int]float64
+}
+
+// Figure2NearbyByChannel histograms the current scan by channel.
+func Figure2NearbyByChannel(scan *NeighborScan, scale float64) *Figure2Result {
+	res := &Figure2Result{Counts24: map[int]float64{}, Counts5: map[int]float64{}}
+	for _, an := range scan.PerAP {
+		for _, rec := range an.Nets24 {
+			res.Counts24[rec.Channel] += scale
+		}
+		for _, rec := range an.Nets5 {
+			res.Counts5[rec.Channel] += scale
+		}
+	}
+	return res
+}
+
+// Channel1Excess returns how many more networks channel 1 carries than
+// the mean of channels 6 and 11 — the paper reports ~37%.
+func (r *Figure2Result) Channel1Excess() float64 {
+	base := (r.Counts24[6] + r.Counts24[11]) / 2
+	if base == 0 {
+		return 0
+	}
+	return r.Counts24[1]/base - 1
+}
+
+// Render prints Figure 2 as two channel bar charts.
+func (r *Figure2Result) Render() string {
+	bar := func(title string, band dot11.Band, counts map[int]float64) string {
+		var maxV float64
+		for _, v := range counts {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if maxV == 0 {
+			maxV = 1
+		}
+		out := title + "\n"
+		for _, ch := range dot11.Channels(band) {
+			v := counts[ch.Number]
+			n := int(v / maxV * 50)
+			out += fmt.Sprintf("%8s |%-50s| %.0f\n", fmt.Sprintf("ch %d", ch.Number), repeat('#', n), v)
+		}
+		return out
+	}
+	out := bar("Figure 2: nearby networks by channel (2.4 GHz)", dot11.Band24, r.Counts24)
+	out += bar("Figure 2 (cont.): 5 GHz", dot11.Band5, r.Counts5)
+	out += fmt.Sprintf("channel 1 carries %.0f%% more networks than channels 6/11\n", r.Channel1Excess()*100)
+	return out
+}
+
+func repeat(c byte, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+// Figure3Result reproduces Figure 3: the distribution of link delivery
+// ratios for both bands and both epochs, over the same link pairs.
+type Figure3Result struct {
+	// CDFs keyed by "band/epoch".
+	Now24, Before24, Now5, Before5 *stats.CDF
+	// Counts at paper scale.
+	Links24, Links5 float64
+}
+
+// RunFigure3 measures every fleet link for LinkWindows windows in each
+// epoch.
+func (s *Study) RunFigure3() *Figure3Result {
+	res := &Figure3Result{
+		Now24: &stats.CDF{}, Before24: &stats.CDF{},
+		Now5: &stats.CDF{}, Before5: &stats.CDF{},
+	}
+	scale := s.LinkFleet.Params.Scale()
+	now := s.LinkFleet.Links(epoch.Jan2015)
+	before := s.LinkFleet.Links(epoch.Jul2014)
+	for i := range now {
+		rNow := now[i].Link.MeanDelivery(s.Config.LinkWindows, s.Config.Sampling)
+		rBefore := before[i].Link.MeanDelivery(s.Config.LinkWindows, s.Config.Sampling)
+		if now[i].Band == dot11.Band24 {
+			res.Now24.Add(rNow)
+			res.Before24.Add(rBefore)
+			res.Links24 += scale
+		} else {
+			res.Now5.Add(rNow)
+			res.Before5.Add(rBefore)
+			res.Links5 += scale
+		}
+	}
+	return res
+}
+
+// IntermediateFraction returns the share of links with delivery in
+// (lo, hi) — the "intermediate links" of the paper.
+func IntermediateFraction(c *stats.CDF, lo, hi float64) float64 {
+	return c.FractionBelow(hi) - c.FractionBelow(lo)
+}
+
+// Render prints Figure 3.
+func (r *Figure3Result) Render() string {
+	out := stats.RenderCDFs("Figure 3: link delivery ratios, 2.4 GHz", 64, 14, map[string]*stats.CDF{
+		"now":            r.Now24,
+		"six months ago": r.Before24,
+	})
+	out += stats.RenderCDFs("Figure 3 (cont.): 5 GHz", 64, 14, map[string]*stats.CDF{
+		"now":            r.Now5,
+		"six months ago": r.Before5,
+	})
+	out += fmt.Sprintf("links: %.0f at 2.4 GHz, %.0f at 5 GHz\n", r.Links24, r.Links5)
+	out += fmt.Sprintf("intermediate (5%%-95%%) 2.4 GHz links: %.0f%% now, %.0f%% before\n",
+		IntermediateFraction(r.Now24, 0.05, 0.95)*100, IntermediateFraction(r.Before24, 0.05, 0.95)*100)
+	out += fmt.Sprintf("5 GHz links delivering >=95%%: %.0f%%\n", r.Now5.FractionAtLeast(0.95)*100)
+	return out
+}
+
+// FigureSeriesResult reproduces Figures 4 and 5: delivery ratio over a
+// week for two chosen links on one band.
+type FigureSeriesResult struct {
+	Band   dot11.Band
+	Series map[string][]float64
+}
+
+// RunLinkSeries picks the first two intermediate links on the band and
+// measures a full week at 300 s windows.
+func (s *Study) RunLinkSeries(band dot11.Band) *FigureSeriesResult {
+	res := &FigureSeriesResult{Band: band, Series: map[string][]float64{}}
+	links := s.LinkFleet.Links(epoch.Jan2015)
+	picked := 0
+	for _, l := range links {
+		if l.Band != band {
+			continue
+		}
+		// Probe the link briefly to find interesting (non-saturated)
+		// ones, as the paper's random picks show variation.
+		probe := l.Link.MeanDelivery(5, s.Config.Sampling)
+		if probe > 0.98 || probe < 0.02 {
+			continue
+		}
+		name := fmt.Sprintf("link %s -> %s", l.From.Serial, l.To.Serial)
+		res.Series[name] = l.Link.WeekSeries(s.Config.Sampling)
+		picked++
+		if picked == 2 {
+			break
+		}
+	}
+	return res
+}
+
+// Render prints the week series chart.
+func (r *FigureSeriesResult) Render() string {
+	figure := "Figure 4"
+	if r.Band == dot11.Band5 {
+		figure = "Figure 5"
+	}
+	return stats.RenderSeries(
+		fmt.Sprintf("%s: delivery ratio over one week, %s links", figure, r.Band),
+		72, 12, 0, 1, r.Series)
+}

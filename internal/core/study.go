@@ -1,0 +1,119 @@
+// Package core is the measurement study itself: it drives the fleet
+// simulator through the measurement pipeline (association, flow
+// classification, telemetry harvest, backend aggregation) and computes
+// every table and figure of the paper. Each experiment has a typed
+// result plus a text renderer that prints the paper's rows.
+package core
+
+import (
+	"fmt"
+
+	"wlanscale/internal/backend"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/meshprobe"
+	"wlanscale/internal/rng"
+	"wlanscale/internal/synth"
+)
+
+// Config sizes a study run. The defaults (via DefaultConfig) are laptop
+// scale; Full() matches the paper's populations.
+type Config struct {
+	// Seed roots all randomness.
+	Seed uint64
+	// UsageNetworks is the simulated subset of the 20,667 networks for
+	// the usage study (Tables 2-6, Figure 1).
+	UsageNetworks int
+	// ClientCap bounds clients per network (0 = uncapped).
+	ClientCap int
+	// LinkNetworks sizes the fleet for the link study (Figures 3-5).
+	LinkNetworks int
+	// LinkWindows is the number of 300 s windows measured per link for
+	// the delivery CDF (2016 = a full week).
+	LinkWindows int
+	// Sampling selects the probe sampling mode.
+	Sampling meshprobe.SamplingMode
+	// UtilAPs is the number of MR16 APs measured for Figure 6.
+	UtilAPs int
+	// UtilWindows is the number of measurement windows per AP.
+	UtilWindows int
+	// ScanAPs is the number of MR18 APs swept for Figures 7-10.
+	ScanAPs int
+}
+
+// DefaultConfig returns a configuration that runs the whole study in
+// seconds on a laptop while preserving every distribution shape.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		UsageNetworks: 120,
+		ClientCap:     400,
+		LinkNetworks:  150,
+		LinkWindows:   60,
+		Sampling:      meshprobe.BinomialApprox,
+		UtilAPs:       250,
+		UtilWindows:   24,
+		ScanAPs:       200,
+	}
+}
+
+// Full returns the paper-scale configuration: 20,667 usage networks,
+// 10,000 APs per hardware study, full-week link series.
+func (c Config) Full() Config {
+	c.UsageNetworks = synth.PaperNetworkCount
+	c.ClientCap = 0
+	c.LinkNetworks = 4000 // ~10,000 MR16 APs
+	c.LinkWindows = meshprobe.WindowsPerWeek
+	c.UtilAPs = 10000
+	c.UtilWindows = 7 * 24
+	c.ScanAPs = 10000
+	return c
+}
+
+// Study holds the shared state of one reproduction run.
+type Study struct {
+	Config Config
+
+	// Fleet15 and Fleet14 are the same universe at the two usage
+	// epochs.
+	Fleet15, Fleet14 *synth.Fleet
+	// LinkFleet sizes the interference/link studies.
+	LinkFleet *synth.Fleet
+
+	// Store receives everything the backend harvested.
+	Store *backend.Store
+
+	src *rng.Source
+}
+
+// NewStudy builds the simulated universes.
+func NewStudy(cfg Config) (*Study, error) {
+	f15, err := synth.GenerateFleet(synth.Params{
+		Seed: cfg.Seed, NumNetworks: cfg.UsageNetworks,
+		Epoch: epoch.Jan2015, ClientCap: cfg.ClientCap,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: usage fleet 2015: %w", err)
+	}
+	f14, err := synth.GenerateFleet(synth.Params{
+		Seed: cfg.Seed, NumNetworks: cfg.UsageNetworks,
+		Epoch: epoch.Jan2014, ClientCap: cfg.ClientCap,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: usage fleet 2014: %w", err)
+	}
+	lf, err := synth.GenerateFleet(synth.Params{
+		Seed: cfg.Seed + 1, NumNetworks: cfg.LinkNetworks,
+		Epoch: epoch.Jan2015, ClientCap: 50,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: link fleet: %w", err)
+	}
+	return &Study{
+		Config:    cfg,
+		Fleet15:   f15,
+		Fleet14:   f14,
+		LinkFleet: lf,
+		Store:     backend.NewStore(),
+		src:       rng.New(cfg.Seed ^ 0xd1ce),
+	}, nil
+}

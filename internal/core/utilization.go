@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/radio"
+	"wlanscale/internal/stats"
+)
+
+// measurementHours spreads utilization windows across a day, weighted
+// toward business hours the way polling-period coverage is in practice.
+var measurementHours = []float64{1, 4, 7, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 21, 23}
+
+// Figure6Result reproduces Figure 6: channel utilization on the serving
+// channel as measured by MR16 access points.
+type Figure6Result struct {
+	Util24, Util5 *stats.CDF
+	// APs is the measured population (paper scale).
+	APs float64
+}
+
+// RunFigure6 measures every MR16's serving channels across UtilWindows
+// windows spread over the day and records the per-AP mean utilization.
+func (s *Study) RunFigure6() (*Figure6Result, error) {
+	res := &Figure6Result{Util24: &stats.CDF{}, Util5: &stats.CDF{}}
+	mr16, _ := s.LinkFleet.APsByModel()
+	if len(mr16) > s.Config.UtilAPs {
+		mr16 = mr16[:s.Config.UtilAPs]
+	}
+	scale := float64(10000) / float64(max(len(mr16), 1))
+	res.APs = float64(len(mr16)) * scale
+	for _, a := range mr16 {
+		n, apIdx, ok := s.LinkFleet.Locate(a)
+		if !ok {
+			return nil, fmt.Errorf("core: AP %s not in fleet", a.Serial)
+		}
+		env, err := s.LinkFleet.Environment(n, apIdx, epoch.Jan2015)
+		if err != nil {
+			return nil, err
+		}
+		for w := 0; w < s.Config.UtilWindows; w++ {
+			tod := measurementHours[w%len(measurementHours)]
+			a.Radio24.Measure(env.Hood, tod, time.Minute, env.OwnDuty24)
+			a.Radio5.Measure(env.Hood, tod, time.Minute, env.OwnDuty5)
+		}
+		res.Util24.Add(a.Radio24.ResetCounters().Utilization())
+		res.Util5.Add(a.Radio5.ResetCounters().Utilization())
+	}
+	return res, nil
+}
+
+// Render prints Figure 6.
+func (r *Figure6Result) Render() string {
+	out := stats.RenderCDFs("Figure 6: channel utilization (MR16, serving channel)", 64, 14,
+		map[string]*stats.CDF{"2.4 GHz": r.Util24, "5 GHz": r.Util5})
+	out += fmt.Sprintf("2.4 GHz: median %.0f%%, p90 %.0f%%;  5 GHz: median %.0f%%, p90 %.0f%%\n",
+		r.Util24.Median()*100, r.Util24.Quantile(0.9)*100,
+		r.Util5.Median()*100, r.Util5.Quantile(0.9)*100)
+	return out
+}
+
+// ScatterResult reproduces Figures 7 and 8: per-(AP, channel)
+// utilization versus the number of nearby APs detected on that channel,
+// from MR18 three-minute scans.
+type ScatterResult struct {
+	Band    dot11.Band
+	Scatter *stats.Scatter
+}
+
+// RunScatter sweeps the MR18 population's scanning radios and pairs
+// each channel's busy fraction with its detected AP count.
+func (s *Study) RunScatter(band dot11.Band) (*ScatterResult, error) {
+	res := &ScatterResult{Band: band, Scatter: &stats.Scatter{}}
+	_, mr18 := s.LinkFleet.APsByModel()
+	if len(mr18) > s.Config.ScanAPs {
+		mr18 = mr18[:s.Config.ScanAPs]
+	}
+	for _, a := range mr18 {
+		n, apIdx, ok := s.LinkFleet.Locate(a)
+		if !ok {
+			return nil, fmt.Errorf("core: AP %s not in fleet", a.Serial)
+		}
+		env, err := s.LinkFleet.Environment(n, apIdx, epoch.Jan2015)
+		if err != nil {
+			return nil, err
+		}
+		// Count detected networks per channel from the scan view. Within
+		// one three-minute window the 5 ms-dwell scanner misses a
+		// fraction of beacons, so detection is probabilistic — part of
+		// why the paper's per-window scatter decorrelates.
+		detSrc := s.src.Split("scatter-detect/" + a.Serial)
+		perChannel := make(map[int]float64)
+		neighbors := env.Neighbors24
+		if band == dot11.Band5 {
+			neighbors = env.Neighbors5
+		}
+		for _, rec := range a.ScanNeighbors(neighbors) {
+			if detSrc.Bool(0.8) {
+				perChannel[rec.Channel]++
+			}
+		}
+		// Three-minute aggregated sweep (the backend collects every
+		// three minutes; SweepAveraged models the in-period averaging).
+		// Windows are pooled from across the day, as the published
+		// scatter pools three-minute samples from the whole
+		// measurement period.
+		tod := measurementHours[detSrc.IntN(len(measurementHours))]
+		samples := radio.SweepAveraged(env.Hood, tod, 3)
+		for _, cs := range samples {
+			if cs.Channel.Band != band {
+				continue
+			}
+			res.Scatter.Add(perChannel[cs.Channel.Number], cs.Busy)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the scatter summary.
+func (r *ScatterResult) Render() string {
+	figure := "Figure 7"
+	if r.Band == dot11.Band5 {
+		figure = "Figure 8"
+	}
+	out := fmt.Sprintf("%s: utilization vs nearby APs, %s (%d points)\n", figure, r.Band, r.Scatter.N())
+	out += fmt.Sprintf("Pearson r = %+.3f, Spearman rho = %+.3f\n", r.Scatter.Pearson(), r.Scatter.Spearman())
+	for _, p := range r.Scatter.BinnedMeans(8) {
+		out += fmt.Sprintf("  %5.1f nearby APs -> mean utilization %5.1f%%\n", p.X, p.Y*100)
+	}
+	return out
+}
+
+// Figure9Result reproduces Figure 9: day versus night utilization
+// across all channels, from the MR18 scanning radio.
+type Figure9Result struct {
+	Day24, Night24, Day5, Night5 *stats.CDF
+}
+
+// RunFigure9 samples every MR18's full-band sweep at 10:00 and 22:00.
+func (s *Study) RunFigure9() (*Figure9Result, error) {
+	res := &Figure9Result{
+		Day24: &stats.CDF{}, Night24: &stats.CDF{},
+		Day5: &stats.CDF{}, Night5: &stats.CDF{},
+	}
+	_, mr18 := s.LinkFleet.APsByModel()
+	if len(mr18) > s.Config.ScanAPs {
+		mr18 = mr18[:s.Config.ScanAPs]
+	}
+	for _, a := range mr18 {
+		n, apIdx, ok := s.LinkFleet.Locate(a)
+		if !ok {
+			return nil, fmt.Errorf("core: AP %s not in fleet", a.Serial)
+		}
+		env, err := s.LinkFleet.Environment(n, apIdx, epoch.Jan2015)
+		if err != nil {
+			return nil, err
+		}
+		day := radio.SweepAveraged(env.Hood, 10, 3)
+		night := radio.SweepAveraged(env.Hood, 22, 3)
+		for i := range day {
+			if day[i].Channel.Band == dot11.Band24 {
+				res.Day24.Add(day[i].Busy)
+				res.Night24.Add(night[i].Busy)
+			} else {
+				res.Day5.Add(day[i].Busy)
+				res.Night5.Add(night[i].Busy)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints Figure 9.
+func (r *Figure9Result) Render() string {
+	out := stats.RenderCDFs("Figure 9: channel utilization day vs night (MR18, all channels), 2.4 GHz", 64, 14,
+		map[string]*stats.CDF{"day (10:00)": r.Day24, "night (22:00)": r.Night24})
+	out += stats.RenderCDFs("Figure 9 (cont.): 5 GHz", 64, 14,
+		map[string]*stats.CDF{"day (10:00)": r.Day5, "night (22:00)": r.Night5})
+	out += fmt.Sprintf("2.4 GHz median: day %.1f%% vs night %.1f%%;  5 GHz median: day %.1f%% vs night %.1f%%\n",
+		r.Day24.Median()*100, r.Night24.Median()*100,
+		r.Day5.Median()*100, r.Night5.Median()*100)
+	return out
+}
+
+// Figure10Result reproduces Figure 10: the share of busy time with
+// decodable 802.11 headers.
+type Figure10Result struct {
+	Decodable24, Decodable5 *stats.CDF
+}
+
+// RunFigure10 computes, per AP and band, the busy-weighted share of
+// utilization that carried decodable 802.11 headers — "the percentage
+// of utilization that contained decodable 802.11 headers" across the
+// band's channels.
+func (s *Study) RunFigure10() (*Figure10Result, error) {
+	res := &Figure10Result{Decodable24: &stats.CDF{}, Decodable5: &stats.CDF{}}
+	_, mr18 := s.LinkFleet.APsByModel()
+	if len(mr18) > s.Config.ScanAPs {
+		mr18 = mr18[:s.Config.ScanAPs]
+	}
+	for _, a := range mr18 {
+		n, apIdx, ok := s.LinkFleet.Locate(a)
+		if !ok {
+			return nil, fmt.Errorf("core: AP %s not in fleet", a.Serial)
+		}
+		env, err := s.LinkFleet.Environment(n, apIdx, epoch.Jan2015)
+		if err != nil {
+			return nil, err
+		}
+		var busy24, dec24, busy5, dec5 float64
+		for _, cs := range radio.SweepAveraged(env.Hood, 13, 3) {
+			if cs.Channel.Band == dot11.Band24 {
+				busy24 += cs.Busy
+				dec24 += cs.Decodable
+			} else {
+				busy5 += cs.Busy
+				dec5 += cs.Decodable
+			}
+		}
+		if busy24 > 0.01 {
+			res.Decodable24.Add(math.Min(dec24/busy24, 1))
+		}
+		if busy5 > 0.01 {
+			res.Decodable5.Add(math.Min(dec5/busy5, 1))
+		}
+	}
+	return res, nil
+}
+
+// Render prints Figure 10.
+func (r *Figure10Result) Render() string {
+	out := stats.RenderCDFs("Figure 10: decodable 802.11 fraction of busy time", 64, 14,
+		map[string]*stats.CDF{"2.4 GHz": r.Decodable24, "5 GHz": r.Decodable5})
+	out += fmt.Sprintf("median decodable fraction: %.0f%% (2.4 GHz), %.0f%% (5 GHz)\n",
+		r.Decodable24.Median()*100, r.Decodable5.Median()*100)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,205 @@
+// Package dot11 implements the 802.11 substrate the study rests on:
+// frequency bands and channels (including the 5 GHz UNII sub-bands and
+// their DFS requirements), channel-overlap math for 20 and 40 MHz
+// operation, client capability advertisement, PHY rate tables with
+// air-time calculations, and wire-format encoding and decoding of the
+// management frames the measurement pipeline observes (beacons and the
+// mesh link probes).
+package dot11
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Band identifies a frequency band.
+type Band uint8
+
+const (
+	// Band24 is the 2.4 GHz ISM band (channels 1-13 worldwide, 1-11 in
+	// the US under FCC Part 15).
+	Band24 Band = iota
+	// Band5 is the 5 GHz band spanning the UNII-1 through UNII-3
+	// sub-bands.
+	Band5
+)
+
+// String returns the conventional name of the band.
+func (b Band) String() string {
+	switch b {
+	case Band24:
+		return "2.4 GHz"
+	case Band5:
+		return "5 GHz"
+	default:
+		return fmt.Sprintf("Band(%d)", uint8(b))
+	}
+}
+
+// SubBand identifies the regulatory sub-band a 5 GHz channel belongs to.
+type SubBand uint8
+
+const (
+	// SubBandISM is the 2.4 GHz ISM band.
+	SubBandISM SubBand = iota
+	// SubBandUNII1 is the 5 GHz lower band (channels 36-48).
+	SubBandUNII1
+	// SubBandUNII2 is the 5 GHz middle band (channels 52-64, DFS).
+	SubBandUNII2
+	// SubBandUNII2Ext is the 5 GHz extended band (channels 100-140, DFS).
+	SubBandUNII2Ext
+	// SubBandUNII3 is the 5 GHz upper band (channels 149-165).
+	SubBandUNII3
+)
+
+// String returns the regulatory name of the sub-band.
+func (s SubBand) String() string {
+	switch s {
+	case SubBandISM:
+		return "2.4 GHz ISM"
+	case SubBandUNII1:
+		return "UNII-1"
+	case SubBandUNII2:
+		return "UNII-2"
+	case SubBandUNII2Ext:
+		return "UNII-2 Extended"
+	case SubBandUNII3:
+		return "UNII-3"
+	default:
+		return fmt.Sprintf("SubBand(%d)", uint8(s))
+	}
+}
+
+// Channel describes one 20 MHz-wide 802.11 channel center.
+type Channel struct {
+	// Number is the 802.11 channel number (1-13 at 2.4 GHz, 36-165 at
+	// 5 GHz).
+	Number int
+	// Band is the frequency band.
+	Band Band
+	// CenterMHz is the channel center frequency in MHz.
+	CenterMHz int
+	// Sub is the regulatory sub-band.
+	Sub SubBand
+	// DFS reports whether the channel requires Dynamic Frequency
+	// Selection (radar detection) before and during use.
+	DFS bool
+}
+
+// channelTable lists the US (FCC Part 15) channel plan used by the study:
+// all measured APs were located in the United States.
+var channelTable = buildChannels()
+
+func buildChannels() []Channel {
+	var chans []Channel
+	// 2.4 GHz: channels 1-11 (US), 5 MHz spacing from 2412 MHz.
+	for n := 1; n <= 11; n++ {
+		chans = append(chans, Channel{
+			Number:    n,
+			Band:      Band24,
+			CenterMHz: 2407 + 5*n,
+			Sub:       SubBandISM,
+		})
+	}
+	add5 := func(numbers []int, sub SubBand, dfs bool) {
+		for _, n := range numbers {
+			chans = append(chans, Channel{
+				Number:    n,
+				Band:      Band5,
+				CenterMHz: 5000 + 5*n,
+				Sub:       sub,
+				DFS:       dfs,
+			})
+		}
+	}
+	add5([]int{36, 40, 44, 48}, SubBandUNII1, false)
+	add5([]int{52, 56, 60, 64}, SubBandUNII2, true)
+	// Channels 124 and 128 are omitted: during the study period the FCC
+	// TDWR weather-radar restriction kept them out of the US plan, which
+	// is why the paper counts ten non-overlapping 40 MHz channels with
+	// DFS rather than eleven.
+	add5([]int{100, 104, 108, 112, 116, 120, 132, 136, 140}, SubBandUNII2Ext, true)
+	add5([]int{149, 153, 157, 161, 165}, SubBandUNII3, false)
+	return chans
+}
+
+// Channels returns the US channel plan for the band, ordered by channel
+// number. The returned slice is shared; callers must not modify it.
+func Channels(b Band) []Channel {
+	lo := sort.Search(len(channelTable), func(i int) bool { return channelTable[i].Band >= b })
+	hi := sort.Search(len(channelTable), func(i int) bool { return channelTable[i].Band > b })
+	return channelTable[lo:hi]
+}
+
+// AllChannels returns every US channel in both bands.
+func AllChannels() []Channel { return channelTable }
+
+// ChannelByNumber looks up a channel by its number within a band.
+func ChannelByNumber(b Band, number int) (Channel, bool) {
+	for _, c := range Channels(b) {
+		if c.Number == number {
+			return c, true
+		}
+	}
+	return Channel{}, false
+}
+
+// NonOverlapping24 lists the three non-overlapping 20 MHz channels in the
+// 2.4 GHz band that the paper's Figure 2 discusses.
+var NonOverlapping24 = []int{1, 6, 11}
+
+// Overlap returns the fraction of transmit energy from a transmitter on
+// channel tx that lands inside the receive bandwidth of a listener on
+// channel rx, both using the given channel widths in MHz (20 or 40).
+// The model treats spectral occupancy as rectangular, which captures the
+// adjacent-channel behaviour that matters for the study: co-channel
+// overlap is 1, 2.4 GHz channels 5 MHz apart overlap 0.75, and channels
+// 25 MHz apart (1 vs 6) do not overlap at 20 MHz width.
+func Overlap(tx Channel, txWidthMHz int, rx Channel, rxWidthMHz int) float64 {
+	if tx.Band != rx.Band {
+		return 0
+	}
+	if txWidthMHz <= 0 {
+		txWidthMHz = 20
+	}
+	if rxWidthMHz <= 0 {
+		rxWidthMHz = 20
+	}
+	txLo := float64(tx.CenterMHz) - float64(txWidthMHz)/2
+	txHi := float64(tx.CenterMHz) + float64(txWidthMHz)/2
+	rxLo := float64(rx.CenterMHz) - float64(rxWidthMHz)/2
+	rxHi := float64(rx.CenterMHz) + float64(rxWidthMHz)/2
+	lo := txLo
+	if rxLo > lo {
+		lo = rxLo
+	}
+	hi := txHi
+	if rxHi < hi {
+		hi = rxHi
+	}
+	if hi <= lo {
+		return 0
+	}
+	return (hi - lo) / (txHi - txLo)
+}
+
+// NonOverlapping40MHz5GHz returns the number of non-overlapping 40 MHz
+// channels available at 5 GHz, with or without the DFS bands — the counts
+// the paper quotes in Section 4.1 (four without DFS, ten with).
+func NonOverlapping40MHz5GHz(includeDFS bool) int {
+	n := 0
+	chans := Channels(Band5)
+	for i := 0; i+1 < len(chans); i += 2 {
+		a, b := chans[i], chans[i+1]
+		// A 40 MHz channel bonds two adjacent 20 MHz channels.
+		if b.CenterMHz-a.CenterMHz != 20 {
+			i-- // re-align: skip single channel (e.g. 165)
+			continue
+		}
+		if !includeDFS && (a.DFS || b.DFS) {
+			continue
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,142 @@
+package dot11
+
+import (
+	"testing"
+)
+
+func TestChannelPlan24(t *testing.T) {
+	chans := Channels(Band24)
+	if len(chans) != 11 {
+		t.Fatalf("2.4 GHz channels = %d, want 11 (US plan)", len(chans))
+	}
+	if chans[0].Number != 1 || chans[0].CenterMHz != 2412 {
+		t.Errorf("channel 1 = %+v", chans[0])
+	}
+	if chans[5].Number != 6 || chans[5].CenterMHz != 2437 {
+		t.Errorf("channel 6 = %+v, want center 2437", chans[5])
+	}
+	if chans[10].Number != 11 || chans[10].CenterMHz != 2462 {
+		t.Errorf("channel 11 = %+v", chans[10])
+	}
+	for _, c := range chans {
+		if c.DFS {
+			t.Errorf("2.4 GHz channel %d flagged DFS", c.Number)
+		}
+		if c.Sub != SubBandISM {
+			t.Errorf("2.4 GHz channel %d in sub-band %v", c.Number, c.Sub)
+		}
+	}
+}
+
+func TestChannelPlan5(t *testing.T) {
+	chans := Channels(Band5)
+	if len(chans) != 22 {
+		t.Fatalf("5 GHz channels = %d, want 22 (US plan, TDWR 124/128 excluded)", len(chans))
+	}
+	ch36, ok := ChannelByNumber(Band5, 36)
+	if !ok || ch36.CenterMHz != 5180 || ch36.Sub != SubBandUNII1 || ch36.DFS {
+		t.Errorf("channel 36 = %+v", ch36)
+	}
+	ch52, ok := ChannelByNumber(Band5, 52)
+	if !ok || !ch52.DFS || ch52.Sub != SubBandUNII2 {
+		t.Errorf("channel 52 = %+v, want DFS UNII-2", ch52)
+	}
+	ch100, ok := ChannelByNumber(Band5, 100)
+	if !ok || !ch100.DFS || ch100.Sub != SubBandUNII2Ext {
+		t.Errorf("channel 100 = %+v, want DFS UNII-2e", ch100)
+	}
+	ch149, ok := ChannelByNumber(Band5, 149)
+	if !ok || ch149.DFS || ch149.Sub != SubBandUNII3 {
+		t.Errorf("channel 149 = %+v, want non-DFS UNII-3", ch149)
+	}
+	if _, ok := ChannelByNumber(Band5, 124); ok {
+		t.Error("TDWR channel 124 present; should be excluded from the 2014 US plan")
+	}
+}
+
+func TestChannelByNumberMissing(t *testing.T) {
+	if _, ok := ChannelByNumber(Band24, 14); ok {
+		t.Error("channel 14 should not exist in the US plan")
+	}
+	if _, ok := ChannelByNumber(Band5, 1); ok {
+		t.Error("channel 1 should not exist at 5 GHz")
+	}
+}
+
+func TestAllChannelsCount(t *testing.T) {
+	if got := len(AllChannels()); got != 33 {
+		t.Errorf("AllChannels = %d, want 33", got)
+	}
+}
+
+func TestOverlapCoChannel(t *testing.T) {
+	ch6, _ := ChannelByNumber(Band24, 6)
+	if got := Overlap(ch6, 20, ch6, 20); got != 1 {
+		t.Errorf("co-channel overlap = %v, want 1", got)
+	}
+}
+
+func TestOverlapAdjacent24(t *testing.T) {
+	ch1, _ := ChannelByNumber(Band24, 1)
+	ch2, _ := ChannelByNumber(Band24, 2)
+	ch6, _ := ChannelByNumber(Band24, 6)
+	// 5 MHz apart at 20 MHz width: 15/20 = 0.75 overlap.
+	if got := Overlap(ch1, 20, ch2, 20); got != 0.75 {
+		t.Errorf("ch1-ch2 overlap = %v, want 0.75", got)
+	}
+	// Channels 1 and 6 are 25 MHz apart: no overlap at 20 MHz.
+	if got := Overlap(ch1, 20, ch6, 20); got != 0 {
+		t.Errorf("ch1-ch6 overlap = %v, want 0", got)
+	}
+}
+
+func TestOverlapCrossBand(t *testing.T) {
+	ch1, _ := ChannelByNumber(Band24, 1)
+	ch36, _ := ChannelByNumber(Band5, 36)
+	if got := Overlap(ch1, 20, ch36, 20); got != 0 {
+		t.Errorf("cross-band overlap = %v, want 0", got)
+	}
+}
+
+func TestOverlap40MHz(t *testing.T) {
+	ch36, _ := ChannelByNumber(Band5, 36)
+	ch40, _ := ChannelByNumber(Band5, 40)
+	// A 40 MHz transmission centered on ch36 spans 5160-5200 MHz; ch40's
+	// 20 MHz receive band (5190-5210) captures 10 of those 40 MHz.
+	if got := Overlap(ch36, 40, ch40, 20); got != 0.25 {
+		t.Errorf("40->20 overlap = %v, want 0.25", got)
+	}
+	// Defaults: zero width treated as 20 MHz.
+	if got := Overlap(ch36, 0, ch36, 0); got != 1 {
+		t.Errorf("default-width overlap = %v, want 1", got)
+	}
+}
+
+func TestOverlapSymmetricEnergyFraction(t *testing.T) {
+	ch1, _ := ChannelByNumber(Band24, 1)
+	ch3, _ := ChannelByNumber(Band24, 3)
+	// 10 MHz offset at 20 MHz width: half the TX energy lands in-band.
+	if got := Overlap(ch1, 20, ch3, 20); got != 0.5 {
+		t.Errorf("ch1-ch3 overlap = %v, want 0.5", got)
+	}
+}
+
+func TestNonOverlapping40Counts(t *testing.T) {
+	// Section 4.1: four non-overlapping 40 MHz channels without DFS, ten
+	// with DFS.
+	if got := NonOverlapping40MHz5GHz(false); got != 4 {
+		t.Errorf("non-DFS 40 MHz channels = %d, want 4", got)
+	}
+	if got := NonOverlapping40MHz5GHz(true); got != 10 {
+		t.Errorf("DFS 40 MHz channels = %d, want 10", got)
+	}
+}
+
+func TestBandString(t *testing.T) {
+	if Band24.String() != "2.4 GHz" || Band5.String() != "5 GHz" {
+		t.Error("band names wrong")
+	}
+	if SubBandUNII2Ext.String() != "UNII-2 Extended" {
+		t.Errorf("sub-band name = %q", SubBandUNII2Ext.String())
+	}
+}

@@ -1,0 +1,183 @@
+package dot11
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Capabilities describes the 802.11 capabilities a client advertises when
+// it associates — the fields the study's Table 4 tracks year over year.
+type Capabilities struct {
+	// G reports 802.11g (ERP-OFDM at 2.4 GHz) support.
+	G bool
+	// N reports 802.11n (HT) support.
+	N bool
+	// AC reports 802.11ac (VHT) support; implies 5 GHz capability.
+	AC bool
+	// FiveGHz reports that the client can operate in the 5 GHz band.
+	FiveGHz bool
+	// Width40 reports 40 MHz channel support.
+	Width40 bool
+	// Width80 reports 80 MHz channel support (802.11ac).
+	Width80 bool
+	// Streams is the number of spatial streams (1-4).
+	Streams int
+}
+
+// Normalize enforces the standard's implication rules: 802.11ac implies
+// 802.11n and 5 GHz support; 80 MHz implies 40 MHz; stream counts are
+// clamped to [1,4].
+func (c Capabilities) Normalize() Capabilities {
+	if c.AC {
+		c.N = true
+		c.FiveGHz = true
+		c.Width80 = true
+	}
+	if c.Width80 {
+		c.Width40 = true
+	}
+	if c.Streams < 1 {
+		c.Streams = 1
+	}
+	if c.Streams > 4 {
+		c.Streams = 4
+	}
+	return c
+}
+
+// String renders a compact capability summary such as "11ac/5GHz/80MHz/2ss".
+func (c Capabilities) String() string {
+	var parts []string
+	switch {
+	case c.AC:
+		parts = append(parts, "11ac")
+	case c.N:
+		parts = append(parts, "11n")
+	case c.G:
+		parts = append(parts, "11g")
+	default:
+		parts = append(parts, "11b")
+	}
+	if c.FiveGHz {
+		parts = append(parts, "5GHz")
+	} else {
+		parts = append(parts, "2.4GHz-only")
+	}
+	switch {
+	case c.Width80:
+		parts = append(parts, "80MHz")
+	case c.Width40:
+		parts = append(parts, "40MHz")
+	default:
+		parts = append(parts, "20MHz")
+	}
+	parts = append(parts, fmt.Sprintf("%dss", c.Streams))
+	return strings.Join(parts, "/")
+}
+
+// capability IE bit layout (2 bytes) used by Marshal/Unmarshal.
+const (
+	capBitG = 1 << iota
+	capBitN
+	capBitAC
+	capBit5GHz
+	capBit40
+	capBit80
+	// bits 6-7: streams-1
+	capStreamShift = 6
+)
+
+// Marshal encodes the capabilities into the 2-byte information-element
+// payload the simulated beacon and association frames carry.
+func (c Capabilities) Marshal() [2]byte {
+	c = c.Normalize()
+	var v uint16
+	if c.G {
+		v |= capBitG
+	}
+	if c.N {
+		v |= capBitN
+	}
+	if c.AC {
+		v |= capBitAC
+	}
+	if c.FiveGHz {
+		v |= capBit5GHz
+	}
+	if c.Width40 {
+		v |= capBit40
+	}
+	if c.Width80 {
+		v |= capBit80
+	}
+	v |= uint16(c.Streams-1) << capStreamShift
+	return [2]byte{byte(v), byte(v >> 8)}
+}
+
+// UnmarshalCapabilities decodes a capability IE payload.
+func UnmarshalCapabilities(b [2]byte) Capabilities {
+	v := uint16(b[0]) | uint16(b[1])<<8
+	c := Capabilities{
+		G:       v&capBitG != 0,
+		N:       v&capBitN != 0,
+		AC:      v&capBitAC != 0,
+		FiveGHz: v&capBit5GHz != 0,
+		Width40: v&capBit40 != 0,
+		Width80: v&capBit80 != 0,
+		Streams: int(v>>capStreamShift&0x3) + 1,
+	}
+	return c.Normalize()
+}
+
+// CapabilityCounts aggregates capability advertisement across a client
+// population, producing the percentages reported in Table 4.
+type CapabilityCounts struct {
+	Total        int
+	G            int
+	N            int
+	AC           int
+	FiveGHz      int
+	Width40      int
+	TwoStreams   int
+	ThreeStreams int
+	FourStreams  int
+}
+
+// Add counts one client's capabilities.
+func (cc *CapabilityCounts) Add(c Capabilities) {
+	c = c.Normalize()
+	cc.Total++
+	if c.G {
+		cc.G++
+	}
+	if c.N {
+		cc.N++
+	}
+	if c.AC {
+		cc.AC++
+	}
+	if c.FiveGHz {
+		cc.FiveGHz++
+	}
+	if c.Width40 {
+		cc.Width40++
+	}
+	// Stream buckets are exclusive, matching Table 4 (the paper's "about
+	// 25% support multiple spatial streams" is the sum of the three rows).
+	switch c.Streams {
+	case 2:
+		cc.TwoStreams++
+	case 3:
+		cc.ThreeStreams++
+	case 4:
+		cc.FourStreams++
+	}
+}
+
+// Fraction returns n/Total, or 0 for an empty count.
+func (cc *CapabilityCounts) Fraction(n int) float64 {
+	if cc.Total == 0 {
+		return 0
+	}
+	return float64(n) / float64(cc.Total)
+}

@@ -1,0 +1,218 @@
+package dot11
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// FrameType is the 802.11 frame type/subtype the measurement pipeline
+// cares about.
+type FrameType uint8
+
+const (
+	// FrameBeacon is a management beacon frame.
+	FrameBeacon FrameType = iota
+	// FrameProbeRequest is a probe request.
+	FrameProbeRequest
+	// FrameProbeResponse is a probe response.
+	FrameProbeResponse
+	// FrameAssocRequest is an association request carrying capability IEs.
+	FrameAssocRequest
+	// FrameMeshProbe is the Meraki 60-byte broadcast link probe.
+	FrameMeshProbe
+	// FrameData is a generic data frame.
+	FrameData
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameBeacon:
+		return "beacon"
+	case FrameProbeRequest:
+		return "probe-req"
+	case FrameProbeResponse:
+		return "probe-resp"
+	case FrameAssocRequest:
+		return "assoc-req"
+	case FrameMeshProbe:
+		return "mesh-probe"
+	case FrameData:
+		return "data"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(t))
+	}
+}
+
+// IE identifiers used in the simulated management frames.
+const (
+	ieSSID      = 0
+	ieCaps      = 1
+	ieChannel   = 2
+	ieSeq       = 3
+	ieHostVendo = 4
+)
+
+// Errors returned by the decoders.
+var (
+	ErrShortFrame  = errors.New("dot11: frame too short")
+	ErrBadMagic    = errors.New("dot11: bad frame magic")
+	ErrTruncatedIE = errors.New("dot11: truncated information element")
+)
+
+const frameMagic = 0xB5
+
+// header layout: magic(1) type(1) sa(6) da(6) bssid(6) = 20 bytes,
+// followed by IEs as (id, len, payload) triples.
+const headerLen = 20
+
+// Frame is a decoded management frame.
+type Frame struct {
+	Type  FrameType
+	SA    MAC // transmitter
+	DA    MAC // receiver (broadcast for beacons/probes)
+	BSSID BSSID
+
+	// SSID is present on beacons and probe responses.
+	SSID string
+	// Caps is present on beacons and association requests.
+	Caps Capabilities
+	// HasCaps reports whether Caps was present in the frame.
+	HasCaps bool
+	// Channel is the advertised operating channel (beacons).
+	Channel int
+	// Seq is the probe sequence number (mesh probes).
+	Seq uint32
+	// Vendor is a free-form vendor string (used for hotspot detection).
+	Vendor string
+}
+
+// Marshal encodes the frame. The mesh probe is padded to exactly
+// ProbeFrameBytes (60 bytes) to match the on-air size the paper measures.
+func (f *Frame) Marshal() []byte {
+	b := make([]byte, headerLen, headerLen+64)
+	b[0] = frameMagic
+	b[1] = byte(f.Type)
+	copy(b[2:8], f.SA[:])
+	copy(b[8:14], f.DA[:])
+	copy(b[14:20], f.BSSID[:])
+
+	appendIE := func(id byte, payload []byte) {
+		b = append(b, id, byte(len(payload)))
+		b = append(b, payload...)
+	}
+	if f.SSID != "" {
+		s := f.SSID
+		if len(s) > 32 {
+			s = s[:32]
+		}
+		appendIE(ieSSID, []byte(s))
+	}
+	if f.HasCaps {
+		c := f.Caps.Marshal()
+		appendIE(ieCaps, c[:])
+	}
+	if f.Channel != 0 {
+		appendIE(ieChannel, []byte{byte(f.Channel)})
+	}
+	if f.Vendor != "" {
+		v := f.Vendor
+		if len(v) > 32 {
+			v = v[:32]
+		}
+		appendIE(ieHostVendo, []byte(v))
+	}
+	if f.Type == FrameMeshProbe {
+		var seq [4]byte
+		binary.BigEndian.PutUint32(seq[:], f.Seq)
+		appendIE(ieSeq, seq[:])
+		// Pad to the fixed 60-byte on-air size the paper measures.
+		for len(b) < ProbeFrameBytes {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// Unmarshal decodes a frame produced by Marshal.
+func Unmarshal(b []byte) (*Frame, error) {
+	if len(b) < headerLen {
+		return nil, ErrShortFrame
+	}
+	if b[0] != frameMagic {
+		return nil, ErrBadMagic
+	}
+	f := &Frame{Type: FrameType(b[1])}
+	copy(f.SA[:], b[2:8])
+	copy(f.DA[:], b[8:14])
+	copy(f.BSSID[:], b[14:20])
+
+	rest := b[headerLen:]
+	for len(rest) > 0 {
+		if rest[0] == 0 && len(rest) >= 2 && rest[1] == 0 && f.Type == FrameMeshProbe {
+			// Probe padding.
+			rest = rest[2:]
+			continue
+		}
+		if len(rest) < 2 {
+			if f.Type == FrameMeshProbe && rest[0] == 0 {
+				break // trailing pad byte
+			}
+			return nil, ErrTruncatedIE
+		}
+		id, n := rest[0], int(rest[1])
+		if len(rest) < 2+n {
+			return nil, ErrTruncatedIE
+		}
+		payload := rest[2 : 2+n]
+		switch id {
+		case ieSSID:
+			f.SSID = string(payload)
+		case ieCaps:
+			if n == 2 {
+				f.Caps = UnmarshalCapabilities([2]byte{payload[0], payload[1]})
+				f.HasCaps = true
+			}
+		case ieChannel:
+			if n == 1 {
+				f.Channel = int(payload[0])
+			}
+		case ieSeq:
+			if n == 4 {
+				f.Seq = binary.BigEndian.Uint32(payload)
+			}
+		case ieHostVendo:
+			f.Vendor = string(payload)
+		default:
+			// Unknown IEs are skipped, as a real parser must.
+		}
+		rest = rest[2+n:]
+	}
+	return f, nil
+}
+
+// NewBeacon builds a beacon frame for the given BSS.
+func NewBeacon(bssid BSSID, ssid string, channel int, caps Capabilities) *Frame {
+	return &Frame{
+		Type:    FrameBeacon,
+		SA:      bssid,
+		DA:      Broadcast,
+		BSSID:   bssid,
+		SSID:    ssid,
+		Channel: channel,
+		Caps:    caps,
+		HasCaps: true,
+	}
+}
+
+// NewMeshProbe builds the 60-byte broadcast link probe.
+func NewMeshProbe(sa MAC, seq uint32) *Frame {
+	return &Frame{Type: FrameMeshProbe, SA: sa, DA: Broadcast, BSSID: sa, Seq: seq}
+}
+
+// NewAssocRequest builds an association request advertising the client's
+// capabilities.
+func NewAssocRequest(sa MAC, bssid BSSID, caps Capabilities) *Frame {
+	return &Frame{Type: FrameAssocRequest, SA: sa, DA: bssid, BSSID: bssid, Caps: caps, HasCaps: true}
+}

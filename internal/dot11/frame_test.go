@@ -1,0 +1,332 @@
+package dot11
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCapabilitiesRoundTrip(t *testing.T) {
+	err := quick.Check(func(g, n, ac, five, w40, w80 bool, streamsRaw uint8) bool {
+		c := Capabilities{
+			G: g, N: n, AC: ac, FiveGHz: five,
+			Width40: w40, Width80: w80,
+			Streams: int(streamsRaw%4) + 1,
+		}.Normalize()
+		got := UnmarshalCapabilities(c.Marshal())
+		return got == c
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapabilitiesNormalize(t *testing.T) {
+	c := Capabilities{AC: true}.Normalize()
+	if !c.N || !c.FiveGHz || !c.Width80 || !c.Width40 {
+		t.Errorf("11ac normalize = %+v; ac must imply n, 5 GHz, 80 and 40 MHz", c)
+	}
+	if c.Streams != 1 {
+		t.Errorf("streams clamp = %d, want 1", c.Streams)
+	}
+	c = Capabilities{Streams: 9}.Normalize()
+	if c.Streams != 4 {
+		t.Errorf("streams clamp high = %d, want 4", c.Streams)
+	}
+}
+
+func TestCapabilitiesString(t *testing.T) {
+	c := Capabilities{AC: true, Streams: 2}.Normalize()
+	if got := c.String(); got != "11ac/5GHz/80MHz/2ss" {
+		t.Errorf("String = %q", got)
+	}
+	c = Capabilities{G: true, Streams: 1}
+	if got := c.String(); got != "11g/2.4GHz-only/20MHz/1ss" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCapabilityCountsExclusiveStreams(t *testing.T) {
+	var cc CapabilityCounts
+	cc.Add(Capabilities{N: true, Streams: 2})
+	cc.Add(Capabilities{N: true, Streams: 3})
+	cc.Add(Capabilities{N: true, Streams: 4})
+	cc.Add(Capabilities{N: true, Streams: 1})
+	if cc.TwoStreams != 1 || cc.ThreeStreams != 1 || cc.FourStreams != 1 {
+		t.Errorf("stream buckets = %d/%d/%d, want 1/1/1 (exclusive)", cc.TwoStreams, cc.ThreeStreams, cc.FourStreams)
+	}
+	if cc.Fraction(cc.TwoStreams) != 0.25 {
+		t.Errorf("Fraction = %v", cc.Fraction(cc.TwoStreams))
+	}
+	var empty CapabilityCounts
+	if empty.Fraction(1) != 0 {
+		t.Error("empty Fraction should be 0")
+	}
+}
+
+func TestBeaconRoundTrip(t *testing.T) {
+	bssid := MAC{0x00, 0x18, 0x0a, 1, 2, 3}
+	caps := Capabilities{G: true, N: true, Streams: 2}.Normalize()
+	f := NewBeacon(bssid, "corp-wifi", 6, caps)
+	b := f.Marshal()
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Type != FrameBeacon || got.SSID != "corp-wifi" || got.Channel != 6 {
+		t.Errorf("decoded beacon = %+v", got)
+	}
+	if got.BSSID != bssid || got.SA != bssid || got.DA != Broadcast {
+		t.Errorf("addresses = sa=%v da=%v bssid=%v", got.SA, got.DA, got.BSSID)
+	}
+	if !got.HasCaps || got.Caps != caps {
+		t.Errorf("caps = %+v, want %+v", got.Caps, caps)
+	}
+}
+
+func TestMeshProbeSize(t *testing.T) {
+	f := NewMeshProbe(MAC{1, 2, 3, 4, 5, 6}, 12345)
+	b := f.Marshal()
+	if len(b) != ProbeFrameBytes {
+		t.Fatalf("mesh probe size = %d bytes, want %d", len(b), ProbeFrameBytes)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Seq != 12345 || got.Type != FrameMeshProbe {
+		t.Errorf("decoded probe = %+v", got)
+	}
+}
+
+func TestAssocRequestRoundTrip(t *testing.T) {
+	sa := MAC{0xac, 0xbc, 0x32, 9, 9, 9}
+	bssid := MAC{0x00, 0x18, 0x0a, 0, 0, 1}
+	caps := Capabilities{AC: true, Streams: 1}.Normalize()
+	got, err := Unmarshal(NewAssocRequest(sa, bssid, caps).Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SA != sa || got.Caps != caps || !got.HasCaps {
+		t.Errorf("assoc = %+v", got)
+	}
+}
+
+func TestVendorIERoundTrip(t *testing.T) {
+	f := NewBeacon(MAC{2, 0, 0, 0, 0, 1}, "Verizon-MiFi", 1, Capabilities{G: true, Streams: 1})
+	f.Vendor = "Novatel"
+	got, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Vendor != "Novatel" {
+		t.Errorf("vendor = %q", got.Vendor)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err != ErrShortFrame {
+		t.Errorf("short frame err = %v", err)
+	}
+	b := NewMeshProbe(MAC{}, 1).Marshal()
+	b[0] = 0x00
+	if _, err := Unmarshal(b); err != ErrBadMagic {
+		t.Errorf("bad magic err = %v", err)
+	}
+	// Truncated IE: header plus an IE claiming more payload than present.
+	raw := make([]byte, headerLen)
+	raw[0] = frameMagic
+	raw = append(raw, ieSSID, 10, 'a')
+	if _, err := Unmarshal(raw); err != ErrTruncatedIE {
+		t.Errorf("truncated IE err = %v", err)
+	}
+}
+
+func TestUnmarshalSkipsUnknownIE(t *testing.T) {
+	f := NewBeacon(MAC{1, 1, 1, 1, 1, 1}, "x", 11, Capabilities{G: true, Streams: 1})
+	b := f.Marshal()
+	b = append(b, 0x77, 2, 0xde, 0xad) // unknown IE
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal with unknown IE: %v", err)
+	}
+	if got.SSID != "x" || got.Channel != 11 {
+		t.Errorf("decoded = %+v", got)
+	}
+}
+
+func TestSSIDTruncatedTo32(t *testing.T) {
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = 'a'
+	}
+	f := NewBeacon(MAC{}, string(long), 1, Capabilities{Streams: 1})
+	got, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.SSID) != 32 {
+		t.Errorf("SSID length = %d, want 32", len(got.SSID))
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(sa, da [6]byte, seq uint32) bool {
+		f := &Frame{Type: FrameMeshProbe, SA: MAC(sa), DA: MAC(da), Seq: seq}
+		got, err := Unmarshal(f.Marshal())
+		return err == nil && got.SA == MAC(sa) && got.DA == MAC(da) && got.Seq == seq
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACHelpers(t *testing.T) {
+	m := MAC{0x00, 0x18, 0x0a, 0xab, 0xcd, 0xef}
+	if m.String() != "00:18:0a:ab:cd:ef" {
+		t.Errorf("String = %q", m.String())
+	}
+	if m.OUI() != [3]byte{0x00, 0x18, 0x0a} {
+		t.Errorf("OUI = %v", m.OUI())
+	}
+	if m.IsBroadcast() || !Broadcast.IsBroadcast() {
+		t.Error("broadcast detection wrong")
+	}
+	if m.IsLocallyAdministered() {
+		t.Error("globally administered MAC flagged local")
+	}
+	local := MAC{0x02, 0, 0, 0, 0, 1}
+	if !local.IsLocallyAdministered() {
+		t.Error("locally administered MAC not flagged")
+	}
+}
+
+func TestMACPackRoundTrip(t *testing.T) {
+	err := quick.Check(func(raw [6]byte) bool {
+		m := MAC(raw)
+		return MACFromPacked(m.Uint64()) == m
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACFromUint64(t *testing.T) {
+	m := MACFromUint64([3]byte{0xaa, 0xbb, 0xcc}, 0x112233)
+	want := MAC{0xaa, 0xbb, 0xcc, 0x11, 0x22, 0x33}
+	if m != want {
+		t.Errorf("MACFromUint64 = %v, want %v", m, want)
+	}
+}
+
+func TestAirTimeMatchesPaper(t *testing.T) {
+	// Section 4.1: 0.42 ms for an a/g/n beacon, 2.592 ms for an 802.11b
+	// beacon.
+	ofdm := AirTime(BeaconFrameBytes, Rate6Mb)
+	if ofdm < 410*time.Microsecond || ofdm > 430*time.Microsecond {
+		t.Errorf("OFDM beacon air time = %v, want ~0.42 ms", ofdm)
+	}
+	dsss := AirTime(BeaconFrameBytes, Rate1Mb)
+	if dsss != 2592*time.Microsecond {
+		t.Errorf("11b beacon air time = %v, want 2.592 ms", dsss)
+	}
+}
+
+func TestAirTimeProbe(t *testing.T) {
+	// 60-byte probe at 1 Mb/s: 192 + 480 = 672 us.
+	if got := AirTime(ProbeFrameBytes, Rate1Mb); got != 672*time.Microsecond {
+		t.Errorf("probe air time 2.4 GHz = %v, want 672 us", got)
+	}
+	// At 6 Mb/s OFDM: 20 + ceil((480+22)/24)*4 = 20 + 21*4 = 104 us.
+	if got := AirTime(ProbeFrameBytes, Rate6Mb); got != 104*time.Microsecond {
+		t.Errorf("probe air time 5 GHz = %v, want 104 us", got)
+	}
+}
+
+func TestAirTimeMonotoneInSize(t *testing.T) {
+	err := quick.Check(func(a, b uint16) bool {
+		x, y := int(a%4000), int(b%4000)
+		if x > y {
+			x, y = y, x
+		}
+		return AirTime(x, Rate54Mb) <= AirTime(y, Rate54Mb)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBeaconInterval(t *testing.T) {
+	if BeaconInterval != 102400*time.Microsecond {
+		t.Errorf("BeaconInterval = %v, want 102.4 ms", BeaconInterval)
+	}
+}
+
+func TestHTMCSRates(t *testing.T) {
+	r, ok := HTMCS(7, 1, 20)
+	if !ok || r.Mbps != 65 {
+		t.Errorf("MCS7 1ss 20 MHz = %+v, want 65 Mb/s", r)
+	}
+	// MCS7 at 2 streams and 40 MHz is MCS15: 270 Mb/s long-GI.
+	r2, ok := HTMCS(7, 2, 40)
+	if !ok || r2.Mbps < 265 || r2.Mbps > 275 {
+		t.Errorf("MCS7 2ss 40 MHz = %+v, want ~270 Mb/s", r2)
+	}
+	if _, ok := HTMCS(8, 1, 20); ok {
+		t.Error("MCS8 accepted")
+	}
+	if _, ok := HTMCS(0, 5, 20); ok {
+		t.Error("5 streams accepted")
+	}
+	if _, ok := HTMCS(0, 1, 80); ok {
+		t.Error("80 MHz HT accepted")
+	}
+}
+
+func TestBestOFDMRate(t *testing.T) {
+	r, ok := BestOFDMRate(30)
+	if !ok || r.Mbps != 54 {
+		t.Errorf("BestOFDMRate(30) = %+v", r)
+	}
+	r, ok = BestOFDMRate(9)
+	if !ok || r.Mbps != 12 {
+		t.Errorf("BestOFDMRate(9) = %+v, want 12 Mb/s", r)
+	}
+	if _, ok := BestOFDMRate(2); ok {
+		t.Error("BestOFDMRate(2) should fail")
+	}
+}
+
+func TestSNRForRate(t *testing.T) {
+	if !SNRForRate(5, Rate6Mb) || SNRForRate(4.9, Rate6Mb) {
+		t.Error("SNRForRate threshold wrong")
+	}
+}
+
+func TestPHYString(t *testing.T) {
+	for phy, want := range map[PHY]string{
+		PHYDSSS: "802.11b", PHYOFDM: "802.11a/g", PHYHT: "802.11n", PHYVHT: "802.11ac",
+	} {
+		if phy.String() != want {
+			t.Errorf("PHY %d = %q, want %q", phy, phy.String(), want)
+		}
+	}
+}
+
+func BenchmarkBeaconMarshal(b *testing.B) {
+	f := NewBeacon(MAC{1, 2, 3, 4, 5, 6}, "benchmark-ssid", 6, Capabilities{N: true, Streams: 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Marshal()
+	}
+}
+
+func BenchmarkFrameUnmarshal(b *testing.B) {
+	raw := NewBeacon(MAC{1, 2, 3, 4, 5, 6}, "benchmark-ssid", 6, Capabilities{N: true, Streams: 2}).Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package dot11
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MAC is a 48-bit IEEE 802 MAC address. It is a value type so it can key
+// maps directly, which the flow-aggregation paths rely on.
+type MAC [6]byte
+
+// String renders the address in canonical colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// OUI returns the 24-bit organizationally unique identifier prefix.
+func (m MAC) OUI() [3]byte { return [3]byte{m[0], m[1], m[2]} }
+
+// IsBroadcast reports whether the address is ff:ff:ff:ff:ff:ff.
+func (m MAC) IsBroadcast() bool {
+	return m == MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+}
+
+// IsLocallyAdministered reports whether the locally-administered bit is
+// set, as on randomized client MACs and many mobile hotspots.
+func (m MAC) IsLocallyAdministered() bool { return m[0]&0x02 != 0 }
+
+// Broadcast is the broadcast MAC address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// MACFromUint64 builds a MAC from the low 48 bits of v with the given
+// 3-byte OUI.
+func MACFromUint64(oui [3]byte, v uint64) MAC {
+	var m MAC
+	m[0], m[1], m[2] = oui[0], oui[1], oui[2]
+	m[3] = byte(v >> 16)
+	m[4] = byte(v >> 8)
+	m[5] = byte(v)
+	return m
+}
+
+// Uint64 packs the address into the low 48 bits of a uint64, for compact
+// storage in the backend.
+func (m MAC) Uint64() uint64 {
+	var b [8]byte
+	copy(b[2:], m[:])
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// MACFromPacked is the inverse of Uint64.
+func MACFromPacked(v uint64) MAC {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	var m MAC
+	copy(m[:], b[2:])
+	return m
+}
+
+// BSSID identifies a wireless network instance (one SSID on one radio).
+type BSSID = MAC

@@ -1,0 +1,161 @@
+package dot11
+
+import "time"
+
+// PHY identifies the modulation family of a transmission.
+type PHY uint8
+
+const (
+	// PHYDSSS is 802.11b DSSS/CCK (1, 2, 5.5, 11 Mb/s).
+	PHYDSSS PHY = iota
+	// PHYOFDM is 802.11a/g OFDM (6-54 Mb/s).
+	PHYOFDM
+	// PHYHT is 802.11n HT (MCS 0-31).
+	PHYHT
+	// PHYVHT is 802.11ac VHT.
+	PHYVHT
+)
+
+// String returns the standard-family name of the PHY.
+func (p PHY) String() string {
+	switch p {
+	case PHYDSSS:
+		return "802.11b"
+	case PHYOFDM:
+		return "802.11a/g"
+	case PHYHT:
+		return "802.11n"
+	case PHYVHT:
+		return "802.11ac"
+	default:
+		return "unknown PHY"
+	}
+}
+
+// Rate describes one PHY rate.
+type Rate struct {
+	// PHY is the modulation family.
+	PHY PHY
+	// Mbps is the data rate in megabits per second.
+	Mbps float64
+	// MinSNRdB is the approximate SNR (dB) required for reliable
+	// reception at this rate, from standard receiver sensitivity tables.
+	MinSNRdB float64
+}
+
+// Canonical basic rates used by the measurement subsystems.
+var (
+	// Rate1Mb is the 1 Mb/s DSSS rate the mesh probes use at 2.4 GHz.
+	Rate1Mb = Rate{PHY: PHYDSSS, Mbps: 1, MinSNRdB: 4}
+	// Rate6Mb is the 6 Mb/s OFDM rate the mesh probes use at 5 GHz and
+	// the rate a/g/n beacons are sent at.
+	Rate6Mb = Rate{PHY: PHYOFDM, Mbps: 6, MinSNRdB: 5}
+	// Rate11Mb is the maximum 802.11b rate.
+	Rate11Mb = Rate{PHY: PHYDSSS, Mbps: 11, MinSNRdB: 10}
+	// Rate54Mb is the maximum 802.11a/g rate.
+	Rate54Mb = Rate{PHY: PHYOFDM, Mbps: 54, MinSNRdB: 25}
+)
+
+// OFDMRates lists the eight 802.11a/g rates with their required SNRs.
+var OFDMRates = []Rate{
+	{PHYOFDM, 6, 5},
+	{PHYOFDM, 9, 6},
+	{PHYOFDM, 12, 8},
+	{PHYOFDM, 18, 11},
+	{PHYOFDM, 24, 15},
+	{PHYOFDM, 36, 19},
+	{PHYOFDM, 48, 23},
+	{PHYOFDM, 54, 25},
+}
+
+// HTMCS returns the 802.11n rate for the given MCS index (0-7 per
+// stream), stream count (1-4) and channel width (20 or 40 MHz) with a
+// long guard interval. It returns false for out-of-range arguments.
+func HTMCS(mcs, streams, widthMHz int) (Rate, bool) {
+	if mcs < 0 || mcs > 7 || streams < 1 || streams > 4 {
+		return Rate{}, false
+	}
+	// Base 20 MHz long-GI single-stream rates for MCS 0-7.
+	base := []float64{6.5, 13, 19.5, 26, 39, 52, 58.5, 65}
+	snr := []float64{5, 8, 11, 14, 18, 22, 24, 26}
+	mult := 1.0
+	switch widthMHz {
+	case 20:
+	case 40:
+		mult = 2.077 // 108/52 data subcarrier ratio
+	default:
+		return Rate{}, false
+	}
+	return Rate{
+		PHY:      PHYHT,
+		Mbps:     base[mcs] * mult * float64(streams),
+		MinSNRdB: snr[mcs] + 3*float64(streams-1), // MIMO needs more SNR
+	}, true
+}
+
+// PLCP/PHY timing constants from the standard.
+const (
+	// dsssLongPreambleUS is the 802.11b long preamble + PLCP header.
+	dsssLongPreambleUS = 192
+	// ofdmPreambleUS is the 802.11a/g/n preamble + SIGNAL field.
+	ofdmPreambleUS = 20
+	// ofdmSymbolUS is one OFDM symbol (long GI).
+	ofdmSymbolUS = 4
+	// serviceTailBits are the OFDM SERVICE (16) + tail (6) bits.
+	serviceTailBits = 22
+)
+
+// AirTime returns the on-air duration of a frame of the given MAC-layer
+// length (bytes, including the MAC header and FCS) at the given rate.
+// It reproduces the beacon air times the paper quotes in Section 4.1:
+// 0.42 ms for an 802.11a/g/n beacon at 6 Mb/s and about 2.6 ms for an
+// 802.11b beacon at 1 Mb/s.
+func AirTime(bytes int, r Rate) time.Duration {
+	bits := float64(bytes * 8)
+	var us float64
+	switch r.PHY {
+	case PHYDSSS:
+		us = dsssLongPreambleUS + bits/r.Mbps
+	default:
+		// OFDM-family: preamble plus a whole number of symbols.
+		bitsPerSymbol := r.Mbps * ofdmSymbolUS
+		symbols := (bits + serviceTailBits + bitsPerSymbol - 1) / bitsPerSymbol
+		us = ofdmPreambleUS + float64(int(symbols))*ofdmSymbolUS
+	}
+	return time.Duration(us * float64(time.Microsecond))
+}
+
+// Standard frame sizes used by the measurement subsystems.
+const (
+	// BeaconFrameBytes is a typical beacon frame length including MAC
+	// header, fixed fields, common IEs and FCS.
+	BeaconFrameBytes = 300
+	// ProbeFrameBytes is the 60-byte mesh link probe the paper's
+	// Section 4.2 describes.
+	ProbeFrameBytes = 60
+	// BeaconIntervalTU is the default beacon interval in time units;
+	// one TU is 1024 microseconds, so 100 TU is the 102.4 ms the paper
+	// quotes.
+	BeaconIntervalTU = 100
+)
+
+// BeaconInterval is the default beacon period (102.4 ms).
+const BeaconInterval = BeaconIntervalTU * 1024 * time.Microsecond
+
+// SNRForRate returns whether the given SNR supports the rate, with a
+// margin of zero dB.
+func SNRForRate(snrDB float64, r Rate) bool { return snrDB >= r.MinSNRdB }
+
+// BestOFDMRate returns the fastest 802.11a/g rate the SNR supports, or
+// false if even 6 Mb/s is not supported.
+func BestOFDMRate(snrDB float64) (Rate, bool) {
+	var best Rate
+	ok := false
+	for _, r := range OFDMRates {
+		if snrDB >= r.MinSNRdB {
+			best = r
+			ok = true
+		}
+	}
+	return best, ok
+}

@@ -1,0 +1,49 @@
+// Package epoch labels the measurement periods of the study. Time in
+// the simulation is virtual: the usage studies (Section 3) compare the
+// weeks of January 15-22 2014 and 2015, while the interference studies
+// (Sections 4 and 5) compare July 2014 ("six months ago") with January
+// 2015 ("now").
+package epoch
+
+// Epoch is one measurement period.
+type Epoch uint8
+
+const (
+	// Jan2014 is the January 15-22, 2014 usage week.
+	Jan2014 Epoch = iota
+	// Jul2014 is the July 2014 link/interference baseline.
+	Jul2014
+	// Jan2015 is the January 15-22, 2015 usage week and the "now" of
+	// the link/interference studies.
+	Jan2015
+)
+
+// String names the epoch.
+func (e Epoch) String() string {
+	switch e {
+	case Jan2014:
+		return "Jan 2014"
+	case Jul2014:
+		return "Jul 2014"
+	case Jan2015:
+		return "Jan 2015"
+	default:
+		return "unknown epoch"
+	}
+}
+
+// YearsSince2014 returns the elapsed time since January 2014 in years,
+// used by growth models.
+func (e Epoch) YearsSince2014() float64 {
+	switch e {
+	case Jul2014:
+		return 0.5
+	case Jan2015:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// WeekSeconds is the length of one measurement week.
+const WeekSeconds = 7 * 24 * 3600

@@ -1,0 +1,266 @@
+// Package flow implements the per-client flow table each access point
+// maintains (paper Section 2.1): TCP/UDP flows keyed by client MAC,
+// tagged with the application the slow-path classifier identified, and
+// rolled up into per-client, per-application byte counters that the
+// backend harvests. It also assembles the Click pipeline that routes
+// slow-path packets into the classifier.
+package flow
+
+import (
+	"sort"
+	"sync"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/click"
+	"wlanscale/internal/dot11"
+)
+
+// Key identifies a flow.
+type Key struct {
+	Client dot11.MAC
+	FlowID uint64
+}
+
+// Flow is one tracked flow.
+type Flow struct {
+	Key       Key
+	App       string
+	Category  apps.Category
+	UpBytes   uint64
+	DownBytes uint64
+	// UserAgent observed on the flow, forwarded to OS inference.
+	UserAgent string
+
+	counted bool // whether the flow was counted toward AppUsage.Flows
+}
+
+// Total returns the flow's total bytes.
+func (f *Flow) Total() uint64 { return f.UpBytes + f.DownBytes }
+
+// AppUsage is the per-application byte rollup for one client.
+type AppUsage struct {
+	App       string
+	Category  apps.Category
+	UpBytes   uint64
+	DownBytes uint64
+	Flows     int
+}
+
+// Total returns the usage's total bytes.
+func (u *AppUsage) Total() uint64 { return u.UpBytes + u.DownBytes }
+
+// ClientUsage aggregates one client's week.
+type ClientUsage struct {
+	Client dot11.MAC
+	Apps   map[string]*AppUsage
+	// UserAgents collects distinct user agents seen, for OS inference.
+	UserAgents []string
+	// DHCPFingerprints collects distinct option-55 lists seen.
+	DHCPFingerprints [][]byte
+}
+
+// Total returns the client's total bytes across applications.
+func (c *ClientUsage) Total() uint64 {
+	var t uint64
+	for _, u := range c.Apps {
+		t += u.Total()
+	}
+	return t
+}
+
+// Table tracks flows and client usage for one access point. It is safe
+// for concurrent use.
+type Table struct {
+	classifier *apps.Classifier
+
+	mu      sync.Mutex
+	flows   map[Key]*Flow
+	clients map[dot11.MAC]*ClientUsage
+}
+
+// NewTable creates a flow table using the given classifier.
+func NewTable(classifier *apps.Classifier) *Table {
+	return &Table{
+		classifier: classifier,
+		flows:      make(map[Key]*Flow),
+		clients:    make(map[dot11.MAC]*ClientUsage),
+	}
+}
+
+// Observe handles a slow-path packet: it classifies the flow from its
+// artifacts and creates or retags the flow entry.
+func (t *Table) Observe(client dot11.MAC, flowID uint64, meta apps.FlowMeta) *Flow {
+	res := t.classifier.Classify(meta)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := Key{Client: client, FlowID: flowID}
+	f, ok := t.flows[k]
+	if !ok {
+		f = &Flow{Key: k}
+		t.flows[k] = f
+	}
+	f.App = res.App
+	f.Category = res.Category
+	if res.UserAgent != "" {
+		f.UserAgent = res.UserAgent
+		t.clientLocked(client).addUserAgent(res.UserAgent)
+	}
+	return f
+}
+
+// AddBytes accounts fast-path bytes to a flow. Flows never observed on
+// the slow path (no SYN seen, e.g. the AP rebooted mid-flow) are lazily
+// created and classified by port alone when first counted.
+func (t *Table) AddBytes(client dot11.MAC, flowID uint64, proto apps.Proto, serverPort uint16, up, down uint64) {
+	t.mu.Lock()
+	k := Key{Client: client, FlowID: flowID}
+	f, ok := t.flows[k]
+	t.mu.Unlock()
+	if !ok {
+		f = t.Observe(client, flowID, apps.FlowMeta{Proto: proto, ServerPort: serverPort})
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f.UpBytes += up
+	f.DownBytes += down
+	cu := t.clientLocked(client)
+	u, ok := cu.Apps[f.App]
+	if !ok {
+		u = &AppUsage{App: f.App, Category: f.Category}
+		cu.Apps[f.App] = u
+	}
+	if !f.counted {
+		u.Flows++
+		f.counted = true
+	}
+	u.UpBytes += up
+	u.DownBytes += down
+}
+
+// ObserveDHCP records a DHCP fingerprint for the client.
+func (t *Table) ObserveDHCP(client dot11.MAC, params []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clientLocked(client).addFingerprint(params)
+}
+
+func (t *Table) clientLocked(client dot11.MAC) *ClientUsage {
+	cu, ok := t.clients[client]
+	if !ok {
+		cu = &ClientUsage{Client: client, Apps: make(map[string]*AppUsage)}
+		t.clients[client] = cu
+	}
+	return cu
+}
+
+func (c *ClientUsage) addUserAgent(ua string) {
+	for _, existing := range c.UserAgents {
+		if existing == ua {
+			return
+		}
+	}
+	c.UserAgents = append(c.UserAgents, ua)
+}
+
+func (c *ClientUsage) addFingerprint(params []byte) {
+	for _, existing := range c.DHCPFingerprints {
+		if string(existing) == string(params) {
+			return
+		}
+	}
+	cp := make([]byte, len(params))
+	copy(cp, params)
+	c.DHCPFingerprints = append(c.DHCPFingerprints, cp)
+}
+
+// NumFlows returns the number of tracked flows.
+func (t *Table) NumFlows() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.flows)
+}
+
+// NumClients returns the number of clients with usage.
+func (t *Table) NumClients() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.clients)
+}
+
+// Snapshot returns the per-client usage records, sorted by client MAC
+// for determinism, and clears nothing (harvest is idempotent; the
+// backend deduplicates by polling period).
+func (t *Table) Snapshot() []*ClientUsage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*ClientUsage, 0, len(t.clients))
+	for _, cu := range t.clients {
+		out = append(out, cu)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Client.Uint64() < out[j].Client.Uint64()
+	})
+	return out
+}
+
+// InferOS runs the Section 3.2 heuristics over everything the table has
+// seen for the client.
+func (t *Table) InferOS(client dot11.MAC) apps.OS {
+	t.mu.Lock()
+	cu, ok := t.clients[client]
+	t.mu.Unlock()
+	if !ok {
+		return apps.OSUnknown
+	}
+	return apps.InferOS(client.OUI(), cu.DHCPFingerprints, cu.UserAgents)
+}
+
+// Pipeline assembles the AP data path: an input counter, then the
+// fast/slow path switch. Fast-path packets are counted into the flow's
+// byte totals; slow-path packets go through the classifier. It mirrors
+// the element structure of Section 2.1.
+type Pipeline struct {
+	table *Table
+	// In counts everything entering the data path.
+	In *click.Counter
+	// SlowPath counts packets diverted for inspection.
+	SlowPath *click.Counter
+	root     click.Element
+}
+
+// NewPipeline builds the data path over a flow table.
+func NewPipeline(table *Table) *Pipeline {
+	p := &Pipeline{
+		table:    table,
+		In:       click.NewCounter("in"),
+		SlowPath: click.NewCounter("slow-path"),
+	}
+	slow := click.NewChain("slow",
+		p.SlowPath,
+		click.Func{Label: "classify", Fn: func(pkt *click.Packet) {
+			table.Observe(pkt.Client, pkt.FlowID, *pkt.Meta)
+		}},
+	)
+	fast := click.Func{Label: "count", Fn: func(pkt *click.Packet) {
+		var up, down uint64
+		if pkt.Upstream {
+			up = uint64(pkt.Length)
+		} else {
+			down = uint64(pkt.Length)
+		}
+		proto := apps.TCP
+		port := uint16(0)
+		if pkt.Meta != nil {
+			proto, port = pkt.Meta.Proto, pkt.Meta.ServerPort
+		}
+		table.AddBytes(pkt.Client, pkt.FlowID, proto, port, up, down)
+	}}
+	p.root = click.NewChain("datapath",
+		p.In,
+		&click.PathSwitch{Fast: fast, Slow: slow},
+	)
+	return p
+}
+
+// Push sends one packet through the data path.
+func (p *Pipeline) Push(pkt *click.Packet) { p.root.Push(pkt) }

@@ -1,0 +1,197 @@
+package flow
+
+import (
+	"sync"
+	"testing"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/click"
+	"wlanscale/internal/dot11"
+)
+
+var testMAC = dot11.MAC{0xac, 0xbc, 0x32, 0, 0, 1}
+
+func newTestTable() *Table { return NewTable(apps.NewClassifier()) }
+
+func TestObserveClassifies(t *testing.T) {
+	tab := newTestTable()
+	f := tab.Observe(testMAC, 1, apps.FlowMeta{
+		Proto:       apps.TCP,
+		ServerPort:  443,
+		ClientHello: apps.BuildClientHello("api.netflix.com"),
+	})
+	if f.App != "Netflix" || f.Category != apps.CatVideoMusic {
+		t.Errorf("flow = %+v", f)
+	}
+	if tab.NumFlows() != 1 {
+		t.Errorf("NumFlows = %d", tab.NumFlows())
+	}
+}
+
+func TestAddBytesAccumulates(t *testing.T) {
+	tab := newTestTable()
+	tab.Observe(testMAC, 1, apps.FlowMeta{Proto: apps.TCP, ServerPort: 443, ClientHello: apps.BuildClientHello("www.youtube.com")})
+	tab.AddBytes(testMAC, 1, apps.TCP, 443, 1000, 50000)
+	tab.AddBytes(testMAC, 1, apps.TCP, 443, 500, 25000)
+	snap := tab.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("clients = %d", len(snap))
+	}
+	u := snap[0].Apps["YouTube"]
+	if u == nil {
+		t.Fatalf("no YouTube usage: %+v", snap[0].Apps)
+	}
+	if u.UpBytes != 1500 || u.DownBytes != 75000 {
+		t.Errorf("usage = %+v", u)
+	}
+	if u.Flows != 1 {
+		t.Errorf("Flows = %d, want 1 (same flow counted twice)", u.Flows)
+	}
+	if u.Total() != 76500 || snap[0].Total() != 76500 {
+		t.Errorf("totals = %d / %d", u.Total(), snap[0].Total())
+	}
+}
+
+func TestAddBytesUnseenFlowClassifiedByPort(t *testing.T) {
+	tab := newTestTable()
+	// No slow-path observation: AP rebooted mid-flow. Port 445 should
+	// classify as Windows file sharing.
+	tab.AddBytes(testMAC, 9, apps.TCP, 445, 100, 200)
+	snap := tab.Snapshot()
+	if _, ok := snap[0].Apps["Windows file sharing"]; !ok {
+		t.Errorf("apps = %v", snap[0].Apps)
+	}
+}
+
+func TestDistinctFlowsCounted(t *testing.T) {
+	tab := newTestTable()
+	for id := uint64(1); id <= 3; id++ {
+		tab.Observe(testMAC, id, apps.FlowMeta{Proto: apps.TCP, ServerPort: 443, ClientHello: apps.BuildClientHello("www.dropbox.com")})
+		tab.AddBytes(testMAC, id, apps.TCP, 443, 10, 10)
+	}
+	u := tab.Snapshot()[0].Apps["Dropbox"]
+	if u.Flows != 3 {
+		t.Errorf("Flows = %d, want 3", u.Flows)
+	}
+}
+
+func TestUserAgentCollected(t *testing.T) {
+	tab := newTestTable()
+	ua := apps.UserAgentFor(apps.OSAndroid)
+	meta := apps.FlowMeta{Proto: apps.TCP, ServerPort: 80, HTTPHead: apps.BuildHTTPRequest("GET", "www.cnn.com", "/", ua, "")}
+	tab.Observe(testMAC, 1, meta)
+	tab.Observe(testMAC, 2, meta) // duplicate UA deduplicated
+	snap := tab.Snapshot()
+	if len(snap[0].UserAgents) != 1 || snap[0].UserAgents[0] != ua {
+		t.Errorf("user agents = %v", snap[0].UserAgents)
+	}
+}
+
+func TestInferOSFromTable(t *testing.T) {
+	tab := newTestTable()
+	fp, _ := apps.DHCPFingerprintFor(apps.OSAndroid)
+	tab.ObserveDHCP(testMAC, fp)
+	tab.ObserveDHCP(testMAC, fp) // dedup
+	ua := apps.UserAgentFor(apps.OSAndroid)
+	tab.Observe(testMAC, 1, apps.FlowMeta{Proto: apps.TCP, ServerPort: 80, HTTPHead: apps.BuildHTTPRequest("GET", "example.org", "/", ua, "")})
+	if got := tab.InferOS(testMAC); got != apps.OSAndroid {
+		t.Errorf("InferOS = %v", got)
+	}
+	if got := tab.InferOS(dot11.MAC{9, 9, 9, 9, 9, 9}); got != apps.OSUnknown {
+		t.Errorf("unknown client OS = %v", got)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	tab := newTestTable()
+	macs := []dot11.MAC{
+		{5, 0, 0, 0, 0, 1},
+		{1, 0, 0, 0, 0, 1},
+		{3, 0, 0, 0, 0, 1},
+	}
+	for i, m := range macs {
+		tab.AddBytes(m, uint64(i), apps.TCP, 80, 1, 1)
+	}
+	snap := tab.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("clients = %d", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Client.Uint64() >= snap[i].Client.Uint64() {
+			t.Fatal("snapshot not sorted by MAC")
+		}
+	}
+}
+
+func TestTableConcurrentAccess(t *testing.T) {
+	tab := newTestTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mac := dot11.MAC{byte(g), 0, 0, 0, 0, 1}
+			for i := 0; i < 200; i++ {
+				id := uint64(i % 10)
+				tab.Observe(mac, id, apps.FlowMeta{Proto: apps.TCP, ServerPort: 443, ClientHello: apps.BuildClientHello("www.facebook.com")})
+				tab.AddBytes(mac, id, apps.TCP, 443, 10, 100)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tab.NumClients() != 8 {
+		t.Errorf("clients = %d", tab.NumClients())
+	}
+	var total uint64
+	for _, cu := range tab.Snapshot() {
+		total += cu.Total()
+	}
+	if total != 8*200*110 {
+		t.Errorf("total bytes = %d, want %d", total, 8*200*110)
+	}
+}
+
+func TestPipelineFastSlowSplit(t *testing.T) {
+	tab := newTestTable()
+	p := NewPipeline(tab)
+
+	meta := &apps.FlowMeta{Proto: apps.TCP, ServerPort: 443, ClientHello: apps.BuildClientHello("www.instagram.com")}
+	// Slow-path packet: the SYN/handshake with artifacts.
+	p.Push(&click.Packet{Client: testMAC, FlowID: 7, Length: 300, Meta: meta})
+	// Fast-path aggregates.
+	p.Push(&click.Packet{Client: testMAC, FlowID: 7, Length: 100000, Upstream: false})
+	p.Push(&click.Packet{Client: testMAC, FlowID: 7, Length: 4000, Upstream: true})
+
+	if p.In.Packets() != 3 {
+		t.Errorf("in counter = %d", p.In.Packets())
+	}
+	if p.SlowPath.Packets() != 1 {
+		t.Errorf("slow counter = %d", p.SlowPath.Packets())
+	}
+	u := tab.Snapshot()[0].Apps["Instagram"]
+	if u == nil {
+		t.Fatalf("apps = %v", tab.Snapshot()[0].Apps)
+	}
+	if u.DownBytes != 100000 || u.UpBytes != 4000 {
+		t.Errorf("usage = %+v", u)
+	}
+}
+
+func BenchmarkTableAddBytes(b *testing.B) {
+	tab := newTestTable()
+	tab.Observe(testMAC, 1, apps.FlowMeta{Proto: apps.TCP, ServerPort: 443, ClientHello: apps.BuildClientHello("www.google.com")})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.AddBytes(testMAC, 1, apps.TCP, 443, 10, 100)
+	}
+}
+
+func BenchmarkPipelinePush(b *testing.B) {
+	tab := newTestTable()
+	p := NewPipeline(tab)
+	pkt := &click.Packet{Client: testMAC, FlowID: 1, Length: 1500}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Push(pkt)
+	}
+}

@@ -1,0 +1,168 @@
+// Package meshprobe implements the link-measurement subsystem of paper
+// Section 4.2: each access point broadcasts a 60-byte probe every 15
+// seconds — at 1 Mb/s on its 2.4 GHz radio and 6 Mb/s at 5 GHz — and
+// receivers report delivery ratios over 300-second windows to the
+// backend. Links combine a fading channel (rf.LinkChannel) with a
+// co-channel-busy process, so delivery ratios are intermediate and vary
+// over time exactly as Figures 3-5 show.
+package meshprobe
+
+import (
+	"time"
+
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/rf"
+	"wlanscale/internal/rng"
+)
+
+// Probe timing from the paper.
+const (
+	// ProbeInterval is the time between broadcasts.
+	ProbeInterval = 15 * time.Second
+	// Window is the measurement window over which delivery is computed.
+	Window = 300 * time.Second
+	// ProbesPerWindow is the number of probes in one window.
+	ProbesPerWindow = int(Window / ProbeInterval)
+	// WindowsPerWeek is the number of windows in a one-week series.
+	WindowsPerWeek = 7 * 24 * 3600 / 300
+)
+
+// SamplingMode selects how a window's deliveries are sampled.
+type SamplingMode uint8
+
+const (
+	// PerProbe samples each probe's fading and collision independently
+	// — the reference model.
+	PerProbe SamplingMode = iota
+	// BinomialApprox computes a single delivery probability for the
+	// window and draws a binomial count — cheaper, used at full fleet
+	// scale; the ablation bench quantifies the difference.
+	BinomialApprox
+)
+
+// Link is one directed AP-to-AP probe link.
+type Link struct {
+	// Band the link operates in.
+	Band dot11.Band
+	// DistanceM is the transmitter-receiver separation.
+	DistanceM float64
+	// Rate is the probe rate (1 Mb/s at 2.4 GHz, 6 Mb/s at 5 GHz).
+	Rate dot11.Rate
+
+	ch       *rf.LinkChannel
+	snrBase  float64 // EIRP - noise floor: SNR when gain is 0 dB
+	busyMean float64
+	busyProc rng.AR1
+	vuln     float64 // collision vulnerability scale for the probe air time
+	src      *rng.Source
+}
+
+// New creates a link in the given environment. eirpDBm is the
+// transmitter's EIRP; busyMean is the long-run co-channel busy fraction
+// at the receiver (probes lost to collisions when the channel is
+// occupied), which is how rising 2.4 GHz utilization degrades delivery
+// between the two epochs.
+func New(env rf.Environment, band dot11.Band, distanceM, eirpDBm, busyMean float64, src *rng.Source) *Link {
+	rate := dot11.Rate1Mb
+	if band == dot11.Band5 {
+		rate = dot11.Rate6Mb
+	}
+	airMs := dot11.AirTime(dot11.ProbeFrameBytes, rate).Seconds() * 1000
+	vuln := 0.25 + airMs/1.5
+	if vuln > 0.9 {
+		vuln = 0.9
+	}
+	if busyMean < 0 {
+		busyMean = 0
+	}
+	if busyMean > 0.95 {
+		busyMean = 0.95
+	}
+	l := &Link{
+		Band:      band,
+		DistanceM: distanceM,
+		Rate:      rate,
+		ch:        rf.NewLinkChannel(env, band, distanceM, src.Split("channel")),
+		snrBase:   eirpDBm - rf.NoiseFloorDBm(20),
+		busyMean:  busyMean,
+		busyProc:  rng.AR1{Mean: busyMean, Stddev: busyMean * 0.4, Rho: 0.9},
+		vuln:      vuln,
+		src:       src,
+	}
+	return l
+}
+
+// MedianSNRdB returns the link's median SNR (no fast fading), used by
+// the fleet generator to decide which links the backend would have data
+// for at all (too-weak links never appear in the dataset).
+func (l *Link) MedianSNRdB() float64 {
+	return l.snrBase + l.ch.MedianGainDB
+}
+
+// WindowResult is one 300-second window's delivery measurement.
+type WindowResult struct {
+	Sent      int
+	Delivered int
+}
+
+// Ratio returns the delivery ratio.
+func (w WindowResult) Ratio() float64 {
+	if w.Sent == 0 {
+		return 0
+	}
+	return float64(w.Delivered) / float64(w.Sent)
+}
+
+// MeasureWindow advances the link by one window and measures delivery.
+func (l *Link) MeasureWindow(mode SamplingMode) WindowResult {
+	l.ch.AdvanceWindow()
+	busy := l.busyProc.Next(l.src)
+	if busy < 0 {
+		busy = 0
+	}
+	if busy > 0.95 {
+		busy = 0.95
+	}
+	collisionLoss := busy * l.vuln
+
+	res := WindowResult{Sent: ProbesPerWindow}
+	switch mode {
+	case BinomialApprox:
+		// One representative fade for the window.
+		snr := l.snrBase + l.ch.MedianGainDB + l.ch.SlowGainDB() + l.src.RicianPowerDB(l.ch.RicianK)
+		p := rf.DeliveryProbability(snr, l.Rate.MinSNRdB, dot11.ProbeFrameBytes) * (1 - collisionLoss)
+		res.Delivered = l.src.Binomial(ProbesPerWindow, p)
+	default:
+		for i := 0; i < ProbesPerWindow; i++ {
+			snr := l.snrBase + l.ch.PacketGainDB()
+			p := rf.DeliveryProbability(snr, l.Rate.MinSNRdB, dot11.ProbeFrameBytes) * (1 - collisionLoss)
+			if l.src.Bool(p) {
+				res.Delivered++
+			}
+		}
+	}
+	return res
+}
+
+// WeekSeries measures a full week of windows and returns the per-window
+// delivery ratios — the time series of Figures 4 and 5.
+func (l *Link) WeekSeries(mode SamplingMode) []float64 {
+	out := make([]float64, WindowsPerWeek)
+	for i := range out {
+		out[i] = l.MeasureWindow(mode).Ratio()
+	}
+	return out
+}
+
+// MeanDelivery measures n windows and returns the average delivery
+// ratio — one point of the Figure 3 CDF.
+func (l *Link) MeanDelivery(windows int, mode SamplingMode) float64 {
+	if windows <= 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < windows; i++ {
+		sum += l.MeasureWindow(mode).Ratio()
+	}
+	return sum / float64(windows)
+}

@@ -1,0 +1,213 @@
+package meshprobe
+
+import (
+	"math"
+	"testing"
+
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/rf"
+	"wlanscale/internal/rng"
+)
+
+func TestProbeTimingConstants(t *testing.T) {
+	if ProbesPerWindow != 20 {
+		t.Errorf("ProbesPerWindow = %d, want 20 (300s / 15s)", ProbesPerWindow)
+	}
+	if WindowsPerWeek != 2016 {
+		t.Errorf("WindowsPerWeek = %d, want 2016", WindowsPerWeek)
+	}
+}
+
+func TestProbeRatesPerBand(t *testing.T) {
+	root := rng.New(1)
+	l24 := New(rf.EnvOpenOffice, dot11.Band24, 30, 26, 0, root.Split("a"))
+	if l24.Rate != dot11.Rate1Mb {
+		t.Errorf("2.4 GHz probe rate = %+v, want 1 Mb/s", l24.Rate)
+	}
+	l5 := New(rf.EnvOpenOffice, dot11.Band5, 30, 29, 0, root.Split("b"))
+	if l5.Rate != dot11.Rate6Mb {
+		t.Errorf("5 GHz probe rate = %+v, want 6 Mb/s", l5.Rate)
+	}
+}
+
+func TestStrongLinkDeliversEverything(t *testing.T) {
+	root := rng.New(2)
+	l := New(rf.EnvOpenOffice, dot11.Band24, 5, 26, 0, root.Split("l"))
+	w := l.MeasureWindow(PerProbe)
+	if w.Sent != ProbesPerWindow {
+		t.Errorf("Sent = %d", w.Sent)
+	}
+	if w.Ratio() < 0.95 {
+		t.Errorf("short quiet link delivery = %v, want ~1", w.Ratio())
+	}
+}
+
+func TestHopelessLinkDeliversNothing(t *testing.T) {
+	root := rng.New(3)
+	l := New(rf.EnvDenseObstructed, dot11.Band24, 5000, 26, 0, root.Split("l"))
+	if r := l.MeanDelivery(10, PerProbe); r > 0.05 {
+		t.Errorf("5 km obstructed link delivery = %v", r)
+	}
+}
+
+func TestBusyChannelDegradesDelivery(t *testing.T) {
+	root := rng.New(4)
+	var quiet, busy float64
+	const n = 40
+	for i := 0; i < n; i++ {
+		lq := New(rf.EnvOpenOffice, dot11.Band24, 20, 26, 0, root.SplitN("q", i))
+		lb := New(rf.EnvOpenOffice, dot11.Band24, 20, 26, 0.5, root.SplitN("b", i))
+		quiet += lq.MeanDelivery(20, PerProbe)
+		busy += lb.MeanDelivery(20, PerProbe)
+	}
+	if busy >= quiet {
+		t.Errorf("50%% busy channel did not degrade delivery: quiet=%.3f busy=%.3f", quiet/n, busy/n)
+	}
+	// Collision loss should be substantial for 1 Mb/s probes: the 672us
+	// air time makes them vulnerable.
+	if (quiet-busy)/n < 0.1 {
+		t.Errorf("busy-channel loss only %.3f", (quiet-busy)/n)
+	}
+}
+
+func TestIntermediateLinksExist(t *testing.T) {
+	// A population of medium-distance 2.4 GHz links should contain a
+	// large intermediate (0.05 < r < 0.95) fraction — the core claim of
+	// Figure 3.
+	root := rng.New(5)
+	intermediate, total := 0, 0
+	for i := 0; i < 150; i++ {
+		d := 20 + root.SplitN("dist", i).Float64()*120
+		l := New(rf.EnvDrywallOffice, dot11.Band24, d, 26, 0.25, root.SplitN("l", i))
+		if l.MedianSNRdB() < 3 {
+			continue // invisible to the backend
+		}
+		r := l.MeanDelivery(30, PerProbe)
+		total++
+		if r > 0.05 && r < 0.95 {
+			intermediate++
+		}
+	}
+	if total < 50 {
+		t.Fatalf("only %d visible links", total)
+	}
+	if frac := float64(intermediate) / float64(total); frac < 0.4 {
+		t.Errorf("intermediate fraction = %.2f, want the majority", frac)
+	}
+}
+
+func TestWeekSeriesVariesOverTime(t *testing.T) {
+	root := rng.New(6)
+	l := New(rf.EnvDrywallOffice, dot11.Band24, 60, 26, 0.25, root.Split("l"))
+	series := l.WeekSeries(PerProbe)
+	if len(series) != WindowsPerWeek {
+		t.Fatalf("series length = %d", len(series))
+	}
+	var s, s2 float64
+	for _, v := range series {
+		s += v
+		s2 += v * v
+	}
+	mean := s / float64(len(series))
+	sd := math.Sqrt(s2/float64(len(series)) - mean*mean)
+	if sd < 0.01 {
+		t.Errorf("delivery series stddev = %v; Figures 4/5 show variation", sd)
+	}
+	for _, v := range series {
+		if v < 0 || v > 1 {
+			t.Fatalf("ratio out of range: %v", v)
+		}
+	}
+}
+
+func TestBinomialApproxCloseToPerProbe(t *testing.T) {
+	// The two sampling modes should agree on the population mean within
+	// a few points (the ablation bench quantifies the residual).
+	root := rng.New(7)
+	var mp, mb float64
+	const n = 60
+	for i := 0; i < n; i++ {
+		d := 20 + root.SplitN("d", i).Float64()*80
+		lp := New(rf.EnvOpenOffice, dot11.Band24, d, 26, 0.2, root.SplitN("p", i))
+		lb := New(rf.EnvOpenOffice, dot11.Band24, d, 26, 0.2, root.SplitN("p", i))
+		mp += lp.MeanDelivery(25, PerProbe)
+		mb += lb.MeanDelivery(25, BinomialApprox)
+	}
+	if math.Abs(mp-mb)/n > 0.08 {
+		t.Errorf("sampling modes disagree: per-probe %.3f vs binomial %.3f", mp/n, mb/n)
+	}
+}
+
+func TestFiveGHzMoreConsistent(t *testing.T) {
+	// Same geometry: 5 GHz links (quieter channels) should deliver more
+	// and vary less than 2.4 GHz links, per Figures 3-5.
+	root := rng.New(8)
+	meanOf := func(band dot11.Band, busy float64, eirp float64) (float64, float64) {
+		var full, count float64
+		for i := 0; i < 80; i++ {
+			d := 15 + root.Split(band.String()).SplitN("d", i).Float64()*50
+			l := New(rf.EnvOpenOffice, band, d, eirp, busy, root.Split(band.String()).SplitN("l", i))
+			if l.MedianSNRdB() < 3 {
+				continue
+			}
+			r := l.MeanDelivery(20, PerProbe)
+			count++
+			if r >= 0.95 {
+				full++
+			}
+		}
+		return full, count
+	}
+	full24, n24 := meanOf(dot11.Band24, 0.3, 26)
+	full5, n5 := meanOf(dot11.Band5, 0.05, 29)
+	if n24 == 0 || n5 == 0 {
+		t.Fatal("no visible links")
+	}
+	if full5/n5 <= full24/n24 {
+		t.Errorf("5 GHz full-delivery fraction %.2f <= 2.4 GHz %.2f", full5/n5, full24/n24)
+	}
+}
+
+func TestWindowResultRatioZeroSent(t *testing.T) {
+	if (WindowResult{}).Ratio() != 0 {
+		t.Error("zero-sent ratio should be 0")
+	}
+}
+
+func TestMeanDeliveryZeroWindows(t *testing.T) {
+	root := rng.New(9)
+	l := New(rf.EnvOpenOffice, dot11.Band24, 10, 26, 0, root.Split("l"))
+	if l.MeanDelivery(0, PerProbe) != 0 {
+		t.Error("zero windows should return 0")
+	}
+}
+
+func TestBusyClamped(t *testing.T) {
+	root := rng.New(10)
+	l := New(rf.EnvOpenOffice, dot11.Band24, 10, 26, 5, root.Split("l"))
+	if l.busyMean > 0.95 {
+		t.Errorf("busyMean not clamped: %v", l.busyMean)
+	}
+	l2 := New(rf.EnvOpenOffice, dot11.Band24, 10, 26, -1, root.Split("m"))
+	if l2.busyMean != 0 {
+		t.Errorf("negative busyMean not clamped: %v", l2.busyMean)
+	}
+}
+
+func BenchmarkMeasureWindowPerProbe(b *testing.B) {
+	root := rng.New(1)
+	l := New(rf.EnvOpenOffice, dot11.Band24, 50, 26, 0.25, root.Split("l"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.MeasureWindow(PerProbe)
+	}
+}
+
+func BenchmarkMeasureWindowBinomial(b *testing.B) {
+	root := rng.New(2)
+	l := New(rf.EnvOpenOffice, dot11.Band24, 50, 26, 0.25, root.Split("l"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.MeasureWindow(BinomialApprox)
+	}
+}

@@ -1,0 +1,206 @@
+// Package radio models the 802.11 radio front-end of a Meraki access
+// point: transmit power and antenna gain per Table 1, the Atheros-style
+// microsecond MIB counters (cycle, rx-clear, rx-802.11, tx) from which
+// the paper derives channel utilization and the decodable-traffic split
+// (Figures 6 and 10), and the MR18's dedicated scanning radio that
+// dwells 5 ms per channel across both bands (Section 5).
+package radio
+
+import (
+	"fmt"
+	"time"
+
+	"wlanscale/internal/airtime"
+	"wlanscale/internal/dot11"
+)
+
+// Config describes one radio chain-set of an access point.
+type Config struct {
+	// Band the radio serves.
+	Band dot11.Band
+	// TxPowerDBm is the conducted transmit power.
+	TxPowerDBm float64
+	// AntennaGainDBi is the antenna gain.
+	AntennaGainDBi float64
+	// Chains is the number of TX/RX chains (2x2 = 2).
+	Chains int
+	// ScanOnly marks a radio that never serves clients (the MR18's
+	// third radio).
+	ScanOnly bool
+}
+
+// EIRPdBm returns the effective isotropic radiated power.
+func (c Config) EIRPdBm() float64 { return c.TxPowerDBm + c.AntennaGainDBi }
+
+// Counters is the microsecond counter block the driver exposes. The
+// paper's utilization metric is RxClear/Cycle over a scan interval; the
+// decodable split of Figure 10 is Rx11/RxClear.
+type Counters struct {
+	// CycleUS counts elapsed microseconds.
+	CycleUS uint64
+	// RxClearUS counts microseconds the energy-detect mechanism held
+	// carrier sense busy (any energy, decodable or not, plus own TX).
+	RxClearUS uint64
+	// Rx11US counts microseconds spent receiving energy with an intact
+	// 802.11 PLCP preamble and header.
+	Rx11US uint64
+	// TxUS counts microseconds this radio transmitted.
+	TxUS uint64
+}
+
+// Add accumulates another counter block.
+func (c *Counters) Add(o Counters) {
+	c.CycleUS += o.CycleUS
+	c.RxClearUS += o.RxClearUS
+	c.Rx11US += o.Rx11US
+	c.TxUS += o.TxUS
+}
+
+// Utilization returns busy time as a fraction of elapsed time.
+func (c Counters) Utilization() float64 {
+	if c.CycleUS == 0 {
+		return 0
+	}
+	u := float64(c.RxClearUS) / float64(c.CycleUS)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// DecodableFraction returns the share of busy time that carried
+// decodable 802.11 headers.
+func (c Counters) DecodableFraction() float64 {
+	if c.RxClearUS == 0 {
+		return 0
+	}
+	f := float64(c.Rx11US) / float64(c.RxClearUS)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// String renders the counters compactly for diagnostics.
+func (c Counters) String() string {
+	return fmt.Sprintf("cycle=%dus busy=%dus rx11=%dus tx=%dus util=%.1f%%",
+		c.CycleUS, c.RxClearUS, c.Rx11US, c.TxUS, c.Utilization()*100)
+}
+
+// Radio is one radio front-end with its serving channel and counters.
+type Radio struct {
+	Config
+	// Channel is the current operating channel.
+	Channel dot11.Channel
+	// WidthMHz is the operating channel width.
+	WidthMHz int
+
+	counters Counters
+}
+
+// New creates a radio tuned to the given channel at 20 MHz.
+func New(cfg Config, ch dot11.Channel) *Radio {
+	return &Radio{Config: cfg, Channel: ch, WidthMHz: 20}
+}
+
+// Tune retunes the radio. It returns an error if the channel's band does
+// not match the radio's.
+func (r *Radio) Tune(ch dot11.Channel, widthMHz int) error {
+	if ch.Band != r.Band {
+		return fmt.Errorf("radio: cannot tune %s radio to %s channel %d", r.Band, ch.Band, ch.Number)
+	}
+	if widthMHz != 20 && widthMHz != 40 {
+		return fmt.Errorf("radio: unsupported width %d MHz", widthMHz)
+	}
+	r.Channel = ch
+	r.WidthMHz = widthMHz
+	return nil
+}
+
+// Measure runs one measurement window against the neighborhood on the
+// radio's serving channel, accumulating counters. ownTxDuty is the
+// fraction of the window this radio itself transmitted (beacons plus
+// serving its own clients); own transmissions hold carrier busy and are
+// decodable 802.11, exactly as the chipset counts them.
+func (r *Radio) Measure(n *airtime.Neighborhood, todHours float64, window time.Duration, ownTxDuty float64) airtime.Observation {
+	obs := n.Observe(r.Channel, todHours)
+	if ownTxDuty < 0 {
+		ownTxDuty = 0
+	}
+	if ownTxDuty > 1 {
+		ownTxDuty = 1
+	}
+	// Own TX occupies air the neighborhood model doesn't know about;
+	// union it in.
+	busy := 1 - (1-obs.Busy)*(1-ownTxDuty)
+	dec := 1 - (1-obs.Decodable)*(1-ownTxDuty)
+	us := uint64(window.Microseconds())
+	r.counters.Add(Counters{
+		CycleUS:   us,
+		RxClearUS: uint64(busy * float64(us)),
+		Rx11US:    uint64(dec * float64(us)),
+		TxUS:      uint64(ownTxDuty * float64(us)),
+	})
+	obs.Busy = busy
+	obs.Decodable = dec
+	return obs
+}
+
+// Counters returns the accumulated counter block.
+func (r *Radio) Counters() Counters { return r.counters }
+
+// ResetCounters clears the counter block (the driver does this when the
+// backend harvests) and returns the pre-reset values.
+func (r *Radio) ResetCounters() Counters {
+	c := r.counters
+	r.counters = Counters{}
+	return c
+}
+
+// ScanDwell is the per-channel dwell time of the MR18 scanning radio.
+const ScanDwell = 5 * time.Millisecond
+
+// ChannelSample is one channel's result from a scanning-radio sweep.
+type ChannelSample struct {
+	Channel dot11.Channel
+	// Busy and Decodable are fractions of the dwell.
+	Busy      float64
+	Decodable float64
+}
+
+// Sweep runs the dedicated scanning radio across every channel in both
+// bands, dwelling ScanDwell on each, and returns per-channel samples.
+// The MR18 backend aggregates these over three-minute periods; callers
+// average repeated sweeps for that. Scanning uses energy-detect
+// semantics (ObserveED): 5 ms dwells catch energy, not CCA state.
+func Sweep(n *airtime.Neighborhood, todHours float64) []ChannelSample {
+	var out []ChannelSample
+	for _, band := range []dot11.Band{dot11.Band24, dot11.Band5} {
+		for _, ch := range dot11.Channels(band) {
+			obs := n.ObserveED(ch, todHours)
+			out = append(out, ChannelSample{Channel: ch, Busy: obs.Busy, Decodable: obs.Decodable})
+		}
+	}
+	return out
+}
+
+// SweepAveraged averages k sweeps, modeling the three-minute aggregation
+// window the backend applies to MR18 scan data.
+func SweepAveraged(n *airtime.Neighborhood, todHours float64, k int) []ChannelSample {
+	if k < 1 {
+		k = 1
+	}
+	acc := Sweep(n, todHours)
+	for i := 1; i < k; i++ {
+		s := Sweep(n, todHours)
+		for j := range acc {
+			acc[j].Busy += s[j].Busy
+			acc[j].Decodable += s[j].Decodable
+		}
+	}
+	for j := range acc {
+		acc[j].Busy /= float64(k)
+		acc[j].Decodable /= float64(k)
+	}
+	return acc
+}

@@ -1,0 +1,254 @@
+package radio
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"wlanscale/internal/airtime"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/rng"
+)
+
+func testChannel(t *testing.T, band dot11.Band, n int) dot11.Channel {
+	t.Helper()
+	ch, ok := dot11.ChannelByNumber(band, n)
+	if !ok {
+		t.Fatalf("channel %d missing", n)
+	}
+	return ch
+}
+
+func TestConfigEIRP(t *testing.T) {
+	// MR16 2.4 GHz: 23 dBm + 3 dBi = 26 dBm EIRP.
+	c := Config{Band: dot11.Band24, TxPowerDBm: 23, AntennaGainDBi: 3, Chains: 2}
+	if c.EIRPdBm() != 26 {
+		t.Errorf("EIRP = %v, want 26", c.EIRPdBm())
+	}
+}
+
+func TestCountersUtilization(t *testing.T) {
+	c := Counters{CycleUS: 1000, RxClearUS: 250, Rx11US: 200}
+	if got := c.Utilization(); got != 0.25 {
+		t.Errorf("Utilization = %v, want 0.25", got)
+	}
+	if got := c.DecodableFraction(); got != 0.8 {
+		t.Errorf("DecodableFraction = %v, want 0.8", got)
+	}
+}
+
+func TestCountersZeroSafe(t *testing.T) {
+	var c Counters
+	if c.Utilization() != 0 || c.DecodableFraction() != 0 {
+		t.Error("zero counters should report 0")
+	}
+}
+
+func TestCountersClamp(t *testing.T) {
+	c := Counters{CycleUS: 100, RxClearUS: 150, Rx11US: 200}
+	if c.Utilization() != 1 {
+		t.Errorf("over-full utilization = %v, want clamp to 1", c.Utilization())
+	}
+	if c.DecodableFraction() != 1 {
+		t.Errorf("over-full decodable = %v, want clamp to 1", c.DecodableFraction())
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{CycleUS: 10, RxClearUS: 5, Rx11US: 3, TxUS: 1}
+	a.Add(Counters{CycleUS: 10, RxClearUS: 5, Rx11US: 3, TxUS: 1})
+	if a.CycleUS != 20 || a.RxClearUS != 10 || a.Rx11US != 6 || a.TxUS != 2 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := Counters{CycleUS: 1000, RxClearUS: 100}
+	if !strings.Contains(c.String(), "10.0%") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	r := New(Config{Band: dot11.Band24, TxPowerDBm: 23, AntennaGainDBi: 3}, testChannel(t, dot11.Band24, 1))
+	if err := r.Tune(testChannel(t, dot11.Band5, 36), 20); err == nil {
+		t.Error("cross-band tune accepted")
+	}
+	if err := r.Tune(testChannel(t, dot11.Band24, 6), 30); err == nil {
+		t.Error("30 MHz width accepted")
+	}
+	if err := r.Tune(testChannel(t, dot11.Band24, 11), 40); err != nil {
+		t.Errorf("valid tune rejected: %v", err)
+	}
+	if r.Channel.Number != 11 || r.WidthMHz != 40 {
+		t.Errorf("tune did not apply: %+v", r.Channel)
+	}
+}
+
+func TestMeasureAccumulatesCounters(t *testing.T) {
+	ch := testChannel(t, dot11.Band24, 6)
+	r := New(Config{Band: dot11.Band24, TxPowerDBm: 23, AntennaGainDBi: 3}, ch)
+	n := airtime.NewNeighborhood()
+	n.Add(airtime.NewBeaconSource(ch, -60, 4, 1)) // ~10% duty
+
+	obs := r.Measure(n, 12, time.Second, 0)
+	c := r.Counters()
+	if c.CycleUS != 1000000 {
+		t.Errorf("CycleUS = %d", c.CycleUS)
+	}
+	if math.Abs(c.Utilization()-obs.Busy) > 0.001 {
+		t.Errorf("counter util %v != observation %v", c.Utilization(), obs.Busy)
+	}
+	if c.DecodableFraction() < 0.99 {
+		t.Errorf("beacon-only decodable = %v, want ~1", c.DecodableFraction())
+	}
+}
+
+func TestMeasureOwnTx(t *testing.T) {
+	ch := testChannel(t, dot11.Band24, 1)
+	r := New(Config{Band: dot11.Band24}, ch)
+	n := airtime.NewNeighborhood() // silent neighborhood
+	obs := r.Measure(n, 12, time.Second, 0.3)
+	if math.Abs(obs.Busy-0.3) > 0.001 {
+		t.Errorf("own-TX busy = %v, want 0.3", obs.Busy)
+	}
+	c := r.Counters()
+	if c.TxUS != 300000 {
+		t.Errorf("TxUS = %d", c.TxUS)
+	}
+	if c.DecodableFraction() < 0.99 {
+		t.Errorf("own TX should be decodable; got %v", c.DecodableFraction())
+	}
+}
+
+func TestMeasureOwnTxClamped(t *testing.T) {
+	ch := testChannel(t, dot11.Band24, 1)
+	r := New(Config{Band: dot11.Band24}, ch)
+	n := airtime.NewNeighborhood()
+	obs := r.Measure(n, 12, time.Second, 1.7)
+	if obs.Busy != 1 {
+		t.Errorf("clamped busy = %v", obs.Busy)
+	}
+	obs = r.Measure(n, 12, time.Second, -2)
+	if obs.Busy != 0 {
+		t.Errorf("negative own duty busy = %v", obs.Busy)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	ch := testChannel(t, dot11.Band24, 1)
+	r := New(Config{Band: dot11.Band24}, ch)
+	r.Measure(airtime.NewNeighborhood(), 12, time.Second, 0.5)
+	pre := r.ResetCounters()
+	if pre.CycleUS == 0 {
+		t.Error("pre-reset counters empty")
+	}
+	if r.Counters() != (Counters{}) {
+		t.Error("counters not cleared")
+	}
+}
+
+func TestSweepCoversBothBands(t *testing.T) {
+	n := airtime.NewNeighborhood()
+	samples := Sweep(n, 12)
+	want := len(dot11.Channels(dot11.Band24)) + len(dot11.Channels(dot11.Band5))
+	if len(samples) != want {
+		t.Fatalf("sweep samples = %d, want %d", len(samples), want)
+	}
+	seen24, seen5 := false, false
+	for _, s := range samples {
+		switch s.Channel.Band {
+		case dot11.Band24:
+			seen24 = true
+		case dot11.Band5:
+			seen5 = true
+		}
+	}
+	if !seen24 || !seen5 {
+		t.Error("sweep missing a band")
+	}
+}
+
+func TestSweepSeesBusyChannel(t *testing.T) {
+	root := rng.New(1)
+	ch6 := testChannel(t, dot11.Band24, 6)
+	n := airtime.NewNeighborhood()
+	n.Add(airtime.NewBeaconSource(ch6, -55, 10, 1))
+	_ = root
+	samples := Sweep(n, 12)
+	var busy6, busy36 float64
+	for _, s := range samples {
+		if s.Channel.Band == dot11.Band24 && s.Channel.Number == 6 {
+			busy6 = s.Busy
+		}
+		if s.Channel.Band == dot11.Band5 && s.Channel.Number == 36 {
+			busy36 = s.Busy
+		}
+	}
+	if busy6 <= 0.1 {
+		t.Errorf("busy channel 6 = %v", busy6)
+	}
+	if busy36 != 0 {
+		t.Errorf("idle channel 36 = %v", busy36)
+	}
+}
+
+func TestSweepAveragedReducesVariance(t *testing.T) {
+	root := rng.New(2)
+	ch6 := testChannel(t, dot11.Band24, 6)
+	mk := func(label string) *airtime.Neighborhood {
+		n := airtime.NewNeighborhood()
+		for i := 0; i < 5; i++ {
+			n.Add(airtime.NewDataSource(ch6, 20, -55, root.Split(label).SplitN("d", i)))
+		}
+		return n
+	}
+	varOf := func(k int, label string) float64 {
+		n := mk(label)
+		var vals []float64
+		for i := 0; i < 60; i++ {
+			s := SweepAveraged(n, 13, k)
+			for _, cs := range s {
+				if cs.Channel.Band == dot11.Band24 && cs.Channel.Number == 6 {
+					vals = append(vals, cs.Busy)
+				}
+			}
+		}
+		var m, m2 float64
+		for _, v := range vals {
+			m += v
+		}
+		m /= float64(len(vals))
+		for _, v := range vals {
+			m2 += (v - m) * (v - m)
+		}
+		return m2 / float64(len(vals))
+	}
+	v1 := varOf(1, "a")
+	v36 := varOf(36, "a")
+	if v36 >= v1 {
+		t.Errorf("averaging did not reduce variance: v1=%g v36=%g", v1, v36)
+	}
+}
+
+func TestScanDwell(t *testing.T) {
+	if ScanDwell != 5*time.Millisecond {
+		t.Errorf("ScanDwell = %v, want 5 ms (Section 5)", ScanDwell)
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	root := rng.New(3)
+	n := airtime.NewNeighborhood()
+	for _, chNum := range []int{1, 6, 11} {
+		ch, _ := dot11.ChannelByNumber(dot11.Band24, chNum)
+		for i := 0; i < 15; i++ {
+			n.Add(airtime.NewDataSource(ch, 20, -60, root.SplitN("d", chNum*100+i)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sweep(n, 13)
+	}
+}

@@ -1,0 +1,200 @@
+package rf
+
+import (
+	"fmt"
+
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/rng"
+)
+
+// InterfererKind identifies a class of non-802.11 emitter. These are the
+// sources the paper's Section 5.3 and Figure 11 discuss: they raise the
+// energy-detect counter without producing decodable 802.11 headers.
+type InterfererKind uint8
+
+const (
+	// Bluetooth is a 1 MHz-wide frequency hopper over the whole 2.4 GHz
+	// ISM band (79 hop channels, 1600 hops/s).
+	Bluetooth InterfererKind = iota
+	// Microwave is a microwave oven: strong, ~50% duty at mains
+	// frequency, occupying the upper half of the 2.4 GHz band.
+	Microwave
+	// Zigbee is an 802.15.4 transmitter on a fixed 2 MHz channel.
+	Zigbee
+	// CordlessPhone is an analog or DSS cordless phone.
+	CordlessPhone
+	// AnalogVideo is an analog video sender occupying ~6 MHz.
+	AnalogVideo
+	// Radar is a 5 GHz pulsed radar, relevant to DFS channels.
+	Radar
+)
+
+// String names the interferer kind.
+func (k InterfererKind) String() string {
+	switch k {
+	case Bluetooth:
+		return "bluetooth"
+	case Microwave:
+		return "microwave"
+	case Zigbee:
+		return "zigbee"
+	case CordlessPhone:
+		return "cordless-phone"
+	case AnalogVideo:
+		return "analog-video"
+	case Radar:
+		return "radar"
+	default:
+		return fmt.Sprintf("interferer(%d)", uint8(k))
+	}
+}
+
+// Interferer is one non-802.11 emitter near an access point.
+type Interferer struct {
+	Kind InterfererKind
+	// EIRPdBm is the transmit power including antenna.
+	EIRPdBm float64
+	// DistanceM is the distance to the observing access point.
+	DistanceM float64
+	// DutyCycle is the fraction of time the emitter is on the air while
+	// active.
+	DutyCycle float64
+	// ActiveProb is the probability the emitter is in use during any
+	// given measurement window (a phone call, an oven run).
+	ActiveProb float64
+	// WidthMHz is the emission bandwidth.
+	WidthMHz float64
+	// CenterMHz is the emission center frequency; for hoppers this is
+	// the band center and WidthMHz spans the hop range.
+	CenterMHz float64
+	// Hopper reports whether the emitter frequency-hops across
+	// WidthMHz, in which case only InstWidthMHz is occupied at any
+	// instant.
+	Hopper bool
+	// InstWidthMHz is the instantaneous bandwidth for hoppers.
+	InstWidthMHz float64
+}
+
+// Band returns the band the interferer lands in.
+func (in *Interferer) Band() dot11.Band {
+	if in.CenterMHz < 3000 {
+		return dot11.Band24
+	}
+	return dot11.Band5
+}
+
+// NewInterferer builds an interferer of the given kind with per-kind
+// typical parameters, randomized slightly by src.
+func NewInterferer(kind InterfererKind, distanceM float64, src *rng.Source) *Interferer {
+	in := &Interferer{Kind: kind, DistanceM: distanceM}
+	switch kind {
+	case Bluetooth:
+		in.EIRPdBm = src.Normal(2, 2) // class 2, ~1-4 dBm
+		in.DutyCycle = 0.03 + src.Float64()*0.12
+		in.ActiveProb = 0.4
+		in.CenterMHz = 2441
+		in.WidthMHz = 79
+		in.Hopper = true
+		in.InstWidthMHz = 1
+	case Microwave:
+		in.EIRPdBm = src.Normal(20, 5)
+		in.DutyCycle = 0.5 // magnetron on half the mains cycle
+		in.ActiveProb = 0.03
+		in.CenterMHz = 2458
+		in.WidthMHz = 20
+	case Zigbee:
+		in.EIRPdBm = src.Normal(0, 2)
+		in.DutyCycle = 0.01 + src.Float64()*0.05
+		in.ActiveProb = 0.8
+		in.CenterMHz = 2405 + float64(src.IntN(16))*5
+		in.WidthMHz = 2
+	case CordlessPhone:
+		in.EIRPdBm = src.Normal(10, 3)
+		in.DutyCycle = 0.9
+		in.ActiveProb = 0.05
+		in.CenterMHz = 2412 + src.Float64()*50
+		in.WidthMHz = 1
+	case AnalogVideo:
+		in.EIRPdBm = src.Normal(13, 3)
+		in.DutyCycle = 1
+		in.ActiveProb = 0.1
+		in.CenterMHz = 2414 + float64(src.IntN(4))*16
+		in.WidthMHz = 6
+	case Radar:
+		in.EIRPdBm = 40
+		in.DutyCycle = 0.001
+		in.ActiveProb = 0.02
+		in.CenterMHz = 5300 + float64(src.IntN(40))*10
+		in.WidthMHz = 4
+	}
+	return in
+}
+
+// OverlapWithChannel returns the fraction of time-frequency energy the
+// interferer puts into a 20 MHz 802.11 channel. For hoppers it is the
+// probability that a hop lands in the channel; for fixed emitters it is
+// the spectral overlap fraction.
+func (in *Interferer) OverlapWithChannel(ch dot11.Channel) float64 {
+	if in.Band() != ch.Band {
+		return 0
+	}
+	chLo := float64(ch.CenterMHz) - 10
+	chHi := float64(ch.CenterMHz) + 10
+	emLo := in.CenterMHz - in.WidthMHz/2
+	emHi := in.CenterMHz + in.WidthMHz/2
+	lo, hi := chLo, chHi
+	if emLo > lo {
+		lo = emLo
+	}
+	if emHi < hi {
+		hi = emHi
+	}
+	if hi <= lo {
+		return 0
+	}
+	overlapMHz := hi - lo
+	if in.Hopper {
+		// Fraction of hop slots that land (even partially) in-channel.
+		return (overlapMHz + in.InstWidthMHz) / in.WidthMHz
+	}
+	return overlapMHz / in.WidthMHz
+}
+
+// BusyContribution returns the expected fraction of a measurement window
+// during which this interferer holds the channel busy at the observer,
+// given the observer's energy-detect threshold in dBm. active selects
+// whether the emitter is in use this window.
+func (in *Interferer) BusyContribution(env Environment, ch dot11.Channel, edThresholdDBm float64, active bool) float64 {
+	if !active {
+		return 0
+	}
+	rx := ReceivedPowerDBm(env, in.Band(), in.EIRPdBm, in.DistanceM)
+	if rx < edThresholdDBm {
+		return 0
+	}
+	return in.DutyCycle * in.OverlapWithChannel(ch)
+}
+
+// TypicalInterferers draws the non-802.11 emitter population around one
+// access point: a handful of Bluetooth devices, occasionally a microwave
+// oven or Zigbee network, rarely the others. density scales the expected
+// counts (1 = typical office).
+func TypicalInterferers(density float64, src *rng.Source) []*Interferer {
+	var out []*Interferer
+	add := func(kind InterfererKind, mean float64, maxDist float64) {
+		n := src.Poisson(mean * density)
+		for i := 0; i < n; i++ {
+			d := 2 + src.Float64()*maxDist
+			out = append(out, NewInterferer(kind, d, src.SplitN(kind.String(), i)))
+		}
+	}
+	add(Bluetooth, 4, 15)
+	add(Microwave, 0.7, 20)
+	add(Zigbee, 0.5, 20)
+	// Cordless phones and analog video senders were already rare by the
+	// 2014-15 study period.
+	add(CordlessPhone, 0.15, 25)
+	add(AnalogVideo, 0.05, 25)
+	add(Radar, 0.05, 2000)
+	return out
+}

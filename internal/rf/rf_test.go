@@ -1,0 +1,325 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/rng"
+)
+
+func TestDBmConversions(t *testing.T) {
+	if got := DBmToMw(0); got != 1 {
+		t.Errorf("DBmToMw(0) = %v, want 1", got)
+	}
+	if got := DBmToMw(30); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("DBmToMw(30) = %v, want 1000", got)
+	}
+	if got := MwToDBm(100); math.Abs(got-20) > 1e-9 {
+		t.Errorf("MwToDBm(100) = %v, want 20", got)
+	}
+	if got := MwToDBm(0); got != -200 {
+		t.Errorf("MwToDBm(0) = %v, want -200 floor", got)
+	}
+}
+
+func TestDBmRoundTrip(t *testing.T) {
+	err := quick.Check(func(raw int16) bool {
+		dbm := float64(raw%100) - 50
+		return math.Abs(MwToDBm(DBmToMw(dbm))-dbm) < 1e-9
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumPowersDBm(t *testing.T) {
+	// Two equal powers sum to +3 dB.
+	if got := SumPowersDBm(-60, -60); math.Abs(got+57) > 0.02 {
+		t.Errorf("sum of two -60 dBm = %v, want ~-57", got)
+	}
+	// A much weaker signal barely moves the total.
+	if got := SumPowersDBm(-40, -90); math.Abs(got+40) > 0.01 {
+		t.Errorf("-40 + -90 dBm = %v, want ~-40", got)
+	}
+}
+
+func TestNoiseFloor(t *testing.T) {
+	nf := NoiseFloorDBm(20)
+	if nf < -95 || nf > -93 {
+		t.Errorf("20 MHz noise floor = %v dBm, want ~-94", nf)
+	}
+	// Wider bandwidth raises the floor by 3 dB per doubling.
+	if diff := NoiseFloorDBm(40) - nf; math.Abs(diff-3.01) > 0.05 {
+		t.Errorf("40 vs 20 MHz floor difference = %v, want ~3 dB", diff)
+	}
+}
+
+func TestPathLossMonotoneInDistance(t *testing.T) {
+	err := quick.Check(func(a, b uint8) bool {
+		d1, d2 := float64(a)+1, float64(b)+1
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return PathLossDB(EnvOpenOffice, dot11.Band24, d1) <= PathLossDB(EnvOpenOffice, dot11.Band24, d2)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathLoss5GHzHigher(t *testing.T) {
+	// The 5 GHz band must attenuate more at the same distance — the
+	// paper's explanation for clients crowding onto 2.4 GHz.
+	for _, d := range []float64{5, 20, 50} {
+		l24 := PathLossDB(EnvOpenOffice, dot11.Band24, d)
+		l5 := PathLossDB(EnvOpenOffice, dot11.Band5, d)
+		if l5-l24 < 5 || l5-l24 > 9 {
+			t.Errorf("5 GHz extra loss at %vm = %.1f dB, want ~6.6", d, l5-l24)
+		}
+	}
+}
+
+func TestPathLossClampsBelowOneMeter(t *testing.T) {
+	if PathLossDB(EnvOpenOffice, dot11.Band24, 0.1) != PathLossDB(EnvOpenOffice, dot11.Band24, 1) {
+		t.Error("distances below 1 m should clamp to the 1 m reference")
+	}
+}
+
+func TestEnvironmentOrdering(t *testing.T) {
+	// Denser environments lose more at distance.
+	d := 30.0
+	open := PathLossDB(EnvOpenOffice, dot11.Band24, d)
+	dense := PathLossDB(EnvDenseObstructed, dot11.Band24, d)
+	outdoor := PathLossDB(EnvOutdoor, dot11.Band24, d)
+	if !(outdoor < open && open < dense) {
+		t.Errorf("loss ordering outdoor(%.0f) < open(%.0f) < dense(%.0f) violated", outdoor, open, dense)
+	}
+}
+
+func TestReceivedPowerReasonable(t *testing.T) {
+	// A 23 dBm AP (MR16 at 2.4 GHz, +3 dBi antenna = 26 EIRP) at 10 m in
+	// an open office should land in a plausible indoor RSSI range.
+	rx := ReceivedPowerDBm(EnvOpenOffice, dot11.Band24, 26, 10)
+	if rx < -75 || rx > -35 {
+		t.Errorf("rx at 10 m = %.1f dBm, outside plausible range", rx)
+	}
+	snr := SNRdB(rx)
+	if snr < 20 || snr > 60 {
+		t.Errorf("SNR at 10 m = %.1f dB", snr)
+	}
+}
+
+func TestRangeForSNRInvertsPathLoss(t *testing.T) {
+	for _, env := range []Environment{EnvOpenOffice, EnvDenseObstructed, EnvOutdoor} {
+		d := RangeForSNR(env, dot11.Band24, 26, 25)
+		// Verify: at the returned distance, the median SNR is 25 dB.
+		rx := ReceivedPowerDBm(env, dot11.Band24, 26, d)
+		if math.Abs(SNRdB(rx)-25) > 0.1 {
+			t.Errorf("env %d: SNR at RangeForSNR distance = %.2f, want 25", env, SNRdB(rx))
+		}
+	}
+}
+
+func TestRangeForSNRImpossibleBudget(t *testing.T) {
+	if got := RangeForSNR(EnvDenseObstructed, dot11.Band5, -50, 60); got != 1 {
+		t.Errorf("impossible budget range = %v, want 1 m floor", got)
+	}
+}
+
+func TestDeliveryProbabilityShape(t *testing.T) {
+	// Far below threshold: ~0. Far above: ~1. Near: intermediate.
+	if p := DeliveryProbability(-10, 4, 60); p > 0.01 {
+		t.Errorf("delivery 14 dB below threshold = %v", p)
+	}
+	if p := DeliveryProbability(20, 4, 60); p < 0.99 {
+		t.Errorf("delivery 16 dB above threshold = %v", p)
+	}
+	mid := DeliveryProbability(4.5, 4, 60)
+	if mid < 0.2 || mid > 0.9 {
+		t.Errorf("delivery near threshold = %v, want intermediate", mid)
+	}
+}
+
+func TestDeliveryProbabilityLongerFramesWorse(t *testing.T) {
+	err := quick.Check(func(snrRaw uint8) bool {
+		snr := float64(snrRaw%20) - 2
+		p60 := DeliveryProbability(snr, 4, 60)
+		p1500 := DeliveryProbability(snr, 4, 1500)
+		return p1500 <= p60+1e-12
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeliveryProbabilityMonotoneInSNR(t *testing.T) {
+	prev := -1.0
+	for snr := -10.0; snr < 30; snr += 0.5 {
+		p := DeliveryProbability(snr, 4, 60)
+		if p < prev {
+			t.Fatalf("delivery probability not monotone at snr=%v", snr)
+		}
+		prev = p
+	}
+}
+
+func TestLinkChannelVariation(t *testing.T) {
+	src := rng.New(1).Split("link")
+	lc := NewLinkChannel(EnvOpenOffice, dot11.Band24, 30, src)
+	// Packet gains vary around median + slow component.
+	var s, s2 float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		g := lc.PacketGainDB()
+		s += g
+		s2 += g * g
+	}
+	mean := s / n
+	sd := math.Sqrt(s2/n - mean*mean)
+	if sd < 0.1 {
+		t.Errorf("fast fading stddev = %v dB; link shows no variation", sd)
+	}
+	if math.Abs(mean-lc.MedianGainDB-lc.SlowGainDB()) > 6 {
+		t.Errorf("mean packet gain %.1f far from median %.1f", mean, lc.MedianGainDB)
+	}
+}
+
+func TestLinkChannelSlowProcessMoves(t *testing.T) {
+	src := rng.New(2).Split("link")
+	lc := NewLinkChannel(EnvDrywallOffice, dot11.Band24, 40, src)
+	first := lc.AdvanceWindow()
+	moved := false
+	for i := 0; i < 50; i++ {
+		if math.Abs(lc.AdvanceWindow()-first) > 0.5 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("slow shadowing process never moved")
+	}
+}
+
+func TestLinkChannelHeterogeneity(t *testing.T) {
+	// Different links at the same distance should have meaningfully
+	// different median gains (static shadowing) and K-factors.
+	root := rng.New(3)
+	var gains []float64
+	for i := 0; i < 50; i++ {
+		lc := NewLinkChannel(EnvOpenOffice, dot11.Band24, 30, root.SplitN("link", i))
+		gains = append(gains, lc.MedianGainDB)
+	}
+	var s, s2 float64
+	for _, g := range gains {
+		s += g
+		s2 += g * g
+	}
+	sd := math.Sqrt(s2/float64(len(gains)) - (s/float64(len(gains)))*(s/float64(len(gains))))
+	if sd < 2 {
+		t.Errorf("static shadowing spread = %.2f dB, want a few dB", sd)
+	}
+}
+
+func TestSubcarrierFades(t *testing.T) {
+	src := rng.New(4)
+	flat := SubcarrierFades(52, 0, src.Split("flat"))
+	if len(flat) != 52 {
+		t.Fatalf("len = %d", len(flat))
+	}
+	for _, f := range flat {
+		if math.Abs(f) > 0.01 {
+			t.Errorf("flat channel has fade %v dB", f)
+		}
+	}
+	sel := SubcarrierFades(52, 1, src.Split("sel"))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, f := range sel {
+		lo = math.Min(lo, f)
+		hi = math.Max(hi, f)
+	}
+	if hi-lo < 3 {
+		t.Errorf("selective channel spread = %.1f dB, want notches", hi-lo)
+	}
+	if SubcarrierFades(0, 1, src) != nil {
+		t.Error("zero subcarriers should return nil")
+	}
+}
+
+func TestInterfererBand(t *testing.T) {
+	src := rng.New(5)
+	bt := NewInterferer(Bluetooth, 5, src.Split("bt"))
+	if bt.Band() != dot11.Band24 {
+		t.Error("bluetooth should be 2.4 GHz")
+	}
+	radar := NewInterferer(Radar, 1000, src.Split("radar"))
+	if radar.Band() != dot11.Band5 {
+		t.Error("radar should be 5 GHz")
+	}
+}
+
+func TestInterfererOverlap(t *testing.T) {
+	src := rng.New(6)
+	ch6, _ := dot11.ChannelByNumber(dot11.Band24, 6)
+	ch36, _ := dot11.ChannelByNumber(dot11.Band5, 36)
+
+	bt := NewInterferer(Bluetooth, 5, src.Split("bt"))
+	// A 79 MHz hopper spends roughly 20/79 of its hops in any 20 MHz
+	// channel.
+	ov := bt.OverlapWithChannel(ch6)
+	if ov < 0.2 || ov > 0.35 {
+		t.Errorf("bluetooth overlap with ch6 = %v, want ~0.27", ov)
+	}
+	if bt.OverlapWithChannel(ch36) != 0 {
+		t.Error("bluetooth overlaps a 5 GHz channel")
+	}
+
+	mw := NewInterferer(Microwave, 8, src.Split("mw"))
+	ch1, _ := dot11.ChannelByNumber(dot11.Band24, 1)
+	if mw.OverlapWithChannel(ch1) != 0 {
+		t.Error("microwave (upper band) overlaps channel 1")
+	}
+	ch11, _ := dot11.ChannelByNumber(dot11.Band24, 11)
+	if mw.OverlapWithChannel(ch11) <= 0 {
+		t.Error("microwave does not overlap channel 11")
+	}
+}
+
+func TestInterfererBusyContribution(t *testing.T) {
+	src := rng.New(7)
+	ch6, _ := dot11.ChannelByNumber(dot11.Band24, 6)
+	mw := NewInterferer(Microwave, 5, src.Split("mw"))
+	mw.CenterMHz = 2437 // move onto ch6 for the test
+	if got := mw.BusyContribution(EnvOpenOffice, ch6, -62, false); got != 0 {
+		t.Errorf("inactive interferer busy = %v", got)
+	}
+	busy := mw.BusyContribution(EnvOpenOffice, ch6, -62, true)
+	if busy <= 0 || busy > 1 {
+		t.Errorf("active nearby microwave busy = %v", busy)
+	}
+	// Below the energy-detect threshold (very far away) contributes 0.
+	far := NewInterferer(Zigbee, 10000, src.Split("far"))
+	far.CenterMHz = 2437
+	if got := far.BusyContribution(EnvDenseObstructed, ch6, -62, true); got != 0 {
+		t.Errorf("distant interferer busy = %v", got)
+	}
+}
+
+func TestTypicalInterferersScaleWithDensity(t *testing.T) {
+	root := rng.New(8)
+	var lo, hi int
+	for i := 0; i < 30; i++ {
+		lo += len(TypicalInterferers(0.2, root.SplitN("lo", i)))
+		hi += len(TypicalInterferers(3, root.SplitN("hi", i)))
+	}
+	if hi <= lo {
+		t.Errorf("interferer counts do not scale with density: lo=%d hi=%d", lo, hi)
+	}
+}
+
+func TestInterfererKindString(t *testing.T) {
+	if Bluetooth.String() != "bluetooth" || Radar.String() != "radar" {
+		t.Error("kind names wrong")
+	}
+}

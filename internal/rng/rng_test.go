@@ -1,0 +1,379 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitIsDeterministic(t *testing.T) {
+	a := New(42).Split("fleet/net/1")
+	b := New(42).Split("fleet/net/1")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependentOfConsumption(t *testing.T) {
+	p1 := New(7)
+	p1.Float64() // consume some of the parent stream
+	p1.Float64()
+	c1 := p1.Split("child")
+
+	p2 := New(7)
+	c2 := p2.Split("child")
+
+	for i := 0; i < 50; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("child stream depends on parent consumption (draw %d)", i)
+		}
+	}
+}
+
+func TestSplitDistinctLabels(t *testing.T) {
+	root := New(1)
+	a := root.Split("a")
+	b := root.Split("b")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for distinct labels look identical (%d/64 equal)", same)
+	}
+}
+
+func TestSplitNMatchesManual(t *testing.T) {
+	root := New(9)
+	a := root.SplitN("ap", 17)
+	b := root.Split("ap/17")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitN and Split disagree")
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	s := New(3)
+	if s.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !s.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	if s.Bool(-0.5) {
+		t.Error("Bool(-0.5) returned true")
+	}
+	if !s.Bool(1.5) {
+		t.Error("Bool(1.5) returned false")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(5, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("Normal mean = %.3f, want ~5", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("Normal stddev = %.3f, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := New(13)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = s.LogNormalMeanMedian(100, 1.5)
+	}
+	// The median of a log-normal is exp(mu); check the empirical median.
+	med := quickSelectMedian(vals)
+	if med < 90 || med > 110 {
+		t.Errorf("LogNormal median = %.1f, want ~100", med)
+	}
+}
+
+func quickSelectMedian(v []float64) float64 {
+	// Simple selection by counting; fine for tests.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	target := len(v) / 2
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		n := 0
+		for _, x := range v {
+			if x < mid {
+				n++
+			}
+		}
+		if n < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func TestBinomialMoments(t *testing.T) {
+	s := New(17)
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{20, 0.5}, {20, 0.05}, {1000, 0.3}, {5000, 0.9}} {
+		const trials = 20000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(s.Binomial(tc.n, tc.p))
+		}
+		mean := sum / trials
+		want := float64(tc.n) * tc.p
+		tol := 4 * math.Sqrt(float64(tc.n)*tc.p*(1-tc.p)/trials)
+		if math.Abs(mean-want) > tol+0.05 {
+			t.Errorf("Binomial(%d,%.2f) mean = %.2f, want %.2f±%.2f", tc.n, tc.p, mean, want, tol)
+		}
+	}
+}
+
+func TestBinomialBounds(t *testing.T) {
+	s := New(19)
+	err := quick.Check(func(nRaw uint16, pRaw uint16) bool {
+		n := int(nRaw % 2000)
+		p := float64(pRaw) / 65535
+		k := s.Binomial(n, p)
+		return k >= 0 && k <= n
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(23)
+	for _, mean := range []float64{0.5, 3, 25, 100} {
+		const trials = 20000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(s.Poisson(mean))
+		}
+		got := sum / trials
+		if math.Abs(got-mean) > 4*math.Sqrt(mean/trials)+0.05 {
+			t.Errorf("Poisson(%.1f) mean = %.2f", mean, got)
+		}
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	s := New(29)
+	const n = 50000
+	over := 0
+	for i := 0; i < n; i++ {
+		v := s.Pareto(1, 1.5)
+		if v < 1 {
+			t.Fatalf("Pareto sample %.3f below minimum", v)
+		}
+		if v > 4 {
+			over++
+		}
+	}
+	// P(X > 4) for Pareto(1, 1.5) = 4^-1.5 = 0.125.
+	frac := float64(over) / n
+	if math.Abs(frac-0.125) > 0.01 {
+		t.Errorf("Pareto tail mass = %.4f, want ~0.125", frac)
+	}
+}
+
+func TestRicianHighKHasLittleFading(t *testing.T) {
+	s := New(31)
+	var worst float64
+	for i := 0; i < 10000; i++ {
+		db := s.RicianPowerDB(100)
+		if math.Abs(db) > worst {
+			worst = math.Abs(db)
+		}
+	}
+	if worst > 3 {
+		t.Errorf("K=100 Rician fading excursion %.1f dB, want < 3 dB", worst)
+	}
+	// Rayleigh (K=0) should show deep fades.
+	deep := false
+	for i := 0; i < 10000; i++ {
+		if s.RicianPowerDB(0) < -15 {
+			deep = true
+			break
+		}
+	}
+	if !deep {
+		t.Error("K=0 Rician (Rayleigh) never produced a deep fade")
+	}
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	s := New(37)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[s.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("weight ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestCategoricalPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Categorical(nil) did not panic")
+		}
+	}()
+	New(1).Categorical(nil)
+}
+
+func TestWeightedTableMatchesWeights(t *testing.T) {
+	s := New(41)
+	w := []float64{5, 1, 0, 4}
+	tab := NewWeightedTable(w)
+	if tab.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tab.Len())
+	}
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[tab.Sample(s)]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[2])
+	}
+	for i, want := range []float64{0.5, 0.1, 0, 0.4} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency = %.3f, want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestWeightedTablePanics(t *testing.T) {
+	for name, w := range map[string][]float64{
+		"empty":    nil,
+		"zero":     {0, 0},
+		"negative": {1, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWeightedTable(%s) did not panic", name)
+				}
+			}()
+			NewWeightedTable(w)
+		}()
+	}
+}
+
+func TestAR1Stationary(t *testing.T) {
+	s := New(43)
+	p := AR1{Mean: 10, Stddev: 2, Rho: 0.9}
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := p.Next(s)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-10) > 0.2 {
+		t.Errorf("AR1 mean = %.2f, want ~10", mean)
+	}
+	if math.Abs(sd-2) > 0.2 {
+		t.Errorf("AR1 stddev = %.2f, want ~2", sd)
+	}
+}
+
+func TestAR1Autocorrelation(t *testing.T) {
+	s := New(47)
+	p := AR1{Mean: 0, Stddev: 1, Rho: 0.8}
+	const n = 200000
+	prev := p.Next(s)
+	var sumXY, sumXX float64
+	for i := 1; i < n; i++ {
+		cur := p.Next(s)
+		sumXY += prev * cur
+		sumXX += prev * prev
+		prev = cur
+	}
+	rho := sumXY / sumXX
+	if math.Abs(rho-0.8) > 0.02 {
+		t.Errorf("AR1 lag-1 autocorrelation = %.3f, want ~0.8", rho)
+	}
+}
+
+func TestZipfRankZeroMostPopular(t *testing.T) {
+	s := New(53)
+	counts := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		counts[s.Zipf(10, 1.3)]++
+	}
+	for i := 1; i < 10; i++ {
+		if counts[i] > counts[0] {
+			t.Fatalf("rank %d (%d) more popular than rank 0 (%d)", i, counts[i], counts[0])
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(59)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.SplitN("ap", i)
+	}
+}
+
+func BenchmarkWeightedTableSample(b *testing.B) {
+	w := make([]float64, 200)
+	for i := range w {
+		w[i] = 1 / float64(i+1)
+	}
+	tab := NewWeightedTable(w)
+	s := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Sample(s)
+	}
+}
+
+func BenchmarkBinomialWindow(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Binomial(20, 0.7)
+	}
+}

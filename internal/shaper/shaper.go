@@ -1,0 +1,195 @@
+// Package shaper implements the paper's first practical implication:
+// "traffic shaping at the wireless access point to better serve the
+// growing number of bandwidth hungry clients and applications". It
+// provides token-bucket rate limiters, per-client shaping with
+// application-category overrides (throttle video, leave VoIP alone),
+// and fairness accounting across a cell — all in virtual time, so the
+// simulator can drive it deterministically.
+package shaper
+
+import (
+	"fmt"
+	"sort"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/dot11"
+)
+
+// TokenBucket is a standard token bucket in virtual time.
+type TokenBucket struct {
+	// RateBps is the sustained rate in bytes per second.
+	RateBps float64
+	// BurstBytes is the bucket depth.
+	BurstBytes float64
+
+	tokens float64
+	lastT  float64
+	primed bool
+}
+
+// NewTokenBucket creates a bucket that starts full.
+func NewTokenBucket(rateBps, burstBytes float64) *TokenBucket {
+	if burstBytes < 1 {
+		burstBytes = 1
+	}
+	return &TokenBucket{RateBps: rateBps, BurstBytes: burstBytes, tokens: burstBytes}
+}
+
+// Allow consumes n bytes at virtual time t (seconds) if the bucket
+// permits, returning how many bytes pass (partial grants model the
+// shaper queueing/dropping the rest).
+func (b *TokenBucket) Allow(t float64, n float64) float64 {
+	if !b.primed {
+		b.lastT = t
+		b.primed = true
+	}
+	if t > b.lastT {
+		b.tokens += (t - b.lastT) * b.RateBps
+		if b.tokens > b.BurstBytes {
+			b.tokens = b.BurstBytes
+		}
+		b.lastT = t
+	}
+	if n <= 0 {
+		return 0
+	}
+	granted := n
+	if granted > b.tokens {
+		granted = b.tokens
+	}
+	b.tokens -= granted
+	return granted
+}
+
+// Tokens returns the current fill level (after the last Allow).
+func (b *TokenBucket) Tokens() float64 { return b.tokens }
+
+// Rule is one shaping rule: a per-client rate, optionally scoped to an
+// application category.
+type Rule struct {
+	// Category scopes the rule; CatOther with Global=true applies to
+	// everything not matched by a scoped rule.
+	Category apps.Category
+	// Global marks the default rule.
+	Global bool
+	// RateBps is the per-client limit for this scope.
+	RateBps float64
+	// BurstBytes is the bucket depth; defaults to one second of rate.
+	BurstBytes float64
+}
+
+// Shaper applies per-client, per-scope token buckets — the element a
+// Meraki AP inserts into its Click pipeline when an admin sets
+// per-client limits.
+type Shaper struct {
+	rules   []Rule
+	buckets map[bucketKey]*TokenBucket
+
+	// Accounting.
+	passed, dropped float64
+}
+
+type bucketKey struct {
+	client dot11.MAC
+	scope  int // index into rules
+}
+
+// New creates a shaper with the given rules. Exactly one global rule is
+// required; scoped rules override it for their category.
+func New(rules []Rule) (*Shaper, error) {
+	globals := 0
+	for i := range rules {
+		if rules[i].Global {
+			globals++
+		}
+		if rules[i].RateBps <= 0 {
+			return nil, fmt.Errorf("shaper: rule %d has non-positive rate", i)
+		}
+		if rules[i].BurstBytes <= 0 {
+			rules[i].BurstBytes = rules[i].RateBps
+		}
+	}
+	if globals != 1 {
+		return nil, fmt.Errorf("shaper: need exactly one global rule, got %d", globals)
+	}
+	return &Shaper{rules: rules, buckets: make(map[bucketKey]*TokenBucket)}, nil
+}
+
+// ruleFor returns the index of the rule governing a category.
+func (s *Shaper) ruleFor(cat apps.Category) int {
+	global := 0
+	for i, r := range s.rules {
+		if r.Global {
+			global = i
+			continue
+		}
+		if r.Category == cat {
+			return i
+		}
+	}
+	return global
+}
+
+// Shape passes n bytes of category cat for the client at virtual time
+// t, returning the bytes admitted.
+func (s *Shaper) Shape(t float64, client dot11.MAC, cat apps.Category, n float64) float64 {
+	idx := s.ruleFor(cat)
+	key := bucketKey{client: client, scope: idx}
+	b, ok := s.buckets[key]
+	if !ok {
+		r := s.rules[idx]
+		b = NewTokenBucket(r.RateBps, r.BurstBytes)
+		s.buckets[key] = b
+	}
+	granted := b.Allow(t, n)
+	s.passed += granted
+	s.dropped += n - granted
+	return granted
+}
+
+// Stats returns total admitted and shaped-away bytes.
+func (s *Shaper) Stats() (passed, dropped float64) { return s.passed, s.dropped }
+
+// FairnessIndex computes Jain's fairness index over per-client byte
+// totals: 1.0 is perfectly fair, 1/n is one client hogging everything.
+func FairnessIndex(byClient map[dot11.MAC]float64) float64 {
+	if len(byClient) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range byClient {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(byClient)) * sumSq)
+}
+
+// TopTalkers returns the n clients with the largest totals, descending
+// — "a subset of clients driving most of the usage" (Section 6.2).
+func TopTalkers(byClient map[dot11.MAC]float64, n int) []dot11.MAC {
+	type kv struct {
+		mac dot11.MAC
+		v   float64
+	}
+	rows := make([]kv, 0, len(byClient))
+	for m, v := range byClient {
+		rows = append(rows, kv{m, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].mac.Uint64() < rows[j].mac.Uint64()
+	})
+	if n > len(rows) {
+		n = len(rows)
+	}
+	out := make([]dot11.MAC, n)
+	for i := 0; i < n; i++ {
+		out[i] = rows[i].mac
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package shaper
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/dot11"
+)
+
+var (
+	macA = dot11.MAC{1, 0, 0, 0, 0, 1}
+	macB = dot11.MAC{1, 0, 0, 0, 0, 2}
+)
+
+func TestTokenBucketSustainedRate(t *testing.T) {
+	b := NewTokenBucket(1000, 1000) // 1 KB/s, 1 KB burst
+	var granted float64
+	// Demand 10 KB/s for 10 seconds at 10 Hz.
+	for i := 0; i < 100; i++ {
+		granted += b.Allow(float64(i)*0.1, 1000)
+	}
+	// Expect ~burst + rate * 10 s = 1 KB + 10 KB.
+	if granted < 10000 || granted > 12100 {
+		t.Errorf("granted = %.0f bytes, want ~11000", granted)
+	}
+}
+
+func TestTokenBucketBurst(t *testing.T) {
+	b := NewTokenBucket(100, 5000)
+	if got := b.Allow(0, 5000); got != 5000 {
+		t.Errorf("initial burst = %v", got)
+	}
+	if got := b.Allow(0, 1000); got != 0 {
+		t.Errorf("post-burst grant = %v", got)
+	}
+	// One second later: 100 tokens refilled.
+	if got := b.Allow(1, 1000); math.Abs(got-100) > 1e-9 {
+		t.Errorf("refill grant = %v, want 100", got)
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	b := NewTokenBucket(1000, 500)
+	b.Allow(0, 0)
+	b.Allow(100, 0) // long idle: tokens must cap at burst
+	if b.Tokens() > 500 {
+		t.Errorf("tokens = %v, exceed burst", b.Tokens())
+	}
+}
+
+func TestTokenBucketNeverNegative(t *testing.T) {
+	err := quick.Check(func(reqs []uint16) bool {
+		b := NewTokenBucket(1000, 2000)
+		tm := 0.0
+		for _, r := range reqs {
+			tm += 0.01
+			got := b.Allow(tm, float64(r))
+			if got < 0 || got > float64(r) || b.Tokens() < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenBucketTimeGoingBackward(t *testing.T) {
+	b := NewTokenBucket(1000, 1000)
+	b.Allow(10, 1000)
+	// Time regression (clock skew) must not mint tokens.
+	if got := b.Allow(5, 1000); got != 0 {
+		t.Errorf("backward-time grant = %v", got)
+	}
+}
+
+func TestShaperRequiresOneGlobal(t *testing.T) {
+	if _, err := New([]Rule{{Category: apps.CatVideoMusic, RateBps: 100}}); err == nil {
+		t.Error("no global rule accepted")
+	}
+	if _, err := New([]Rule{{Global: true, RateBps: 100}, {Global: true, RateBps: 200}}); err == nil {
+		t.Error("two global rules accepted")
+	}
+	if _, err := New([]Rule{{Global: true, RateBps: 0}}); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestShaperCategoryOverride(t *testing.T) {
+	s, err := New([]Rule{
+		{Global: true, RateBps: 1e6, BurstBytes: 1e6},
+		{Category: apps.CatVideoMusic, RateBps: 1000, BurstBytes: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Video is throttled hard; web rides the global bucket.
+	video := s.Shape(0, macA, apps.CatVideoMusic, 50000)
+	web := s.Shape(0, macA, apps.CatOther, 50000)
+	if video != 1000 {
+		t.Errorf("video grant = %v, want 1000", video)
+	}
+	if web != 50000 {
+		t.Errorf("web grant = %v, want full", web)
+	}
+	passed, dropped := s.Stats()
+	if passed != 51000 || dropped != 49000 {
+		t.Errorf("stats = %v/%v", passed, dropped)
+	}
+}
+
+func TestShaperPerClientIsolation(t *testing.T) {
+	s, err := New([]Rule{{Global: true, RateBps: 1000, BurstBytes: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Shape(0, macA, apps.CatOther, 1000); got != 1000 {
+		t.Fatalf("client A grant = %v", got)
+	}
+	// Client B has its own bucket.
+	if got := s.Shape(0, macB, apps.CatOther, 1000); got != 1000 {
+		t.Errorf("client B starved by A's bucket: %v", got)
+	}
+	// A is now empty.
+	if got := s.Shape(0, macA, apps.CatOther, 500); got != 0 {
+		t.Errorf("client A over-granted: %v", got)
+	}
+}
+
+func TestShaperImprovesFairness(t *testing.T) {
+	// One hog, nine mice: without shaping the hog dominates; with a
+	// per-client cap, fairness rises.
+	demand := func(mac dot11.MAC, i int) float64 {
+		if i == 0 {
+			return 1e6 // the hog wants 1 MB per tick
+		}
+		return 2e4
+	}
+	run := func(withShaper bool) float64 {
+		byClient := make(map[dot11.MAC]float64)
+		var s *Shaper
+		if withShaper {
+			s, _ = New([]Rule{{Global: true, RateBps: 5e4, BurstBytes: 5e4}})
+		}
+		for tick := 0; tick < 20; tick++ {
+			for i := 0; i < 10; i++ {
+				mac := dot11.MAC{2, 0, 0, 0, 0, byte(i)}
+				d := demand(mac, i)
+				if s != nil {
+					byClient[mac] += s.Shape(float64(tick), mac, apps.CatOther, d)
+				} else {
+					byClient[mac] += d
+				}
+			}
+		}
+		return FairnessIndex(byClient)
+	}
+	unshaped := run(false)
+	shaped := run(true)
+	if shaped <= unshaped {
+		t.Errorf("shaping did not improve fairness: %.3f -> %.3f", unshaped, shaped)
+	}
+	// Under the cap the hog still gets rate*t = 2.5x a mouse's demand,
+	// so Jain's index lands near 0.87 rather than 1.
+	if shaped < 0.8 {
+		t.Errorf("shaped fairness = %.3f, want > 0.8", shaped)
+	}
+}
+
+func TestFairnessIndexBounds(t *testing.T) {
+	if FairnessIndex(nil) != 0 {
+		t.Error("empty map fairness != 0")
+	}
+	even := map[dot11.MAC]float64{macA: 10, macB: 10}
+	if f := FairnessIndex(even); math.Abs(f-1) > 1e-9 {
+		t.Errorf("even fairness = %v", f)
+	}
+	skewed := map[dot11.MAC]float64{macA: 100, macB: 0}
+	if f := FairnessIndex(skewed); math.Abs(f-0.5) > 1e-9 {
+		t.Errorf("one-hog fairness = %v, want 0.5", f)
+	}
+}
+
+func TestTopTalkers(t *testing.T) {
+	byClient := map[dot11.MAC]float64{
+		macA: 100,
+		macB: 300,
+		{9}:  200,
+	}
+	top := TopTalkers(byClient, 2)
+	if len(top) != 2 || top[0] != macB || top[1] != (dot11.MAC{9}) {
+		t.Errorf("top = %v", top)
+	}
+	if got := TopTalkers(byClient, 99); len(got) != 3 {
+		t.Errorf("overlong n = %d", len(got))
+	}
+}
+
+func BenchmarkShape(b *testing.B) {
+	s, _ := New([]Rule{
+		{Global: true, RateBps: 1e6, BurstBytes: 1e6},
+		{Category: apps.CatVideoMusic, RateBps: 1e5, BurstBytes: 1e5},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Shape(float64(i)*0.001, macA, apps.CatVideoMusic, 1500)
+	}
+}

@@ -1,0 +1,338 @@
+package spectrum
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wlanscale/internal/rf"
+	"wlanscale/internal/rng"
+)
+
+// EmitterKind classifies a baseband emitter.
+type EmitterKind uint8
+
+const (
+	// EmitterOFDM is an 802.11 OFDM burst (20 or 40 MHz of 312.5 kHz
+	// subcarriers).
+	EmitterOFDM EmitterKind = iota
+	// EmitterHopper is a 1 MHz Bluetooth-style frequency hopper.
+	EmitterHopper
+	// EmitterCW is a narrowband continuous transmitter (analog video,
+	// cordless phone).
+	EmitterCW
+)
+
+// Emitter is one signal source in the composed baseband.
+type Emitter struct {
+	Kind EmitterKind
+	// CenterOffsetHz is the emitter center relative to the capture
+	// center frequency.
+	CenterOffsetHz float64
+	// WidthHz is the occupied bandwidth (for hoppers, the hop range).
+	WidthHz float64
+	// PowerDB is the per-emitter power relative to the noise floor.
+	PowerDB float64
+	// DutyCycle is the fraction of the capture during which the emitter
+	// is on.
+	DutyCycle float64
+	// Selectivity in [0,1] controls frequency-selective fading depth
+	// across the emitter's band (the 5 GHz effect visible in Fig. 11).
+	Selectivity float64
+}
+
+// Capture parameters matching the paper's USRP B200 configuration:
+// "a 32 MHz wide scan with 4096-point FFT".
+const (
+	CaptureSampleRateHz = 32e6
+	CaptureFFTSize      = 4096
+)
+
+// ComposeBaseband synthesizes n complex samples at the given sample
+// rate containing the emitters plus unit-power white noise. Each OFDM
+// emitter is built from individually faded 312.5 kHz subcarriers, so
+// the analyzer recovers the spectral structure of real 802.11 signals.
+func ComposeBaseband(n int, sampleRateHz float64, emitters []Emitter, src *rng.Source) []complex128 {
+	out := make([]complex128, n)
+	// Thermal noise floor: complex white Gaussian, unit power.
+	noise := src.Split("noise")
+	for i := range out {
+		out[i] = complex(noise.Normal(0, math.Sqrt2/2), noise.Normal(0, math.Sqrt2/2))
+	}
+	for ei, e := range emitters {
+		esrc := src.SplitN("emitter", ei)
+		switch e.Kind {
+		case EmitterOFDM:
+			addOFDMBurst(out, sampleRateHz, e, esrc)
+		case EmitterHopper:
+			addHopper(out, sampleRateHz, e, esrc)
+		case EmitterCW:
+			addCW(out, sampleRateHz, e, esrc)
+		}
+	}
+	return out
+}
+
+// burstInterval picks the active sample range for a duty-cycled burst.
+func burstInterval(n int, duty float64, src *rng.Source) (int, int) {
+	if duty >= 1 {
+		return 0, n
+	}
+	if duty <= 0 {
+		return 0, 0
+	}
+	length := int(duty * float64(n))
+	if length < 1 {
+		length = 1
+	}
+	start := 0
+	if n > length {
+		start = src.IntN(n - length)
+	}
+	return start, start + length
+}
+
+func addOFDMBurst(out []complex128, fs float64, e Emitter, src *rng.Source) {
+	const subSpacing = 312500.0
+	nSub := int(e.WidthHz / subSpacing)
+	if nSub < 1 {
+		nSub = 1
+	}
+	fades := rf.SubcarrierFades(nSub, e.Selectivity, src.Split("fades"))
+	amp := math.Pow(10, e.PowerDB/20) / math.Sqrt(float64(nSub))
+	start, end := burstInterval(len(out), e.DutyCycle, src.Split("t"))
+	// OFDM symbols are 4 us; each subcarrier takes a fresh (QPSK-like)
+	// phase every symbol, which fills the band between subcarrier
+	// centers exactly as a real 802.11 transmission does.
+	symbolLen := int(4e-6 * fs)
+	if symbolLen < 1 {
+		symbolLen = 1
+	}
+	for s := 0; s < nSub; s++ {
+		f := e.CenterOffsetHz + (float64(s)-float64(nSub-1)/2)*subSpacing
+		if math.Abs(f) > fs/2 {
+			continue
+		}
+		a := amp * math.Pow(10, fades[s]/20)
+		w := 2 * math.Pi * f / fs
+		phase := src.Float64() * 2 * math.Pi
+		for i := start; i < end; i++ {
+			if (i-start)%symbolLen == 0 {
+				phase = math.Floor(src.Float64()*4) * math.Pi / 2
+			}
+			th := w*float64(i) + phase
+			out[i] += complex(a*math.Cos(th), a*math.Sin(th))
+		}
+	}
+}
+
+func addHopper(out []complex128, fs float64, e Emitter, src *rng.Source) {
+	// Bluetooth: 625 us slots; hop to a random 1 MHz channel per slot.
+	slot := int(625e-6 * fs)
+	if slot < 1 {
+		slot = 1
+	}
+	amp := math.Pow(10, e.PowerDB/20)
+	for start := 0; start < len(out); start += slot {
+		if !src.Bool(e.DutyCycle) {
+			continue
+		}
+		f := e.CenterOffsetHz + (src.Float64()-0.5)*e.WidthHz
+		if math.Abs(f) > fs/2 {
+			continue
+		}
+		phase := src.Float64() * 2 * math.Pi
+		end := start + slot
+		if end > len(out) {
+			end = len(out)
+		}
+		// GFSK-style frequency modulation: a bounded (mean-reverting)
+		// instantaneous deviation of ~±170 kHz broadens the hop to
+		// about 1 MHz with steep Gaussian tails, like real Bluetooth.
+		dev := rng.AR1{Mean: 0, Stddev: 170e3, Rho: 0.95}
+		for i := start; i < end; i++ {
+			phase += 2 * math.Pi * (f + dev.Next(src)) / fs
+			out[i] += complex(amp*math.Cos(phase), amp*math.Sin(phase))
+		}
+	}
+}
+
+func addCW(out []complex128, fs float64, e Emitter, src *rng.Source) {
+	amp := math.Pow(10, e.PowerDB/20)
+	start, end := burstInterval(len(out), e.DutyCycle, src.Split("t"))
+	phase := src.Float64() * 2 * math.Pi
+	w := 2 * math.Pi * e.CenterOffsetHz / fs
+	for i := start; i < end; i++ {
+		th := w*float64(i) + phase
+		out[i] += complex(amp*math.Cos(th), amp*math.Sin(th))
+	}
+}
+
+// Band24Environment returns the Figure 11 2.4 GHz scene centered at
+// 2.437 GHz: a 20 MHz 802.11 packet, Bluetooth hops across the band,
+// and an unidentified narrowband source.
+func Band24Environment() []Emitter {
+	return []Emitter{
+		{Kind: EmitterOFDM, CenterOffsetHz: 0, WidthHz: 20e6, PowerDB: 25, DutyCycle: 0.4, Selectivity: 0.3},
+		{Kind: EmitterHopper, CenterOffsetHz: 0, WidthHz: 30e6, PowerDB: 18, DutyCycle: 0.5},
+		{Kind: EmitterCW, CenterOffsetHz: -9e6, WidthHz: 100e3, PowerDB: 12, DutyCycle: 1},
+	}
+}
+
+// Band5Environment returns the Figure 11 5 GHz scene centered at
+// 5.220 GHz: a 20 MHz and a 40 MHz 802.11 packet, the latter with
+// visible frequency-selective fading, plus a faint distant transmitter.
+func Band5Environment() []Emitter {
+	return []Emitter{
+		// A full 20 MHz packet on the lower channel.
+		{Kind: EmitterOFDM, CenterOffsetHz: -6e6, WidthHz: 20e6, PowerDB: 32, DutyCycle: 0.5, Selectivity: 0.2},
+		// A 40 MHz packet on a higher channel whose lower edge falls
+		// inside the 32 MHz capture, with visible frequency-selective
+		// fading.
+		{Kind: EmitterOFDM, CenterOffsetHz: 26e6, WidthHz: 40e6, PowerDB: 28, DutyCycle: 0.4, Selectivity: 0.9},
+		// Fainter distant transmissions with selective fading.
+		{Kind: EmitterOFDM, CenterOffsetHz: 10e6, WidthHz: 10e6, PowerDB: 14, DutyCycle: 0.2, Selectivity: 0.7},
+	}
+}
+
+// Segment is a contiguous occupied frequency range recovered from a
+// spectrum.
+type Segment struct {
+	StartHz, EndHz float64
+	PeakDB         float64
+}
+
+// WidthHz returns the segment width.
+func (s Segment) WidthHz() float64 { return s.EndHz - s.StartHz }
+
+// OccupiedBands scans an fft-shifted dB spectrum and returns contiguous
+// segments at least minWidthHz wide whose power exceeds the noise floor
+// estimate by thresholdDB.
+func OccupiedBands(spectrumDB []float64, sampleRateHz, thresholdDB, minWidthHz float64) []Segment {
+	n := len(spectrumDB)
+	if n == 0 {
+		return nil
+	}
+	floor := noiseFloorEstimate(spectrumDB)
+	// Gaps narrower than maxGapHz (guard intervals, faded subcarriers)
+	// are bridged into the surrounding segment.
+	const maxGapHz = 400e3
+	maxGapBins := int(maxGapHz * float64(n) / sampleRateHz)
+	var segs []Segment
+	inSeg := false
+	gap := 0
+	var cur Segment
+	var lastAbove int
+	for i := 0; i <= n; i++ {
+		above := i < n && spectrumDB[i] > floor+thresholdDB
+		switch {
+		case above && !inSeg:
+			inSeg = true
+			gap = 0
+			lastAbove = i
+			cur = Segment{StartHz: BinFrequencyHz(i, n, sampleRateHz), PeakDB: spectrumDB[i]}
+		case above:
+			gap = 0
+			lastAbove = i
+			if spectrumDB[i] > cur.PeakDB {
+				cur.PeakDB = spectrumDB[i]
+			}
+		case inSeg:
+			gap++
+			if gap > maxGapBins || i == n {
+				inSeg = false
+				cur.EndHz = BinFrequencyHz(lastAbove+1, n, sampleRateHz)
+				if cur.WidthHz() >= minWidthHz {
+					segs = append(segs, cur)
+				}
+			}
+		}
+	}
+	return segs
+}
+
+// noiseFloorEstimate estimates the mean noise power as the minimum
+// chunk-average across 32 equal slices of the band. Averaging within a
+// chunk tames the exponential per-bin noise distribution, and taking
+// the minimum chunk stays robust even when transmissions fill most of
+// the capture — in a 32 MHz span, any ~1 MHz of clean spectrum anchors
+// the floor.
+func noiseFloorEstimate(s []float64) float64 {
+	const chunks = 32
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	size := n / chunks
+	if size < 1 {
+		size = 1
+	}
+	best := math.Inf(1)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		var mw float64
+		for i := start; i < end; i++ {
+			mw += math.Pow(10, s[i]/10)
+		}
+		mw /= float64(end - start)
+		if db := 10 * math.Log10(mw); db < best {
+			best = db
+		}
+	}
+	return best
+}
+
+// Render draws the spectrum as an ASCII chart, one column per bin group,
+// in the spirit of Figure 11.
+func Render(title string, spectrumDB []float64, sampleRateHz float64, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	n := len(spectrumDB)
+	cols := make([]float64, width)
+	for c := range cols {
+		lo := c * n / width
+		hi := (c + 1) * n / width
+		m := math.Inf(-1)
+		for i := lo; i < hi && i < n; i++ {
+			if spectrumDB[i] > m {
+				m = spectrumDB[i]
+			}
+		}
+		cols[c] = m
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, v := range cols {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV-minV < 1 {
+		maxV = minV + 1
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for row := 0; row < height; row++ {
+		level := maxV - (maxV-minV)*float64(row)/float64(height-1)
+		fmt.Fprintf(&b, "%7.1f |", level)
+		for _, v := range cols {
+			if v >= level {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "        %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        %-*.1f%*.1f MHz offset\n", width/2,
+		BinFrequencyHz(0, n, sampleRateHz)/1e6, width/2, BinFrequencyHz(n-1, n, sampleRateHz)/1e6)
+	return b.String()
+}

@@ -1,0 +1,133 @@
+// Package spectrum is the study's software spectrum analyzer: a pure-Go
+// radix-2 FFT, a complex-baseband composer that synthesizes the 2.4 and
+// 5 GHz environments of Figure 11 (20/40 MHz 802.11 OFDM bursts, 1 MHz
+// Bluetooth frequency hoppers, narrowband interferers, and
+// frequency-selective fading), and analysis utilities that recover the
+// occupied bands from the computed spectrum. It substitutes for the
+// USRP B200 the paper pointed at one access point.
+package spectrum
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// ErrNotPowerOfTwo is returned for FFT lengths that are not powers of
+// two.
+var ErrNotPowerOfTwo = errors.New("spectrum: length must be a power of two")
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x. The
+// length must be a power of two.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return ErrNotPowerOfTwo
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the in-place inverse FFT of x.
+func IFFT(x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) / n
+	}
+	return nil
+}
+
+// HannWindow applies a Hann window in place and returns its coherent
+// gain for amplitude correction.
+func HannWindow(x []complex128) float64 {
+	n := len(x)
+	if n == 0 {
+		return 1
+	}
+	var gain float64
+	for i := range x {
+		w := 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+		x[i] *= complex(w, 0)
+		gain += w
+	}
+	return gain / float64(n)
+}
+
+// PowerSpectrumDB computes the windowed power spectrum of the samples in
+// dB, fft-shifted so index 0 is the lowest (most negative) frequency
+// offset. The input is not modified.
+func PowerSpectrumDB(samples []complex128) ([]float64, error) {
+	n := len(samples)
+	buf := make([]complex128, n)
+	copy(buf, samples)
+	gain := HannWindow(buf)
+	if err := FFT(buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// fftshift: first half of output is the upper half of the FFT.
+		src := (i + n/2) % n
+		p := real(buf[src])*real(buf[src]) + imag(buf[src])*imag(buf[src])
+		p /= float64(n) * float64(n) * gain * gain
+		if p < 1e-30 {
+			p = 1e-30
+		}
+		out[i] = 10 * math.Log10(p)
+	}
+	return out, nil
+}
+
+// BinFrequencyHz returns the frequency offset of bin i of an n-point
+// fft-shifted spectrum at the given sample rate.
+func BinFrequencyHz(i, n int, sampleRateHz float64) float64 {
+	return (float64(i) - float64(n)/2) * sampleRateHz / float64(n)
+}
+
+// AverageSpectraDB averages multiple dB spectra in the power domain
+// (video averaging, as a spectrum analyzer's average trace does).
+func AverageSpectraDB(spectra [][]float64) []float64 {
+	if len(spectra) == 0 {
+		return nil
+	}
+	n := len(spectra[0])
+	acc := make([]float64, n)
+	for _, s := range spectra {
+		for i := 0; i < n && i < len(s); i++ {
+			acc[i] += math.Pow(10, s[i]/10)
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 10 * math.Log10(acc[i]/float64(len(spectra)))
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package spectrum
+
+import (
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+
+	"wlanscale/internal/rng"
+)
+
+func TestFFTImpulse(t *testing.T) {
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	// FFT of an impulse is flat.
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSinusoidPeak(t *testing.T) {
+	const n = 256
+	const bin = 37
+	x := make([]complex128, n)
+	for i := range x {
+		th := 2 * math.Pi * bin * float64(i) / n
+		x[i] = cmplx.Exp(complex(0, th))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		mag := cmplx.Abs(v)
+		if i == bin {
+			if math.Abs(mag-n) > 1e-9 {
+				t.Errorf("peak bin magnitude = %v, want %d", mag, n)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("leakage at bin %d: %v", i, mag)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	src := rng.New(1)
+	const n = 1024
+	x := make([]complex128, n)
+	var timeEnergy float64
+	for i := range x {
+		x[i] = complex(src.Normal(0, 1), src.Normal(0, 1))
+		timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqEnergy float64
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= n
+	if math.Abs(timeEnergy-freqEnergy)/timeEnergy > 1e-9 {
+		t.Errorf("Parseval violated: time %v vs freq %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	src := rng.New(2)
+	const n = 512
+	orig := make([]complex128, n)
+	x := make([]complex128, n)
+	for i := range x {
+		v := complex(src.Normal(0, 1), src.Normal(0, 1))
+		orig[i], x[i] = v, v
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip failed at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 100)); err != ErrNotPowerOfTwo {
+		t.Errorf("err = %v", err)
+	}
+	if err := FFT(nil); err != ErrNotPowerOfTwo {
+		t.Errorf("nil err = %v", err)
+	}
+	if err := IFFT(make([]complex128, 3)); err != ErrNotPowerOfTwo {
+		t.Errorf("ifft err = %v", err)
+	}
+}
+
+func TestBinFrequency(t *testing.T) {
+	// 4096 bins over 32 MHz: bin 0 is -16 MHz, bin n/2 is 0.
+	if got := BinFrequencyHz(0, 4096, 32e6); got != -16e6 {
+		t.Errorf("bin 0 = %v", got)
+	}
+	if got := BinFrequencyHz(2048, 4096, 32e6); got != 0 {
+		t.Errorf("center bin = %v", got)
+	}
+}
+
+func TestPowerSpectrumLocatesTone(t *testing.T) {
+	src := rng.New(3)
+	const n = CaptureFFTSize
+	// A strong tone at +5 MHz over the noise.
+	em := []Emitter{{Kind: EmitterCW, CenterOffsetHz: 5e6, PowerDB: 40, DutyCycle: 1}}
+	samples := ComposeBaseband(n, CaptureSampleRateHz, em, src)
+	spec, err := PowerSpectrumDB(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range spec {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	f := BinFrequencyHz(best, n, CaptureSampleRateHz)
+	if math.Abs(f-5e6) > 100e3 {
+		t.Errorf("tone found at %v Hz, want 5 MHz", f)
+	}
+}
+
+func TestComposeOFDMOccupiesBand(t *testing.T) {
+	src := rng.New(4)
+	em := []Emitter{{Kind: EmitterOFDM, CenterOffsetHz: 0, WidthHz: 20e6, PowerDB: 30, DutyCycle: 1, Selectivity: 0.2}}
+	samples := ComposeBaseband(CaptureFFTSize, CaptureSampleRateHz, em, src)
+	spec, err := PowerSpectrumDB(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := OccupiedBands(spec, CaptureSampleRateHz, 10, 5e6)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %d (%v), want 1", len(segs), segs)
+	}
+	w := segs[0].WidthHz()
+	if w < 15e6 || w > 24e6 {
+		t.Errorf("OFDM occupied width = %v MHz, want ~20", w/1e6)
+	}
+}
+
+func TestComposeSelectivityCreatesNotches(t *testing.T) {
+	// High selectivity should increase in-band power variance.
+	varOf := func(sel float64, seed uint64) float64 {
+		src := rng.New(seed)
+		em := []Emitter{{Kind: EmitterOFDM, CenterOffsetHz: 0, WidthHz: 20e6, PowerDB: 35, DutyCycle: 1, Selectivity: sel}}
+		samples := ComposeBaseband(CaptureFFTSize, CaptureSampleRateHz, em, src)
+		spec, _ := PowerSpectrumDB(samples)
+		n := len(spec)
+		// In-band bins: center +/- 9 MHz.
+		var vals []float64
+		for i := 0; i < n; i++ {
+			if math.Abs(BinFrequencyHz(i, n, CaptureSampleRateHz)) < 9e6 {
+				vals = append(vals, spec[i])
+			}
+		}
+		var m, m2 float64
+		for _, v := range vals {
+			m += v
+		}
+		m /= float64(len(vals))
+		for _, v := range vals {
+			m2 += (v - m) * (v - m)
+		}
+		return m2 / float64(len(vals))
+	}
+	flat := varOf(0, 10)
+	faded := varOf(1, 10)
+	if faded <= flat {
+		t.Errorf("selectivity did not raise in-band variance: flat=%v faded=%v", flat, faded)
+	}
+}
+
+func TestBandEnvironmentsAnalyzable(t *testing.T) {
+	src := rng.New(5)
+	for name, env := range map[string][]Emitter{
+		"2.4 GHz": Band24Environment(),
+		"5 GHz":   Band5Environment(),
+	} {
+		samples := ComposeBaseband(CaptureFFTSize, CaptureSampleRateHz, env, src.Split(name))
+		spec, err := PowerSpectrumDB(samples)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		segs := OccupiedBands(spec, CaptureSampleRateHz, 8, 1e6)
+		if len(segs) == 0 {
+			t.Errorf("%s environment shows no occupied bands", name)
+		}
+	}
+}
+
+func TestHopperOccupiesNarrowSlices(t *testing.T) {
+	src := rng.New(6)
+	em := []Emitter{{Kind: EmitterHopper, CenterOffsetHz: 0, WidthHz: 30e6, PowerDB: 25, DutyCycle: 1}}
+	samples := ComposeBaseband(CaptureFFTSize, CaptureSampleRateHz, em, src)
+	spec, _ := PowerSpectrumDB(samples)
+	segs := OccupiedBands(spec, CaptureSampleRateHz, 12, 200e3)
+	if len(segs) == 0 {
+		t.Fatal("hopper invisible")
+	}
+	for _, s := range segs {
+		if s.WidthHz() > 6e6 {
+			t.Errorf("hopper segment %v MHz wide; hops should be narrow", s.WidthHz()/1e6)
+		}
+	}
+}
+
+func TestAverageSpectraDB(t *testing.T) {
+	a := []float64{0, 10}
+	b := []float64{0, 20}
+	avg := AverageSpectraDB([][]float64{a, b})
+	if math.Abs(avg[0]-0) > 1e-9 {
+		t.Errorf("avg[0] = %v", avg[0])
+	}
+	// Power-domain average of 10 and 20 dB: 10*log10((10+100)/2)=17.4.
+	if math.Abs(avg[1]-17.4) > 0.1 {
+		t.Errorf("avg[1] = %v, want 17.4", avg[1])
+	}
+	if AverageSpectraDB(nil) != nil {
+		t.Error("empty average should be nil")
+	}
+}
+
+func TestOccupiedBandsEmptySpectrum(t *testing.T) {
+	if segs := OccupiedBands(nil, 32e6, 10, 1e6); segs != nil {
+		t.Error("nil spectrum should return nil")
+	}
+}
+
+func TestRenderSpectrum(t *testing.T) {
+	src := rng.New(7)
+	samples := ComposeBaseband(1024, CaptureSampleRateHz, Band24Environment(), src)
+	spec, _ := PowerSpectrumDB(samples)
+	out := Render("Figure 11 (2.437 GHz)", spec, CaptureSampleRateHz, 60, 12)
+	if !strings.Contains(out, "Figure 11") || !strings.Contains(out, "#") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestNoiseFloorEstimate(t *testing.T) {
+	s := make([]float64, 101)
+	for i := range s {
+		s[i] = -90
+	}
+	for i := 0; i < 20; i++ {
+		s[i] = -40 // strong occupied chunk
+	}
+	if got := noiseFloorEstimate(s); math.Abs(got+90) > 0.5 {
+		t.Errorf("floor = %v, want -90", got)
+	}
+	// Heavy occupancy must not drag the estimate up: with 80% of the
+	// band hot, the minimum chunk still anchors the floor.
+	for i := 0; i < 80; i++ {
+		s[i] = -40
+	}
+	if got := noiseFloorEstimate(s); math.Abs(got+90) > 0.5 {
+		t.Errorf("floor with 80%% occupied = %v, want -90", got)
+	}
+}
+
+func BenchmarkFFT4096(b *testing.B) {
+	src := rng.New(1)
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(src.Normal(0, 1), src.Normal(0, 1))
+	}
+	buf := make([]complex128, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComposeBaseband(b *testing.B) {
+	src := rng.New(2)
+	env := Band24Environment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComposeBaseband(CaptureFFTSize, CaptureSampleRateHz, env, src.SplitN("f", i))
+	}
+}

@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned text tables in the style of the paper's tables.
+// Build one with NewTable, append rows, and call String.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with a caption and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped and
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a footnote line under the table.
+func (t *Table) AddNote(note string) { t.notes = append(t.notes, note) }
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		line(row)
+	}
+	for _, n := range t.notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCDFs renders one or more labeled CDFs as an ASCII chart with the
+// cumulative fraction on the y axis, matching the visual shape of the
+// paper's CDF figures. Width and height are in characters.
+func RenderCDFs(title string, width, height int, series map[string]*CDF) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	// Find the global x range.
+	lo, hi := 0.0, 0.0
+	first := true
+	for _, c := range series {
+		if c.N() == 0 {
+			continue
+		}
+		cLo, cHi := c.Quantile(0), c.Quantile(1)
+		if first {
+			lo, hi, first = cLo, cHi, false
+		} else {
+			if cLo < lo {
+				lo = cLo
+			}
+			if cHi > hi {
+				hi = cHi
+			}
+		}
+	}
+	if first || hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', '+', 'o', 'x', '#', '@'}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	// Deterministic ordering for stable output.
+	sortStrings(names)
+	for si, name := range names {
+		c := series[name]
+		if c.N() == 0 {
+			continue
+		}
+		m := markers[si%len(markers)]
+		for col := 0; col < width; col++ {
+			x := lo + (hi-lo)*float64(col)/float64(width-1)
+			frac := c.FractionBelow(x)
+			row := height - 1 - int(frac*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, row := range grid {
+		frac := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", frac, string(row))
+	}
+	fmt.Fprintf(&b, "     %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "     %-*.3g%*.3g\n", width/2, lo, width/2+2, hi)
+	for si, name := range names {
+		fmt.Fprintf(&b, "  %c = %s (n=%d)\n", markers[si%len(markers)], name, series[name].N())
+	}
+	return b.String()
+}
+
+func sortStrings(v []string) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// RenderHistogram renders a horizontal bar chart of the histogram, with
+// one row per bin, in the style of the paper's Figure 2.
+func RenderHistogram(title string, h *Histogram, labels []string, barWidth int) string {
+	if barWidth <= 0 {
+		barWidth = 50
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		maxCount = 1
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, c := range h.Counts {
+		label := fmt.Sprintf("%.3g", h.BinCenter(i))
+		if labels != nil && i < len(labels) {
+			label = labels[i]
+		}
+		bar := strings.Repeat("#", c*barWidth/maxCount)
+		fmt.Fprintf(&b, "%8s |%-*s| %d\n", label, barWidth, bar, c)
+	}
+	return b.String()
+}
+
+// RenderSeries renders one or more labeled time series in an ASCII chart,
+// matching the visual shape of the paper's Figures 4 and 5. Each series is
+// a slice of Y values sampled at uniform X spacing.
+func RenderSeries(title string, width, height int, yLo, yHi float64, series map[string][]float64) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	if yHi <= yLo {
+		yHi = yLo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', '+', 'o', 'x'}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for si, name := range names {
+		vals := series[name]
+		if len(vals) == 0 {
+			continue
+		}
+		m := markers[si%len(markers)]
+		for col := 0; col < width; col++ {
+			idx := col * (len(vals) - 1) / max(width-1, 1)
+			frac := (vals[idx] - yLo) / (yHi - yLo)
+			row := height - 1 - int(frac*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, row := range grid {
+		v := yHi - (yHi-yLo)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%6.2f |%s|\n", v, string(row))
+	}
+	fmt.Fprintf(&b, "       %s\n", strings.Repeat("-", width+2))
+	for si, name := range names {
+		fmt.Fprintf(&b, "  %c = %s\n", markers[si%len(markers)], name)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

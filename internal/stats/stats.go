@@ -1,0 +1,379 @@
+// Package stats provides the statistical summaries the measurement study
+// reports: empirical CDFs and quantiles, histograms, online moments,
+// correlation coefficients, and scatter summaries. It also contains text
+// renderers that print distributions in the shapes the paper's tables and
+// figures use.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds online first and second moments plus extrema.
+// The zero value is an empty summary ready to use.
+type Summary struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	sum        float64
+	hasExtrema bool
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	s.sum += x
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if !s.hasExtrema || x < s.min {
+		s.min = x
+	}
+	if !s.hasExtrema || x > s.max {
+		s.max = x
+	}
+	s.hasExtrema = true
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the population variance, or 0 with fewer than two
+// observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Stddev returns the population standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 for an empty summary.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 for an empty summary.
+func (s *Summary) Max() float64 { return s.max }
+
+// CDF is an empirical cumulative distribution built from raw samples.
+// Build one with Add calls (or FromSamples) and then query quantiles.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// FromSamples constructs a CDF taking ownership of the slice.
+func FromSamples(v []float64) *CDF {
+	c := &CDF{samples: v}
+	return c
+}
+
+// Add appends one sample.
+func (c *CDF) Add(x float64) {
+	c.samples = append(c.samples, x)
+	c.sorted = false
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.samples) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) using linear
+// interpolation between order statistics. It returns 0 for an empty CDF.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	pos := q * float64(len(c.samples)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(c.samples) {
+		return c.samples[len(c.samples)-1]
+	}
+	return c.samples[i]*(1-frac) + c.samples[i+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Mean returns the arithmetic mean of the samples.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples))
+}
+
+// FractionBelow returns the empirical P(X <= x).
+func (c *CDF) FractionBelow(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	i := sort.SearchFloat64s(c.samples, x)
+	// Advance over ties so the result is P(X <= x), not P(X < x).
+	for i < len(c.samples) && c.samples[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.samples))
+}
+
+// FractionAtLeast returns the empirical P(X >= x).
+func (c *CDF) FractionAtLeast(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	i := sort.SearchFloat64s(c.samples, x)
+	return float64(len(c.samples)-i) / float64(len(c.samples))
+}
+
+// Points returns n evenly spaced (value, cumulative-fraction) pairs
+// suitable for plotting the CDF curve.
+func (c *CDF) Points(n int) []Point {
+	if len(c.samples) == 0 || n <= 0 {
+		return nil
+	}
+	c.ensureSorted()
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		if n == 1 {
+			q = 0.5
+		}
+		pts = append(pts, Point{X: c.Quantile(q), Y: q})
+	}
+	return pts
+}
+
+// Point is a 2-D sample.
+type Point struct{ X, Y float64 }
+
+// Histogram counts observations into fixed-width bins over [Lo, Hi).
+// Values outside the range are clamped into the first or last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with nbins bins over [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Fraction returns the share of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples. It returns 0 if either vector is constant or the lengths
+// differ.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Spearman returns the Spearman rank correlation coefficient, which is
+// Pearson correlation applied to ranks (average ranks for ties).
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	return Pearson(ranks(x), ranks(y))
+}
+
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	r := make([]float64, len(v))
+	i := 0
+	for i < len(idx) {
+		j := i
+		for j+1 < len(idx) && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// Scatter accumulates paired observations for correlation studies such as
+// the paper's utilization-versus-neighbor-count plots (Figures 7 and 8).
+type Scatter struct {
+	X, Y []float64
+}
+
+// Add appends one point.
+func (s *Scatter) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// N returns the number of points.
+func (s *Scatter) N() int { return len(s.X) }
+
+// Pearson returns the Pearson correlation of the accumulated points.
+func (s *Scatter) Pearson() float64 { return Pearson(s.X, s.Y) }
+
+// Spearman returns the Spearman correlation of the accumulated points.
+func (s *Scatter) Spearman() float64 { return Spearman(s.X, s.Y) }
+
+// BinnedMeans partitions the points into nbins equal-width bins by X and
+// returns, for each non-empty bin, the bin's mean X and mean Y. This is
+// the numeric summary of what the paper's scatter plots show visually.
+func (s *Scatter) BinnedMeans(nbins int) []Point {
+	if len(s.X) == 0 || nbins <= 0 {
+		return nil
+	}
+	lo, hi := s.X[0], s.X[0]
+	for _, x := range s.X {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	sumX := make([]float64, nbins)
+	sumY := make([]float64, nbins)
+	cnt := make([]int, nbins)
+	for i := range s.X {
+		b := int((s.X[i] - lo) / (hi - lo) * float64(nbins))
+		if b >= nbins {
+			b = nbins - 1
+		}
+		sumX[b] += s.X[i]
+		sumY[b] += s.Y[i]
+		cnt[b]++
+	}
+	var pts []Point
+	for b := 0; b < nbins; b++ {
+		if cnt[b] > 0 {
+			pts = append(pts, Point{X: sumX[b] / float64(cnt[b]), Y: sumY[b] / float64(cnt[b])})
+		}
+	}
+	return pts
+}
+
+// FormatBytes renders a byte count the way the paper's tables do:
+// terabytes with two significant figures for large values, MB otherwise.
+func FormatBytes(b float64) string {
+	switch {
+	case b >= 1e12:
+		return fmt.Sprintf("%.3g TB", b/1e12)
+	case b >= 1e9:
+		return fmt.Sprintf("%.3g GB", b/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.3g MB", b/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.3g KB", b/1e3)
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}
+
+// FormatPercent renders a fraction as a percentage with the paper's
+// precision conventions (two significant figures below 10%).
+func FormatPercent(frac float64) string {
+	p := frac * 100
+	switch {
+	case p == 0:
+		return "0%"
+	case math.Abs(p) < 10:
+		return fmt.Sprintf("%.2g%%", p)
+	default:
+		return fmt.Sprintf("%.0f%%", p)
+	}
+}
+
+// PercentChange returns the year-over-year "% increase" the paper reports
+// in its tables: (now-before)/before as a fraction. Returns 0 when the
+// baseline is zero.
+func PercentChange(before, now float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (now - before) / before
+}

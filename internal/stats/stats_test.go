@@ -1,0 +1,385 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if math.Abs(s.Stddev()-2) > 1e-9 {
+		t.Errorf("Stddev = %v, want 2", s.Stddev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Errorf("Sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Error("empty summary not zero-valued")
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(-1)
+	if s.Min() != -5 || s.Max() != -1 {
+		t.Errorf("Min/Max with negatives = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestCDFQuantiles(t *testing.T) {
+	c := FromSamples([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if got := c.Median(); math.Abs(got-5.5) > 1e-9 {
+		t.Errorf("Median = %v, want 5.5", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %v, want 10", got)
+	}
+	if got := c.Quantile(0.9); math.Abs(got-9.1) > 1e-9 {
+		t.Errorf("Quantile(0.9) = %v, want 9.1", got)
+	}
+}
+
+func TestCDFQuantileMonotone(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := FromSamples(append([]float64(nil), raw...))
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := c.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFFractionBelow(t *testing.T) {
+	c := FromSamples([]float64{1, 2, 2, 3})
+	if got := c.FractionBelow(2); got != 0.75 {
+		t.Errorf("FractionBelow(2) = %v, want 0.75 (P(X<=2))", got)
+	}
+	if got := c.FractionBelow(0.5); got != 0 {
+		t.Errorf("FractionBelow(0.5) = %v, want 0", got)
+	}
+	if got := c.FractionBelow(10); got != 1 {
+		t.Errorf("FractionBelow(10) = %v, want 1", got)
+	}
+	if got := c.FractionAtLeast(2); got != 0.75 {
+		t.Errorf("FractionAtLeast(2) = %v, want 0.75", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.Quantile(0.5) != 0 || c.FractionBelow(1) != 0 || c.Mean() != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+	if pts := c.Points(10); pts != nil {
+		t.Error("empty CDF Points should be nil")
+	}
+}
+
+func TestCDFAddThenQuery(t *testing.T) {
+	var c CDF
+	for i := 10; i >= 1; i-- {
+		c.Add(float64(i))
+	}
+	if c.Median() != 5.5 {
+		t.Errorf("Median = %v", c.Median())
+	}
+	c.Add(100) // re-sort path after a new Add
+	if c.Quantile(1) != 100 {
+		t.Errorf("Quantile(1) after Add = %v", c.Quantile(1))
+	}
+}
+
+func TestCDFPointsCoverRange(t *testing.T) {
+	c := FromSamples([]float64{0, 50, 100})
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("len(Points) = %d", len(pts))
+	}
+	if pts[0].Y != 0 || pts[10].Y != 1 {
+		t.Errorf("endpoint fractions = %v, %v", pts[0].Y, pts[10].Y)
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X }) {
+		// Equal X values are allowed; verify non-decreasing.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X {
+				t.Fatal("Points X not non-decreasing")
+			}
+		}
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-1)  // clamps to bin 0
+	h.Add(100) // clamps to last bin
+	h.Add(5)   // bin 2
+	if h.Counts[0] != 1 || h.Counts[4] != 1 || h.Counts[2] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total() != 3 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.Fraction(2); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("Fraction(2) = %v", got)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(5, 1, 3) did not panic")
+		}
+	}()
+	NewHistogram(5, 1, 3)
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, neg); math.Abs(got+1) > 1e-9 {
+		t.Errorf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if got := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("Pearson constant x = %v, want 0", got)
+	}
+	if got := Pearson([]float64{1, 2}, []float64{1}); got != 0 {
+		t.Errorf("Pearson length mismatch = %v, want 0", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform should give rho = 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(x, y); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Spearman = %v, want 1", got)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 2, 2, 3}
+	y := []float64{1, 2, 2, 3}
+	if got := Spearman(x, y); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Spearman with ties = %v, want 1", got)
+	}
+}
+
+func TestScatterBinnedMeans(t *testing.T) {
+	var s Scatter
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i), float64(i)*2)
+	}
+	pts := s.BinnedMeans(10)
+	if len(pts) != 10 {
+		t.Fatalf("bins = %d, want 10", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.Y-2*p.X) > 1e-9 {
+			t.Errorf("bin mean (%v, %v) off the line y=2x", p.X, p.Y)
+		}
+	}
+	if s.N() != 100 {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestScatterConstantX(t *testing.T) {
+	var s Scatter
+	s.Add(5, 1)
+	s.Add(5, 2)
+	pts := s.BinnedMeans(4)
+	if len(pts) != 1 {
+		t.Fatalf("constant-x scatter bins = %d, want 1", len(pts))
+	}
+	if pts[0].X != 5 || pts[0].Y != 1.5 {
+		t.Errorf("bin = %+v", pts[0])
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{1.95e15, "1.95e+03 TB"},
+		{5e12, "5 TB"},
+		{2.5e9, "2.5 GB"},
+		{367e6, "367 MB"},
+		{1200, "1.2 KB"},
+		{12, "12 B"},
+	} {
+		if got := FormatBytes(tc.in); got != tc.want {
+			t.Errorf("FormatBytes(%g) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFormatPercent(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0%"},
+		{0.3, "30%"},
+		{0.042, "4.2%"},
+		{0.0074, "0.74%"},
+	} {
+		if got := FormatPercent(tc.in); got != tc.want {
+			t.Errorf("FormatPercent(%g) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	if got := PercentChange(100, 162); math.Abs(got-0.62) > 1e-9 {
+		t.Errorf("PercentChange = %v, want 0.62", got)
+	}
+	if got := PercentChange(0, 5); got != 0 {
+		t.Errorf("PercentChange from zero = %v, want 0", got)
+	}
+	if got := PercentChange(100, 38); math.Abs(got+0.62) > 1e-9 {
+		t.Errorf("negative PercentChange = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table X: demo", "OS", "Clients")
+	tab.AddRow("Windows", "822,761")
+	tab.AddRow("iOS")
+	tab.AddNote("note line")
+	out := tab.String()
+	for _, want := range []string{"Table X: demo", "OS", "Windows", "822,761", "note line"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestTableDropsExtraCells(t *testing.T) {
+	tab := NewTable("", "a")
+	tab.AddRow("x", "overflow")
+	if strings.Contains(tab.String(), "overflow") {
+		t.Error("extra cell rendered")
+	}
+}
+
+func TestRenderCDFs(t *testing.T) {
+	c := FromSamples([]float64{0, 0.25, 0.5, 0.75, 1})
+	out := RenderCDFs("Figure: demo", 40, 10, map[string]*CDF{"2.4 GHz": c})
+	if !strings.Contains(out, "Figure: demo") || !strings.Contains(out, "2.4 GHz (n=5)") {
+		t.Errorf("render missing expected labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("render has no curve markers")
+	}
+}
+
+func TestRenderCDFsEmptySeries(t *testing.T) {
+	out := RenderCDFs("t", 30, 6, map[string]*CDF{"empty": {}})
+	if out == "" {
+		t.Error("empty render produced no output")
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	h := NewHistogram(0, 3, 3)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	out := RenderHistogram("hist", h, []string{"ch1", "ch6", "ch11"}, 20)
+	if !strings.Contains(out, "ch6") || !strings.Contains(out, "#") {
+		t.Errorf("histogram render unexpected:\n%s", out)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	vals := make([]float64, 48)
+	for i := range vals {
+		vals[i] = 0.5 + 0.4*math.Sin(float64(i)/8)
+	}
+	out := RenderSeries("link", 60, 8, 0, 1, map[string][]float64{"link A": vals})
+	if !strings.Contains(out, "link A") {
+		t.Errorf("series render missing label:\n%s", out)
+	}
+}
+
+func TestRanksAveraging(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func BenchmarkCDFQuantile(b *testing.B) {
+	c := &CDF{}
+	for i := 0; i < 100000; i++ {
+		c.Add(float64(i % 997))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Quantile(0.9)
+	}
+}
+
+func BenchmarkPearson(b *testing.B) {
+	x := make([]float64, 10000)
+	y := make([]float64, 10000)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i % 37)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pearson(x, y)
+	}
+}

@@ -1,0 +1,360 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"wlanscale/internal/airtime"
+	"wlanscale/internal/ap"
+	"wlanscale/internal/apps"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/rf"
+	"wlanscale/internal/rng"
+)
+
+// Neighbor-density calibration (Table 7). The values are the paper's
+// mean *networks per AP*; radios carry multiple SSIDs, so radio counts
+// are derived below.
+const (
+	// Mean non-Meraki networks per AP, 2.4 GHz.
+	nets24Jan2015 = 55.47
+	nets24Jul2014 = 28.60
+	// Hotspot share of 2.4 GHz networks.
+	hotspotShare24Jan2015 = 0.194 // 102,344 / 527,087
+	hotspotShare24Jul2014 = 0.244 // 56,293 / 230,628
+	// Mean non-Meraki networks per AP, 5 GHz.
+	nets5Jan2015 = 3.68
+	nets5Jul2014 = 2.47
+	// Hotspot share of 5 GHz networks.
+	hotspotShare5 = 0.017
+
+	// Mean SSIDs per regular neighbor radio (1-4 uniform).
+	meanSSIDsPerRadio = 2.5
+)
+
+// Channel popularity for neighbor networks (Figure 2): channel 1 holds
+// about 37% more networks than 6 or 11, with a small fraction parked on
+// the overlapping channels.
+var neighborChannelWeights24 = map[int]float64{
+	1: 1.37, 6: 1.0, 11: 1.0,
+	2: 0.06, 3: 0.06, 4: 0.06, 5: 0.06,
+	7: 0.06, 8: 0.06, 9: 0.06, 10: 0.06,
+}
+
+// 5 GHz neighbor channels: UNII-1 dominant, UNII-3 second, DFS rare.
+var neighborChannelWeights5 = map[int]float64{
+	36: 1.0, 40: 0.9, 44: 0.85, 48: 0.8,
+	149: 0.7, 153: 0.6, 157: 0.6, 161: 0.55, 165: 0.3,
+	52: 0.12, 56: 0.1, 60: 0.1, 64: 0.1,
+	100: 0.04, 104: 0.03, 108: 0.03, 112: 0.03, 116: 0.03,
+	120: 0.02, 132: 0.02, 136: 0.02, 140: 0.02,
+}
+
+func pickNeighborChannel(band dot11.Band, src *rng.Source) dot11.Channel {
+	weights := neighborChannelWeights24
+	if band == dot11.Band5 {
+		weights = neighborChannelWeights5
+	}
+	chans := dot11.Channels(band)
+	w := make([]float64, len(chans))
+	for i, ch := range chans {
+		w[i] = weights[ch.Number]
+	}
+	return chans[src.Categorical(w)]
+}
+
+// meanFleetDensity is the expected Network.Density across the industry
+// mix, used to normalize neighbor intensities so fleet means hit the
+// Table 7 targets.
+var meanFleetDensity = computeMeanFleetDensity()
+
+func computeMeanFleetDensity() float64 {
+	var num, den float64
+	for _, ind := range Industries() {
+		prof := industryProfiles[ind.Name]
+		// Neighbor draws happen per AP, so industries weigh in by
+		// their expected AP population (2 + Poisson(2.5*apScale) per
+		// network), not by network count.
+		apsPerNet := 2 + 2.5*prof.apScale
+		num += float64(ind.Networks) * apsPerNet * prof.density
+		den += float64(ind.Networks) * apsPerNet
+	}
+	// Per-network lognormal(median 1, sigma 0.8) has mean e^{0.32}.
+	return num / den * math.Exp(0.8*0.8/2)
+}
+
+// APEnvironment is everything around one access point: the ground-truth
+// beacons its scanner can try to decode, and the airtime sources its
+// radios measure. Both views are built from the same neighbor draw, so
+// Table 7 / Figure 2 stay consistent with Figures 6-10.
+type APEnvironment struct {
+	AP *ap.AP
+	// Neighbors holds the on-air beacons per band.
+	Neighbors24, Neighbors5 []ap.NeighborBSS
+	// Hood is the airtime view (neighbor beacons + data + non-WiFi +
+	// this AP's own client traffic).
+	Hood *airtime.Neighborhood
+	// TrueHotspots24 counts ground-truth hotspot networks at 2.4 GHz.
+	TrueHotspots24 int
+	// OwnDuty24 and OwnDuty5 are the AP's own-BSS transmit duty
+	// (beacons plus serving its clients), used when driving the radio
+	// counters.
+	OwnDuty24, OwnDuty5 float64
+}
+
+// neighborRadio is one drawn neighbor device.
+type neighborRadio struct {
+	hotspot bool
+	band    dot11.Band
+	ch      dot11.Channel
+	ssids   int
+	rxDBm   float64
+	b11Frac float64
+	keepU   float64 // uniform draw deciding Jul-2014 membership
+}
+
+// Environment builds the RF environment around AP apIdx of network n
+// for the given measurement epoch. The Jul 2014 environment is a strict
+// subset of the Jan 2015 one (networks accrete over time), drawn from
+// the same stream so the six-month comparison is apples-to-apples.
+func (f *Fleet) Environment(n *Network, apIdx int, e epoch.Epoch) (*APEnvironment, error) {
+	if apIdx < 0 || apIdx >= len(n.APs) {
+		return nil, fmt.Errorf("synth: ap index %d out of range", apIdx)
+	}
+	a := n.APs[apIdx]
+	src := f.root.SplitN("net", n.ID).SplitN("env", apIdx)
+
+	env := &APEnvironment{AP: a, Hood: airtime.NewNeighborhood()}
+	densityNorm := n.Density / meanFleetDensity
+
+	radios := drawNeighborRadios(dot11.Band24, densityNorm, src.Split("n24"))
+	radios = append(radios, drawNeighborRadios(dot11.Band5, densityNorm, src.Split("n5"))...)
+
+	hsOUIs := apps.HotspotOUIs()
+	serial := src.Split("serial")
+	for i, r := range radios {
+		if e == epoch.Jul2014 && !keptInJul2014(r) {
+			continue
+		}
+		// Build the scan view: one beacon per SSID, distinct BSSIDs.
+		var oui [3]byte
+		vendorSSID := ""
+		if r.hotspot {
+			oui = hsOUIs[serial.IntN(len(hsOUIs))]
+			vendorSSID = fmt.Sprintf("MiFi-%04d", serial.IntN(10000))
+		} else {
+			// A generic non-Meraki enterprise/home vendor OUI.
+			oui = [3]byte{0x00, 0x1c, 0xbf}
+			if serial.Bool(0.3) {
+				oui = [3]byte{0x00, 0x1e, 0x8c}
+			}
+		}
+		base := dot11.MACFromUint64(oui, uint64(n.ID)<<20|uint64(apIdx)<<12|uint64(i))
+		for s := 0; s < r.ssids; s++ {
+			bssid := base
+			bssid[5] ^= byte(s)
+			ssid := vendorSSID
+			if ssid == "" {
+				ssid = fmt.Sprintf("nbr-%d-%d", i, s)
+			}
+			caps := dot11.Capabilities{G: true, N: true, Streams: 2}
+			if r.band == dot11.Band5 {
+				caps = dot11.Capabilities{N: true, FiveGHz: true, Streams: 2}
+			}
+			frame := dot11.NewBeacon(bssid, ssid, r.ch.Number, caps.Normalize()).Marshal()
+			nb := ap.NeighborBSS{Frame: frame, Band: r.band, RxPowerDBm: r.rxDBm}
+			if r.band == dot11.Band24 {
+				env.Neighbors24 = append(env.Neighbors24, nb)
+			} else {
+				env.Neighbors5 = append(env.Neighbors5, nb)
+			}
+		}
+		if r.hotspot && r.band == dot11.Band24 {
+			env.TrueHotspots24++
+		}
+		// Build the airtime view: the radio's beacons plus its data
+		// traffic.
+		env.Hood.Add(airtime.NewBeaconSource(r.ch, r.rxDBm, r.ssids, r.b11Frac))
+		env.Hood.Add(airtime.NewDataSource(r.ch, 20, r.rxDBm, src.SplitN("data", i)))
+	}
+
+	// Peer Meraki APs from the same network are audible too; the
+	// analysis must exclude them from Table 7, so they are present in
+	// the scan view. Unlike distant strangers, peers are close and
+	// carry real client traffic: their loud, diurnal transmissions are
+	// a large share of what a scanning radio measures, independent of
+	// how many *foreign* networks are around — one of the reasons
+	// utilization does not track the neighbor count.
+	perAPClients := float64(n.NumClients) / float64(len(n.APs))
+	for peerIdx, peer := range n.APs {
+		if peerIdx == apIdx {
+			continue
+		}
+		d := siteDistance(n, apIdx, peerIdx, src.SplitN("peerd", peerIdx))
+		psrc := src.SplitN("peertraffic", peerIdx)
+		for _, band := range []dot11.Band{dot11.Band24, dot11.Band5} {
+			eirp := peer.HW.Radio24.EIRPdBm()
+			if band == dot11.Band5 {
+				eirp = peer.HW.Radio5.EIRPdBm()
+			}
+			rx := rf.ReceivedPowerDBm(n.Env, band, eirp, d) + src.Normal(0, 4)
+			nb := ap.NeighborBSS{Frame: peer.Beacon(0, band), Band: band, RxPowerDBm: rx}
+			if band == dot11.Band24 {
+				env.Neighbors24 = append(env.Neighbors24, nb)
+				env.Hood.Add(airtime.NewBeaconSource(peer.Radio24.Channel, rx, len(peer.SSIDs), 0.1))
+				duty := psrc.LogNormalMeanMedian(0.004*perAPClients/10+0.04, 0.8)
+				env.Hood.Add(airtime.NewClientTrafficSource(peer.Radio24.Channel, rx, duty, 0.9, psrc.Split("t24")))
+			} else {
+				env.Neighbors5 = append(env.Neighbors5, nb)
+				env.Hood.Add(airtime.NewBeaconSource(peer.Radio5.Channel, rx, len(peer.SSIDs), 0))
+				duty := psrc.LogNormalMeanMedian(0.002*perAPClients/10+0.012, 0.8)
+				env.Hood.Add(airtime.NewClientTrafficSource(peer.Radio5.Channel, rx, duty, 0.9, psrc.Split("t5")))
+			}
+		}
+	}
+
+	// Non-WiFi interferers.
+	for i, in := range rf.TypicalInterferers(densityNorm, src.Split("interf")) {
+		band := dot11.Band24
+		if in.Band() == dot11.Band5 {
+			band = dot11.Band5
+		}
+		rx := rf.ReceivedPowerDBm(n.Env, band, in.EIRPdBm, in.DistanceM)
+		// Approximate the interferer as a non-WiFi source on its
+		// nearest channel with its duty scaled by activity.
+		ch := nearestChannel(band, in.CenterMHz)
+		duty := in.DutyCycle * in.ActiveProb * in.OverlapWithChannel(ch)
+		if duty > 0 {
+			env.Hood.Add(airtime.NewNonWiFiSource(ch, int(in.WidthMHz)+1, rx, duty, src.SplitN("nw", i)))
+		}
+	}
+
+	// The AP's own transmissions (beacons plus management) enter the
+	// radio counters via OwnDuty; its own-BSS *client* traffic is a
+	// neighborhood source at client receive levels, visible both to the
+	// serving radio and to the scanning radio. Most client traffic
+	// rides 2.4 GHz (Figure 1).
+	own := src.Split("own")
+	env.OwnDuty24 = clamp01(a.BeaconDuty(dot11.Band24, 0.1) + 0.005)
+	env.OwnDuty5 = clamp01(a.BeaconDuty(dot11.Band5, 0) + 0.003)
+	// Own-cell traffic is received near the client uplink level: strong
+	// enough for the serving radio's CCA, but usually below the scan
+	// radio's energy-detect threshold (own downlink is blanked on the
+	// scan radio — it shares the board with the transmitter).
+	clientDuty24 := own.LogNormalMeanMedian(0.004*perAPClients/10+0.04, 0.8)
+	clientDuty5 := own.LogNormalMeanMedian(0.002*perAPClients/10+0.012, 0.8)
+	env.Hood.Add(airtime.NewClientTrafficSource(a.Radio24.Channel, -63, clientDuty24, 0.9, own.Split("d24")))
+	env.Hood.Add(airtime.NewClientTrafficSource(a.Radio5.Channel, -63, clientDuty5, 0.9, own.Split("d5")))
+	return env, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0.9 {
+		return 0.9
+	}
+	return v
+}
+
+// drawNeighborRadios draws the Jan-2015 neighbor radio population for
+// one band, tagging each with the uniform draw that decides whether it
+// already existed in July 2014.
+func drawNeighborRadios(band dot11.Band, densityNorm float64, src *rng.Source) []neighborRadio {
+	var hotspotMean, regularRadioMean float64
+	if band == dot11.Band24 {
+		hotspotMean = nets24Jan2015 * hotspotShare24Jan2015
+		regularRadioMean = nets24Jan2015 * (1 - hotspotShare24Jan2015) / meanSSIDsPerRadio
+	} else {
+		hotspotMean = nets5Jan2015 * hotspotShare5
+		regularRadioMean = nets5Jan2015 * (1 - hotspotShare5) / meanSSIDsPerRadio
+	}
+	// In very dense environments most of the *extra* detected networks
+	// are far away — heard through floors and walls (the paper's
+	// Manhattan-skyscraper anecdote, Section 6.1). Their beacons decode
+	// but their energy rarely clears the ED threshold, which is why
+	// utilization does not track the neighbor count (Figures 7/8).
+	rxShift := 0.0
+	if densityNorm > 1 {
+		rxShift = -4 * math.Log2(densityNorm)
+		if rxShift < -12 {
+			rxShift = -12
+		}
+	}
+	// Received powers follow a near/far mixture: roughly a fifth of
+	// neighbor radios share the floor (loud enough to spill energy into
+	// adjacent channels), the rest are heard through walls and floors.
+	drawRx := func() float64 {
+		if src.Bool(0.22) {
+			return src.Normal(-58+rxShift, 6)
+		}
+		return src.Normal(-75+rxShift, 7)
+	}
+	var out []neighborRadio
+	nHot := src.Poisson(hotspotMean * densityNorm)
+	nReg := src.Poisson(regularRadioMean * densityNorm)
+	for i := 0; i < nHot; i++ {
+		out = append(out, neighborRadio{
+			hotspot: true,
+			band:    band,
+			ch:      pickNeighborChannel(band, src),
+			ssids:   1,
+			rxDBm:   drawRx(),
+			b11Frac: 0,
+			keepU:   src.Float64(),
+		})
+	}
+	for i := 0; i < nReg; i++ {
+		out = append(out, neighborRadio{
+			band:    band,
+			ch:      pickNeighborChannel(band, src),
+			ssids:   1 + src.IntN(4),
+			rxDBm:   drawRx(),
+			b11Frac: 0.1, // few networks still beacon at 802.11b rates
+			keepU:   src.Float64(),
+		})
+	}
+	return out
+}
+
+// keptInJul2014 decides whether a Jan-2015 neighbor already existed six
+// months earlier, at rates that reproduce Table 7's growth.
+func keptInJul2014(r neighborRadio) bool {
+	var keep float64
+	if r.band == dot11.Band24 {
+		if r.hotspot {
+			keep = (nets24Jul2014 * hotspotShare24Jul2014) / (nets24Jan2015 * hotspotShare24Jan2015)
+		} else {
+			keep = (nets24Jul2014 * (1 - hotspotShare24Jul2014)) / (nets24Jan2015 * (1 - hotspotShare24Jan2015))
+		}
+	} else {
+		keep = nets5Jul2014 / nets5Jan2015
+	}
+	return r.keepU < keep
+}
+
+func nearestChannel(band dot11.Band, centerMHz float64) dot11.Channel {
+	chans := dot11.Channels(band)
+	best := chans[0]
+	bestD := math.Abs(float64(best.CenterMHz) - centerMHz)
+	for _, ch := range chans[1:] {
+		if d := math.Abs(float64(ch.CenterMHz) - centerMHz); d < bestD {
+			best, bestD = ch, d
+		}
+	}
+	return best
+}
+
+// siteDistance returns the distance between two APs of a network,
+// derived deterministically from the site size.
+func siteDistance(n *Network, i, j int, src *rng.Source) float64 {
+	// APs are spread across the site; typical inter-AP spacing is a
+	// fraction of the site diameter.
+	base := n.SiteSizeM * (0.25 + 0.5*src.Float64())
+	if base < 8 {
+		base = 8
+	}
+	return base
+}

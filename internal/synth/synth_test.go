@@ -1,0 +1,338 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/epoch"
+	"wlanscale/internal/meshprobe"
+)
+
+func smallFleet(t *testing.T, n int, e epoch.Epoch) *Fleet {
+	t.Helper()
+	f, err := GenerateFleet(Params{Seed: 12345, NumNetworks: n, Epoch: e, ClientCap: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestGenerateFleetBasics(t *testing.T) {
+	f := smallFleet(t, 100, epoch.Jan2015)
+	if len(f.Networks) != 100 {
+		t.Fatalf("networks = %d", len(f.Networks))
+	}
+	for _, n := range f.Networks {
+		if len(n.APs) < 2 {
+			t.Fatalf("network %d has %d APs; dataset filter requires >= 2", n.ID, len(n.APs))
+		}
+		if n.NumClients < 1 {
+			t.Fatalf("network %d has no clients", n.ID)
+		}
+		if n.Industry == "" {
+			t.Fatal("missing industry")
+		}
+	}
+	if got := f.Params.Scale(); math.Abs(got-206.67) > 0.01 {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestGenerateFleetRejectsZero(t *testing.T) {
+	if _, err := GenerateFleet(Params{}); err == nil {
+		t.Error("zero networks accepted")
+	}
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	a := smallFleet(t, 30, epoch.Jan2015)
+	b := smallFleet(t, 30, epoch.Jan2015)
+	for i := range a.Networks {
+		na, nb := a.Networks[i], b.Networks[i]
+		if na.Industry != nb.Industry || len(na.APs) != len(nb.APs) || na.NumClients != nb.NumClients {
+			t.Fatalf("network %d differs between identical seeds", i)
+		}
+		for j := range na.APs {
+			if na.APs[j].Serial != nb.APs[j].Serial ||
+				na.APs[j].Radio24.Channel != nb.APs[j].Radio24.Channel {
+				t.Fatalf("AP %d/%d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestIndustriesMatchTable2(t *testing.T) {
+	inds := Industries()
+	if len(inds) != 19 {
+		t.Fatalf("industries = %d, want 19", len(inds))
+	}
+	total := 0
+	for _, ind := range inds {
+		total += ind.Networks
+		if _, ok := industryProfiles[ind.Name]; !ok {
+			t.Errorf("industry %q has no profile", ind.Name)
+		}
+	}
+	if total != PaperNetworkCount {
+		t.Errorf("industry total = %d, want %d", total, PaperNetworkCount)
+	}
+}
+
+func TestIndustryMixFollowsWeights(t *testing.T) {
+	f := smallFleet(t, 2000, epoch.Jan2015)
+	counts := make(map[string]int)
+	for _, n := range f.Networks {
+		counts[n.Industry]++
+	}
+	// Education is ~19.7% of networks.
+	frac := float64(counts["Education"]) / 2000
+	if math.Abs(frac-0.197) > 0.03 {
+		t.Errorf("education share = %.3f, want ~0.197", frac)
+	}
+}
+
+func TestClientsGeneration(t *testing.T) {
+	f := smallFleet(t, 20, epoch.Jan2015)
+	n := f.Networks[0]
+	c1 := f.Clients(n)
+	c2 := f.Clients(n)
+	if len(c1) != n.NumClients {
+		t.Fatalf("clients = %d, want %d", len(c1), n.NumClients)
+	}
+	for i := range c1 {
+		if c1[i].MAC != c2[i].MAC || c1[i].OS != c2[i].OS {
+			t.Fatal("client generation not deterministic")
+		}
+	}
+}
+
+func TestClientGrowthBetweenEpochs(t *testing.T) {
+	f14 := smallFleet(t, 300, epoch.Jan2014)
+	f15 := smallFleet(t, 300, epoch.Jan2015)
+	var t14, t15 float64
+	for i := range f14.Networks {
+		t14 += float64(f14.Networks[i].NumClients)
+		t15 += float64(f15.Networks[i].NumClients)
+	}
+	growth := t15 / t14
+	// Table 3: +37% clients YoY (loose band; the cap and the lognormal
+	// tail add noise).
+	if growth < 1.1 || growth > 1.7 {
+		t.Errorf("client growth = %.2f, want ~1.37", growth)
+	}
+}
+
+func TestServingChannels(t *testing.T) {
+	f := smallFleet(t, 60, epoch.Jan2015)
+	for _, n := range f.Networks {
+		for _, a := range n.APs {
+			ch := a.Radio24.Channel.Number
+			if ch != 1 && ch != 6 && ch != 11 {
+				t.Fatalf("AP serving 2.4 GHz channel %d; auto-selection uses 1/6/11", ch)
+			}
+			if a.Radio5.Channel.DFS {
+				t.Fatalf("AP serving DFS channel %d by default", a.Radio5.Channel.Number)
+			}
+		}
+	}
+}
+
+func TestEnvironmentNeighborCounts(t *testing.T) {
+	f := smallFleet(t, 120, epoch.Jan2015)
+	var nets24, nets5, hot24 float64
+	nAPs := 0
+	for _, n := range f.Networks {
+		env, err := f.Environment(n, 0, epoch.Jan2015)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count non-Meraki networks as the analysis would: decodable
+		// beacons excluding the Meraki OUI.
+		recs := env.AP.ScanNeighbors(env.Neighbors24)
+		for _, r := range recs {
+			if r.Vendor == "Cisco Meraki" {
+				continue
+			}
+			nets24++
+			if apps.IsHotspotVendor(r.Vendor) {
+				hot24++
+			}
+		}
+		for _, r := range env.AP.ScanNeighbors(env.Neighbors5) {
+			if r.Vendor != "Cisco Meraki" {
+				nets5++
+			}
+		}
+		nAPs++
+	}
+	mean24 := nets24 / float64(nAPs)
+	mean5 := nets5 / float64(nAPs)
+	// Table 7: 55.47 and 3.68 networks per AP (detection losses push
+	// slightly below the raw draw).
+	if mean24 < 40 || mean24 > 65 {
+		t.Errorf("2.4 GHz networks per AP = %.1f, want ~55 (Table 7)", mean24)
+	}
+	if mean5 < 2.4 || mean5 > 5 {
+		t.Errorf("5 GHz networks per AP = %.1f, want ~3.7 (Table 7)", mean5)
+	}
+	hotShare := hot24 / nets24
+	if hotShare < 0.12 || hotShare > 0.28 {
+		t.Errorf("hotspot share = %.3f, want ~0.19", hotShare)
+	}
+}
+
+func TestEnvironmentGrowthSixMonths(t *testing.T) {
+	f := smallFleet(t, 100, epoch.Jan2015)
+	var now, before float64
+	for _, n := range f.Networks {
+		envNow, err := f.Environment(n, 0, epoch.Jan2015)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envBefore, err := f.Environment(n, 0, epoch.Jul2014)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now += float64(len(envNow.Neighbors24))
+		before += float64(len(envBefore.Neighbors24))
+	}
+	growth := now / before
+	// Table 7: 28.60 -> 55.47 per AP is 1.94x.
+	if growth < 1.6 || growth > 2.4 {
+		t.Errorf("six-month neighbor growth = %.2f, want ~1.94", growth)
+	}
+}
+
+func TestEnvironmentChannelDistribution(t *testing.T) {
+	f := smallFleet(t, 150, epoch.Jan2015)
+	counts := make(map[int]int)
+	for _, n := range f.Networks {
+		env, err := f.Environment(n, 0, epoch.Jan2015)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range env.AP.ScanNeighbors(env.Neighbors24) {
+			if r.Vendor != "Cisco Meraki" {
+				counts[r.Channel]++
+			}
+		}
+	}
+	// Figure 2: channel 1 has ~37% more networks than 6 or 11.
+	r16 := float64(counts[1]) / float64(counts[6])
+	r111 := float64(counts[1]) / float64(counts[11])
+	if r16 < 1.2 || r16 > 1.6 || r111 < 1.2 || r111 > 1.6 {
+		t.Errorf("ch1/ch6 = %.2f, ch1/ch11 = %.2f, want ~1.37", r16, r111)
+	}
+	if counts[3] == 0 {
+		t.Error("no networks on overlapping channels at all")
+	}
+	if counts[3] > counts[6]/2 {
+		t.Errorf("channel 3 (%d) too popular vs 6 (%d)", counts[3], counts[6])
+	}
+}
+
+func TestEnvironmentHoodHasSources(t *testing.T) {
+	f := smallFleet(t, 10, epoch.Jan2015)
+	env, err := f.Environment(f.Networks[0], 0, epoch.Jan2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Hood.Sources) < 10 {
+		t.Errorf("airtime sources = %d; expected beacons+data+own", len(env.Hood.Sources))
+	}
+	if env.OwnDuty24 <= 0 || env.OwnDuty24 > 0.9 {
+		t.Errorf("OwnDuty24 = %v", env.OwnDuty24)
+	}
+	obs := env.Hood.Observe(env.AP.Radio24.Channel, 13)
+	if obs.Busy <= 0 || obs.Busy > 1 {
+		t.Errorf("serving-channel busy = %v", obs.Busy)
+	}
+}
+
+func TestEnvironmentIndexValidation(t *testing.T) {
+	f := smallFleet(t, 5, epoch.Jan2015)
+	if _, err := f.Environment(f.Networks[0], 99, epoch.Jan2015); err == nil {
+		t.Error("out-of-range AP index accepted")
+	}
+}
+
+func TestLinksPairedAcrossEpochs(t *testing.T) {
+	f := smallFleet(t, 60, epoch.Jan2015)
+	now := f.Links(epoch.Jan2015)
+	before := f.Links(epoch.Jul2014)
+	if len(now) == 0 {
+		t.Fatal("no links generated")
+	}
+	if len(now) != len(before) {
+		t.Fatalf("link population differs across epochs: %d vs %d", len(now), len(before))
+	}
+	for i := range now {
+		if now[i].From.Serial != before[i].From.Serial || now[i].DistanceM != before[i].DistanceM {
+			t.Fatal("link pairing broken across epochs")
+		}
+	}
+}
+
+func TestLinksBandSplit(t *testing.T) {
+	f := smallFleet(t, 150, epoch.Jan2015)
+	links := f.Links(epoch.Jan2015)
+	n24, n5 := 0, 0
+	for _, l := range links {
+		if l.Band == dot11.Band24 {
+			n24++
+		} else {
+			n5++
+		}
+	}
+	if n24 == 0 || n5 == 0 {
+		t.Fatalf("bands missing: 2.4=%d 5=%d", n24, n5)
+	}
+	// The paper's dataset: 16,583 2.4 GHz vs 5,650 5 GHz links — about
+	// 3:1. Accept 1.5-6x.
+	ratio := float64(n24) / float64(n5)
+	if ratio < 1.5 || ratio > 6 {
+		t.Errorf("2.4/5 GHz link ratio = %.2f (%d vs %d), want ~3", ratio, n24, n5)
+	}
+}
+
+func TestLinksDegradeBetweenEpochs(t *testing.T) {
+	f := smallFleet(t, 80, epoch.Jan2015)
+	now := f.Links(epoch.Jan2015)
+	before := f.Links(epoch.Jul2014)
+	var mNow, mBefore float64
+	cnt := 0
+	for i := range now {
+		if now[i].Band != dot11.Band24 {
+			continue
+		}
+		mNow += now[i].Link.MeanDelivery(10, meshprobe.BinomialApprox)
+		mBefore += before[i].Link.MeanDelivery(10, meshprobe.BinomialApprox)
+		cnt++
+	}
+	if cnt == 0 {
+		t.Fatal("no 2.4 GHz links")
+	}
+	if mNow >= mBefore {
+		t.Errorf("2.4 GHz delivery did not degrade: now %.3f vs before %.3f", mNow/float64(cnt), mBefore/float64(cnt))
+	}
+}
+
+func TestAPsByModelSplit(t *testing.T) {
+	f := smallFleet(t, 100, epoch.Jan2015)
+	mr16, mr18 := f.APsByModel()
+	total := f.TotalAPs()
+	if len(mr16)+len(mr18) != total {
+		t.Fatal("model split loses APs")
+	}
+	frac := float64(len(mr18)) / float64(total)
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("MR18 fraction = %.2f", frac)
+	}
+	for _, a := range mr18 {
+		if !a.HW.HasScanRadio {
+			t.Fatal("MR18 without scan radio")
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Agent is the AP-side reporting agent: it queues reports locally and
+// serves them to the backend when polled. If the tunnel drops, client
+// traffic continues and reports accumulate until the backend reconnects
+// and drains the queue — the failure mode Section 2 describes.
+type Agent struct {
+	Serial string
+	Key    []byte
+	// QueueLimit bounds the offline queue; oldest reports are dropped
+	// beyond it, as a real device's flash budget forces.
+	QueueLimit int
+
+	mu      sync.Mutex
+	queue   [][]byte
+	dropped int
+	seq     uint64
+}
+
+// NewAgent creates an agent for a device.
+func NewAgent(serial string, key []byte) *Agent {
+	return &Agent{Serial: serial, Key: key, QueueLimit: 4096}
+}
+
+// Enqueue queues one report for upload, stamping its sequence number.
+func (a *Agent) Enqueue(r *Report) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	r.SeqNo = a.seq
+	a.queue = append(a.queue, r.Marshal())
+	if a.QueueLimit > 0 && len(a.queue) > a.QueueLimit {
+		over := len(a.queue) - a.QueueLimit
+		a.queue = a.queue[over:]
+		a.dropped += over
+	}
+}
+
+// QueueLen returns the number of queued reports.
+func (a *Agent) QueueLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
+}
+
+// Dropped returns the number of reports lost to queue overflow.
+func (a *Agent) Dropped() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dropped
+}
+
+func (a *Agent) peek(max int) [][]byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if max > len(a.queue) {
+		max = len(a.queue)
+	}
+	out := make([][]byte, max)
+	copy(out, a.queue[:max])
+	return out
+}
+
+func (a *Agent) drop(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n > len(a.queue) {
+		n = len(a.queue)
+	}
+	a.queue = a.queue[n:]
+}
+
+// Serve connects to the backend at addr and answers polls until the
+// connection fails or closed is signalled. It returns the error that
+// ended the session (nil on clean shutdown by the peer).
+func (a *Agent) Serve(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return a.ServeConn(conn)
+}
+
+// ServeConn runs the agent protocol over an established connection.
+func (a *Agent) ServeConn(conn net.Conn) error {
+	t, err := NewTunnel(conn, a.Key)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	defer t.Close()
+	if err := t.WriteFrame(EncodeMessage(&Message{Type: frameHello, Serial: a.Serial})); err != nil {
+		return err
+	}
+	for {
+		raw, err := t.ReadFrame()
+		if err != nil {
+			return err
+		}
+		m, err := DecodeMessage(raw)
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case framePoll:
+			batch := a.peek(int(m.Max))
+			if err := t.WriteFrame(EncodeMessage(&Message{Type: frameReports, Reports: batch})); err != nil {
+				return err
+			}
+		case frameAck:
+			a.drop(int(m.Count))
+		default:
+			return ErrBadFrameType
+		}
+	}
+}
+
+// RunWithReconnect keeps the agent connected to addr, retrying with
+// exponential backoff, until stop is closed — closing stop also tears
+// down an in-flight session.
+func (a *Agent) RunWithReconnect(addr string, stop <-chan struct{}) {
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			done := make(chan struct{})
+			if stop != nil {
+				go func() {
+					select {
+					case <-stop:
+						conn.Close()
+					case <-done:
+					}
+				}()
+			}
+			err = a.ServeConn(conn)
+			close(done)
+		}
+		if err == nil {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// Poller is the backend side of the harvest protocol: it owns one
+// device connection and pulls queued reports.
+type Poller struct {
+	tunnel *Tunnel
+	// Serial is the device's announced serial.
+	Serial string
+}
+
+// ErrNotHello is returned when the first frame is not a hello.
+var ErrNotHello = errors.New("telemetry: expected hello")
+
+// AcceptPoller performs the server side of the handshake on an accepted
+// connection.
+func AcceptPoller(conn net.Conn, key []byte) (*Poller, error) {
+	t, err := NewTunnel(conn, key)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	raw, err := t.ReadFrame()
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	m, err := DecodeMessage(raw)
+	if err != nil || m.Type != frameHello {
+		t.Close()
+		if err == nil {
+			err = ErrNotHello
+		}
+		return nil, err
+	}
+	return &Poller{tunnel: t, Serial: m.Serial}, nil
+}
+
+// Close closes the poller's tunnel.
+func (p *Poller) Close() error { return p.tunnel.Close() }
+
+// Poll requests up to max reports, acknowledges what it received, and
+// returns the decoded reports. The ack-after-receive ordering means a
+// crash between receive and ack re-delivers reports rather than losing
+// them; the backend deduplicates by (serial, seqno).
+func (p *Poller) Poll(max int) ([]*Report, error) {
+	if err := p.tunnel.WriteFrame(EncodeMessage(&Message{Type: framePoll, Max: uint32(max)})); err != nil {
+		return nil, err
+	}
+	raw, err := p.tunnel.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	m, err := DecodeMessage(raw)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != frameReports {
+		return nil, ErrBadFrameType
+	}
+	out := make([]*Report, 0, len(m.Reports))
+	for _, rb := range m.Reports {
+		r, err := UnmarshalReport(rb)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	if err := p.tunnel.WriteFrame(EncodeMessage(&Message{Type: frameAck, Count: uint32(len(m.Reports))})); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,318 @@
+package pbwire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	err := quick.Check(func(v uint64) bool {
+		var e Encoder
+		e.Uint64(1, v)
+		if v == 0 {
+			return e.Len() == 0 // proto3 zero omission
+		}
+		d := NewDecoder(e.Bytes())
+		f, wt, err := d.Field()
+		if err != nil || f != 1 || wt != TypeVarint {
+			return false
+		}
+		got, err := d.Uint64()
+		return err == nil && got == v && d.Done()
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	err := quick.Check(func(v int64) bool {
+		var e Encoder
+		e.Int64(2, v)
+		if v == 0 {
+			return e.Len() == 0
+		}
+		d := NewDecoder(e.Bytes())
+		if _, _, err := d.Field(); err != nil {
+			return false
+		}
+		got, err := d.Int64()
+		return err == nil && got == v
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigzagSmallNegatives(t *testing.T) {
+	// Zigzag must keep small negatives small on the wire.
+	var e Encoder
+	e.Int64(1, -1)
+	if e.Len() != 2 {
+		t.Errorf("-1 encoded in %d bytes, want 2 (tag + 1)", e.Len())
+	}
+}
+
+func TestDoubleRoundTrip(t *testing.T) {
+	err := quick.Check(func(v float64) bool {
+		var e Encoder
+		e.Double(3, v)
+		if v == 0 {
+			return e.Len() == 0
+		}
+		d := NewDecoder(e.Bytes())
+		if _, _, err := d.Field(); err != nil {
+			return false
+		}
+		got, err := d.Double()
+		return err == nil && (got == v || (got != got && v != v)) // NaN-safe
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringAndBytes(t *testing.T) {
+	var e Encoder
+	e.String(1, "hello")
+	e.BytesField(2, []byte{0, 1, 2})
+	d := NewDecoder(e.Bytes())
+	f, _, _ := d.Field()
+	if f != 1 {
+		t.Fatalf("field = %d", f)
+	}
+	s, err := d.String()
+	if err != nil || s != "hello" {
+		t.Errorf("string = %q, %v", s, err)
+	}
+	f, _, _ = d.Field()
+	if f != 2 {
+		t.Fatalf("field = %d", f)
+	}
+	b, err := d.Bytes()
+	if err != nil || !bytes.Equal(b, []byte{0, 1, 2}) {
+		t.Errorf("bytes = %v, %v", b, err)
+	}
+	if !d.Done() {
+		t.Error("not done")
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	var e Encoder
+	e.Bool(4, true)
+	e.Bool(5, false) // omitted
+	d := NewDecoder(e.Bytes())
+	f, _, _ := d.Field()
+	if f != 4 {
+		t.Fatalf("field = %d", f)
+	}
+	v, err := d.Bool()
+	if err != nil || !v {
+		t.Errorf("bool = %v, %v", v, err)
+	}
+	if !d.Done() {
+		t.Error("false bool was encoded")
+	}
+}
+
+func TestNestedMessage(t *testing.T) {
+	var inner Encoder
+	inner.Uint64(1, 42)
+	inner.String(2, "nested")
+	var outer Encoder
+	outer.Message(7, &inner)
+	outer.Uint64(8, 9)
+
+	d := NewDecoder(outer.Bytes())
+	f, wt, _ := d.Field()
+	if f != 7 || wt != TypeBytes {
+		t.Fatalf("field = %d wt = %d", f, wt)
+	}
+	nb, err := d.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := NewDecoder(nb)
+	f, _, _ = nd.Field()
+	v, _ := nd.Uint64()
+	if f != 1 || v != 42 {
+		t.Errorf("nested field 1 = %d", v)
+	}
+	f, _, _ = nd.Field()
+	s, _ := nd.String()
+	if f != 2 || s != "nested" {
+		t.Errorf("nested field 2 = %q", s)
+	}
+	f, _, _ = d.Field()
+	v, _ = d.Uint64()
+	if f != 8 || v != 9 {
+		t.Errorf("outer field 8 = %d", v)
+	}
+}
+
+func TestEmptyNestedMessagePreserved(t *testing.T) {
+	var inner, outer Encoder
+	outer.Message(3, &inner)
+	d := NewDecoder(outer.Bytes())
+	f, wt, err := d.Field()
+	if err != nil || f != 3 || wt != TypeBytes {
+		t.Fatalf("empty nested message lost: %d %d %v", f, wt, err)
+	}
+	b, err := d.Bytes()
+	if err != nil || len(b) != 0 {
+		t.Errorf("payload = %v", b)
+	}
+}
+
+func TestSkipUnknownFields(t *testing.T) {
+	// Schema evolution: a v2 sender adds fields a v1 reader skips.
+	var e Encoder
+	e.Uint64(1, 5)
+	e.Double(99, 3.14)      // unknown fixed64
+	e.String(100, "future") // unknown bytes
+	e.Uint64(101, 7)        // unknown varint
+	e.Uint64(2, 6)
+
+	d := NewDecoder(e.Bytes())
+	var got1, got2 uint64
+	for !d.Done() {
+		f, wt, err := d.Field()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch f {
+		case 1:
+			got1, _ = d.Uint64()
+		case 2:
+			got2, _ = d.Uint64()
+		default:
+			if err := d.Skip(wt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got1 != 5 || got2 != 6 {
+		t.Errorf("known fields = %d, %d", got1, got2)
+	}
+}
+
+func TestSkipFixed32(t *testing.T) {
+	// Hand-build a fixed32 field (tag 1, wiretype 5).
+	raw := []byte{1<<3 | 5, 1, 2, 3, 4}
+	d := NewDecoder(raw)
+	_, wt, err := d.Field()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Skip(wt); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Done() {
+		t.Error("fixed32 not fully skipped")
+	}
+}
+
+func TestTruncationErrors(t *testing.T) {
+	var e Encoder
+	e.String(1, "hello world")
+	full := e.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		_, _, err := d.Field()
+		if err == nil {
+			_, err = d.String()
+		}
+		if err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestVarintOverflow(t *testing.T) {
+	raw := []byte{1 << 3, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	d := NewDecoder(raw)
+	if _, _, err := d.Field(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Uint64(); err != ErrOverflow {
+		t.Errorf("overflow err = %v", err)
+	}
+}
+
+func TestBadWireTypeSkip(t *testing.T) {
+	d := NewDecoder(nil)
+	if err := d.Skip(WireType(3)); err != ErrBadWireType {
+		t.Errorf("group wire type err = %v", err)
+	}
+}
+
+func TestDecoderFuzzNoPanic(t *testing.T) {
+	err := quick.Check(func(b []byte) bool {
+		d := NewDecoder(b)
+		for i := 0; i < 100 && !d.Done(); i++ {
+			_, wt, err := d.Field()
+			if err != nil {
+				return true
+			}
+			if d.Skip(wt) != nil {
+				return true
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 3000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	var e Encoder
+	e.Uint64(1, 10)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+	e.Uint64(1, 20)
+	d := NewDecoder(e.Bytes())
+	d.Field()
+	if v, _ := d.Uint64(); v != 20 {
+		t.Errorf("after reset = %d", v)
+	}
+}
+
+func BenchmarkEncodeReport(b *testing.B) {
+	b.ReportAllocs()
+	var e Encoder
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Uint64(1, uint64(i))
+		e.String(2, "ap-serial-Q2XX-1234")
+		e.Double(3, 0.42)
+		e.Int64(4, -55)
+	}
+}
+
+func BenchmarkDecodeReport(b *testing.B) {
+	var e Encoder
+	e.Uint64(1, 123456)
+	e.String(2, "ap-serial-Q2XX-1234")
+	e.Double(3, 0.42)
+	e.Int64(4, -55)
+	raw := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(raw)
+		for !d.Done() {
+			_, wt, err := d.Field()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Skip(wt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

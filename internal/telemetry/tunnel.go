@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Tunnel framing errors.
+var (
+	ErrBadMAC       = errors.New("telemetry: message authentication failed")
+	ErrFrameTooBig  = errors.New("telemetry: frame exceeds limit")
+	ErrShortKey     = errors.New("telemetry: key must be 32 bytes")
+	ErrBadFrameType = errors.New("telemetry: unknown frame type")
+)
+
+// MaxFrameBytes bounds a single tunnel frame.
+const MaxFrameBytes = 4 << 20
+
+// Tunnel is an encrypted, authenticated, length-framed message stream
+// over a net.Conn — the persistent management tunnel each device keeps
+// to the backend. Frames are AES-256-CTR encrypted with a random IV and
+// authenticated with HMAC-SHA256 (encrypt-then-MAC). A Tunnel is safe
+// for one concurrent reader and one concurrent writer.
+type Tunnel struct {
+	conn   net.Conn
+	encKey [32]byte
+	macKey [32]byte
+}
+
+// NewTunnel wraps conn with the given 32-byte pre-shared key. Distinct
+// encryption and MAC keys are derived from it.
+func NewTunnel(conn net.Conn, key []byte) (*Tunnel, error) {
+	if len(key) != 32 {
+		return nil, ErrShortKey
+	}
+	t := &Tunnel{conn: conn}
+	t.encKey = sha256.Sum256(append([]byte("enc:"), key...))
+	t.macKey = sha256.Sum256(append([]byte("mac:"), key...))
+	return t, nil
+}
+
+// Close closes the underlying connection.
+func (t *Tunnel) Close() error { return t.conn.Close() }
+
+// WriteFrame encrypts and sends one message.
+func (t *Tunnel) WriteFrame(payload []byte) error {
+	if len(payload) > MaxFrameBytes {
+		return ErrFrameTooBig
+	}
+	var iv [16]byte
+	if _, err := rand.Read(iv[:]); err != nil {
+		return fmt.Errorf("telemetry: iv: %w", err)
+	}
+	block, err := aes.NewCipher(t.encKey[:])
+	if err != nil {
+		return err
+	}
+	ct := make([]byte, len(payload))
+	cipher.NewCTR(block, iv[:]).XORKeyStream(ct, payload)
+
+	mac := hmac.New(sha256.New, t.macKey[:])
+	mac.Write(iv[:])
+	mac.Write(ct)
+	tag := mac.Sum(nil)
+
+	// Frame: len(4) | iv(16) | ciphertext | hmac(32).
+	frame := make([]byte, 4, 4+16+len(ct)+32)
+	binary.BigEndian.PutUint32(frame, uint32(16+len(ct)+32))
+	frame = append(frame, iv[:]...)
+	frame = append(frame, ct...)
+	frame = append(frame, tag...)
+	_, err = t.conn.Write(frame)
+	return err
+}
+
+// ReadFrame receives and decrypts one message.
+func (t *Tunnel) ReadFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes+48 {
+		return nil, ErrFrameTooBig
+	}
+	if n < 48 {
+		return nil, ErrBadMAC
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(t.conn, body); err != nil {
+		return nil, err
+	}
+	iv := body[:16]
+	ct := body[16 : n-32]
+	tag := body[n-32:]
+
+	mac := hmac.New(sha256.New, t.macKey[:])
+	mac.Write(iv)
+	mac.Write(ct)
+	if !hmac.Equal(tag, mac.Sum(nil)) {
+		return nil, ErrBadMAC
+	}
+	block, err := aes.NewCipher(t.encKey[:])
+	if err != nil {
+		return nil, err
+	}
+	pt := make([]byte, len(ct))
+	cipher.NewCTR(block, iv).XORKeyStream(pt, ct)
+	return pt, nil
+}
+
+// Protocol frame types. The backend pulls: it sends polls, the device
+// answers with report batches, and the backend acknowledges so the
+// device can drop queued data (Section 2's "backend polls for queued
+// information when the connection is reestablished").
+const (
+	frameHello   = 1 // device -> backend: serial announcement
+	framePoll    = 2 // backend -> device: poll(maxReports)
+	frameReports = 3 // device -> backend: batch of reports
+	frameAck     = 4 // backend -> device: ack(count)
+)
+
+// Message is one decoded protocol message.
+type Message struct {
+	Type    byte
+	Serial  string   // Hello
+	Max     uint32   // Poll
+	Count   uint32   // Ack
+	Reports [][]byte // Reports (encoded Report messages)
+}
+
+// EncodeMessage serializes a protocol message.
+func EncodeMessage(m *Message) []byte {
+	out := []byte{m.Type}
+	switch m.Type {
+	case frameHello:
+		out = append(out, []byte(m.Serial)...)
+	case framePoll:
+		out = binary.BigEndian.AppendUint32(out, m.Max)
+	case frameAck:
+		out = binary.BigEndian.AppendUint32(out, m.Count)
+	case frameReports:
+		for _, r := range m.Reports {
+			out = binary.BigEndian.AppendUint32(out, uint32(len(r)))
+			out = append(out, r...)
+		}
+	}
+	return out
+}
+
+// DecodeMessage parses a protocol message.
+func DecodeMessage(b []byte) (*Message, error) {
+	if len(b) == 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	m := &Message{Type: b[0]}
+	rest := b[1:]
+	switch m.Type {
+	case frameHello:
+		m.Serial = string(rest)
+	case framePoll, frameAck:
+		if len(rest) < 4 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		v := binary.BigEndian.Uint32(rest)
+		if m.Type == framePoll {
+			m.Max = v
+		} else {
+			m.Count = v
+		}
+	case frameReports:
+		for len(rest) > 0 {
+			if len(rest) < 4 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			n := binary.BigEndian.Uint32(rest)
+			rest = rest[4:]
+			if uint32(len(rest)) < n {
+				return nil, io.ErrUnexpectedEOF
+			}
+			m.Reports = append(m.Reports, rest[:n])
+			rest = rest[n:]
+		}
+	default:
+		return nil, ErrBadFrameType
+	}
+	return m, nil
+}
