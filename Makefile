@@ -1,0 +1,22 @@
+# Tier-1 verification and race-detector targets. The telemetry and
+# backend packages are concurrency-heavy (harvest tunnels, chaos suite,
+# shared store), so `race` must stay green, not just `test`.
+
+.PHONY: build test vet race bench verify
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go vet ./... && go test -race ./internal/telemetry/... ./internal/backend/...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+verify: build vet test race

@@ -16,27 +16,31 @@ import (
 	"net"
 	"os"
 	"strings"
+	"time"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7772", "merakid query address")
+	timeout := flag.Duration("timeout", 10*time.Second, "dial and I/O deadline")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: apstat [-addr host:port] COMMAND [ARGS]")
 		os.Exit(2)
 	}
-	if err := run(*addr, strings.Join(flag.Args(), " ")); err != nil {
+	if err := run(*addr, strings.Join(flag.Args(), " "), *timeout); err != nil {
 		fmt.Fprintf(os.Stderr, "apstat: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, command string) error {
-	conn, err := net.Dial("tcp", addr)
+func run(addr, command string, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	// A stalled merakid should cost one deadline, not a hung CLI.
+	conn.SetDeadline(time.Now().Add(timeout))
 	if _, err := fmt.Fprintf(conn, "%s\nquit\n", command); err != nil {
 		return err
 	}

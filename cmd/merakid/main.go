@@ -4,11 +4,16 @@
 // line-based queries on -query (see cmd/apstat). The store can be
 // snapshotted to disk with -snapshot on shutdown (SIGINT) or via the
 // "save" query. Queries: status, clients, top-apps N, util, crashes,
-// anomalies, save PATH, quit.
+// anomalies, save PATH, quit. The status response includes the harvest
+// health counters (reconnects, MAC failures, corrupt frames, timeouts,
+// device queue drops, dedup hits); all tunnel I/O runs under the
+// -timeout deadline so a stalled or silent peer can never pin a
+// goroutine.
 package main
 
 import (
 	"bufio"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +37,7 @@ func main() {
 	keyHex := flag.String("key", strings.Repeat("42", 32), "64-hex-char pre-shared tunnel key")
 	pollEvery := flag.Duration("poll", 2*time.Second, "poll cadence per device")
 	batch := flag.Int("batch", 64, "max reports per poll")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-frame tunnel I/O deadline (handshake and polls)")
 	snapshot := flag.String("snapshot", "", "snapshot file written on shutdown")
 	flag.Parse()
 
@@ -44,6 +50,8 @@ func main() {
 		key:       key,
 		pollEvery: *pollEvery,
 		batch:     *batch,
+		timeout:   *timeout,
+		health:    &telemetry.HarvestHealth{},
 	}
 
 	devLn, err := net.Listen("tcp", *listen)
@@ -77,8 +85,8 @@ func parseKey(h string) ([]byte, error) {
 	if len(h) != 64 {
 		return nil, fmt.Errorf("key must be 64 hex chars, got %d", len(h))
 	}
-	key := make([]byte, 32)
-	if _, err := fmt.Sscanf(h, "%64x", &key); err != nil {
+	key, err := hex.DecodeString(h)
+	if err != nil {
 		return nil, fmt.Errorf("bad key: %v", err)
 	}
 	return key, nil
@@ -89,9 +97,12 @@ type daemon struct {
 	key       []byte
 	pollEvery time.Duration
 	batch     int
+	timeout   time.Duration
+	health    *telemetry.HarvestHealth
 
-	mu      sync.Mutex
-	devices map[string]bool
+	mu       sync.Mutex
+	devices  map[string]bool
+	seenEver map[string]bool
 }
 
 func (d *daemon) acceptDevices(ln net.Listener) {
@@ -105,16 +116,25 @@ func (d *daemon) acceptDevices(ln net.Listener) {
 }
 
 func (d *daemon) serveDevice(conn net.Conn) {
-	p, err := telemetry.AcceptPoller(conn, d.key)
+	// The handshake deadline drops slow-loris clients — a connection
+	// that sends nothing costs one timeout, not a pinned goroutine.
+	p, err := telemetry.AcceptPollerWithTimeout(conn, d.key, d.timeout)
 	if err != nil {
+		d.health.Observe(err)
 		log.Printf("merakid: handshake from %s: %v", conn.RemoteAddr(), err)
 		return
 	}
 	defer p.Close()
+	p.Health = d.health
 	d.mu.Lock()
 	if d.devices == nil {
 		d.devices = make(map[string]bool)
+		d.seenEver = make(map[string]bool)
 	}
+	if d.seenEver[p.Serial] {
+		d.health.AddReconnect()
+	}
+	d.seenEver[p.Serial] = true
 	d.devices[p.Serial] = true
 	d.mu.Unlock()
 	log.Printf("merakid: device %s connected", p.Serial)
@@ -167,6 +187,7 @@ func (d *daemon) serveQuery(conn net.Conn) {
 			d.mu.Unlock()
 			fmt.Fprintf(w, "devices=%d ingested=%d duplicates=%d clients=%d\n",
 				nDev, ing, dup, d.store.NumClients())
+			fmt.Fprintf(w, "%s dedup_hits=%d\n", d.health.Snapshot(), dup)
 		case "clients":
 			fmt.Fprintf(w, "%d\n", d.store.NumClients())
 		case "top-apps":

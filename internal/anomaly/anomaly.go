@@ -107,6 +107,26 @@ func (t *NeighborTable) Observe(bssid uint64) error {
 	return nil
 }
 
+// OOMCrash builds the post-mortem a device uploads after the neighbor
+// table exhausts its memory budget — the crash record that rides the
+// first report after the reboot. The free-memory figure is pinned at
+// the exhausted budget's remainder (effectively zero headroom).
+func (t *NeighborTable) OOMCrash(serial string, ts uint64, firmware string, pc uint64) CrashReport {
+	free := t.BudgetKB - t.UsedKB()
+	if free < 0 {
+		free = 0
+	}
+	return CrashReport{
+		Serial:        serial,
+		Timestamp:     ts,
+		Kind:          CrashOOM,
+		Firmware:      firmware,
+		PC:            pc,
+		FreeKB:        free,
+		NeighborCount: t.Len(),
+	}
+}
+
 // ObserveBounded inserts with an entry cap (the post-incident fix):
 // when full, new entries are dropped and the device survives.
 func (t *NeighborTable) ObserveBounded(bssid uint64, maxEntries int) (dropped bool) {

@@ -216,3 +216,32 @@ func BenchmarkNeighborOutliers(b *testing.B) {
 		d.NeighborOutliers(8)
 	}
 }
+
+func TestOOMCrashReport(t *testing.T) {
+	nt := NewNeighborTable(1) // 1 KB budget: two 512-byte entries fill it
+	var oom *ErrOOM
+	var bssid uint64
+	for bssid = 1; bssid < 100; bssid++ {
+		if err := nt.Observe(bssid); err != nil {
+			if !errors.As(err, &oom) {
+				t.Fatalf("Observe returned %T, want *ErrOOM", err)
+			}
+			break
+		}
+	}
+	if oom == nil {
+		t.Fatal("table never exhausted its budget")
+	}
+	crash := nt.OOMCrash("Q2XX-OOM", 3600, "r24.7", 0x80401a2c)
+	if crash.Kind != CrashOOM || crash.Serial != "Q2XX-OOM" {
+		t.Errorf("crash = %+v", crash)
+	}
+	if crash.NeighborCount != nt.Len() || crash.NeighborCount != oom.Entries {
+		t.Errorf("crash neighbor count %d, table %d, oom %d", crash.NeighborCount, nt.Len(), oom.Entries)
+	}
+	wire := crash.ToTelemetry()
+	back := FromTelemetry("Q2XX-OOM", wire)
+	if back != crash {
+		t.Errorf("wire round trip: %+v vs %+v", back, crash)
+	}
+}

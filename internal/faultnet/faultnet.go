@@ -1,0 +1,330 @@
+// Package faultnet is a deterministic fault-injection layer for the
+// harvest path. It wraps net.Listener/net.Conn with a scriptable Plan
+// that refuses connections during outage windows, corrupts bytes in
+// flight, truncates frames mid-write, hard-resets sessions, black-holes
+// reads, and adds latency — the hostile conditions paper Section 2's
+// queue-and-catch-up design and Section 6's reboot storms assume. Every
+// fault decision is driven by an internal/rng stream split per
+// connection, so a whole chaos run reproduces from one seed: the same
+// seed and the same per-listener connection order yield the same faults.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"wlanscale/internal/rng"
+)
+
+// ErrInjected is the error surfaced to the local endpoint when the plan
+// hard-closes a connection (reset, truncation, op-budget exhaustion).
+var ErrInjected = errors.New("faultnet: injected connection failure")
+
+// Window is a half-open index interval [From, To). Listener windows
+// index accepted connections (0-based, counting refused ones); conn-op
+// schedules derived from them index I/O operations on one connection.
+type Window struct {
+	From, To int
+}
+
+func (w Window) contains(i int) bool { return i >= w.From && i < w.To }
+
+func inWindows(ws []Window, i int) bool {
+	for _, w := range ws {
+		if w.contains(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan scripts the faults a listener injects. Index-based windows refer
+// to the accept order, which makes outages deterministic: "the backend
+// is down for connections 3..6" reproduces regardless of wall-clock
+// timing. The zero Plan injects nothing.
+type Plan struct {
+	// Seed roots the per-connection fault streams.
+	Seed uint64
+
+	// Refuse lists accept-index outage windows: a connection whose
+	// index falls inside any window is closed immediately after accept
+	// (the dialer sees a connect-then-drop, as during a datacenter
+	// outage).
+	Refuse []Window
+
+	// Corrupt lists accept-index windows in which each I/O op on the
+	// connection independently has its payload corrupted (one byte
+	// flipped) with probability CorruptProb.
+	Corrupt []Window
+	// CorruptProb is the per-op corruption probability inside Corrupt
+	// windows. Zero defaults to 0.5.
+	CorruptProb float64
+
+	// Reset lists accept-index windows in which the connection is
+	// hard-closed after a small random number of ops; half the time the
+	// final write is truncated mid-frame before the close.
+	Reset []Window
+
+	// Stall lists accept-index windows in which, after a few ops, reads
+	// black-hole: no data and no error until the peer's deadline fires
+	// or the connection is closed. This is the fault that exposes
+	// missing I/O deadlines.
+	Stall []Window
+
+	// Latency, when non-zero, adds an exponentially distributed delay
+	// with this mean to every I/O op on every connection.
+	Latency time.Duration
+
+	// MaxOps, when non-zero, hard-closes any connection after this many
+	// I/O ops regardless of windows.
+	MaxOps int
+}
+
+func (p *Plan) corruptProb() float64 {
+	if p.CorruptProb == 0 {
+		return 0.5
+	}
+	return p.CorruptProb
+}
+
+// Listener wraps a net.Listener with the plan. Accept skips refused
+// connections transparently, so the accept loop of the system under
+// test needs no changes.
+type Listener struct {
+	net.Listener
+	plan Plan
+
+	mu      sync.Mutex
+	src     *rng.Source
+	next    int
+	refused int
+}
+
+// Wrap applies plan to an existing listener.
+func Wrap(ln net.Listener, plan Plan) *Listener {
+	return &Listener{Listener: ln, plan: plan, src: rng.New(plan.Seed)}
+}
+
+// Accepted returns how many connections have been accepted (including
+// refused ones) and how many of those were refused.
+func (l *Listener) Accepted() (total, refused int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next, l.refused
+}
+
+// Accept returns the next non-refused connection, wrapped with the
+// plan's per-connection fault schedule.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		i := l.next
+		l.next++
+		refuse := inWindows(l.plan.Refuse, i)
+		if refuse {
+			l.refused++
+		}
+		src := l.src.SplitN("conn", i)
+		l.mu.Unlock()
+		if refuse {
+			c.Close()
+			continue
+		}
+		return newConn(c, &l.plan, i, src), nil
+	}
+}
+
+// Conn is one faulty connection. All fault decisions come from the
+// connection's private rng stream, keyed by (plan seed, accept index),
+// so they do not depend on goroutine scheduling elsewhere.
+type Conn struct {
+	inner net.Conn
+	plan  *Plan
+	index int
+
+	mu         sync.Mutex
+	src        *rng.Source
+	ops        int
+	corrupt    bool
+	resetAfter int // op index at which to hard-close; -1 = never
+	truncate   bool
+	stallAfter int // op index at which reads black-hole; -1 = never
+
+	readDeadline time.Time
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// WrapConn applies plan to a single connection, as the listener would
+// for the connection with the given accept index. Useful for wrapping
+// the dialer side or net.Pipe ends in tests.
+func WrapConn(c net.Conn, plan Plan, index int) *Conn {
+	return newConn(c, &plan, index, rng.New(plan.Seed).SplitN("conn", index))
+}
+
+func newConn(c net.Conn, plan *Plan, index int, src *rng.Source) *Conn {
+	fc := &Conn{
+		inner:      c,
+		plan:       plan,
+		index:      index,
+		src:        src,
+		resetAfter: -1,
+		stallAfter: -1,
+		closed:     make(chan struct{}),
+	}
+	// The whole fault schedule is drawn up-front so it depends only on
+	// the accept index, never on op interleaving.
+	fc.corrupt = inWindows(plan.Corrupt, index)
+	if inWindows(plan.Reset, index) {
+		fc.resetAfter = 1 + src.IntN(8)
+		fc.truncate = src.Bool(0.5)
+	}
+	if inWindows(plan.Stall, index) {
+		fc.stallAfter = 1 + src.IntN(4)
+	}
+	return fc
+}
+
+// step advances the op counter and returns this op's fault decisions.
+func (c *Conn) step() (op int, corrupt bool, delay time.Duration, reset, truncate, stall bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	op = c.ops
+	c.ops++
+	if c.plan.Latency > 0 {
+		delay = time.Duration(c.src.Exp(float64(c.plan.Latency)))
+	}
+	if c.corrupt {
+		corrupt = c.src.Bool(c.plan.corruptProb())
+	}
+	reset = (c.resetAfter >= 0 && op >= c.resetAfter) ||
+		(c.plan.MaxOps > 0 && op >= c.plan.MaxOps)
+	truncate = reset && c.truncate
+	stall = c.stallAfter >= 0 && op >= c.stallAfter
+	return
+}
+
+// flip corrupts one byte of b in place at an rng-chosen offset.
+func (c *Conn) flip(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	c.mu.Lock()
+	i := c.src.IntN(len(b))
+	c.mu.Unlock()
+	b[i] ^= 0xff
+}
+
+func (c *Conn) hardClose() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.inner.Close()
+	})
+}
+
+// Read applies the schedule, then reads from the wire. Received bytes
+// may be corrupted in place; stalled reads block until the read
+// deadline or Close.
+func (c *Conn) Read(b []byte) (int, error) {
+	_, corrupt, delay, reset, _, stall := c.step()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if reset {
+		c.hardClose()
+		return 0, ErrInjected
+	}
+	if stall {
+		return 0, c.blackhole()
+	}
+	n, err := c.inner.Read(b)
+	if n > 0 && corrupt {
+		c.flip(b[:n])
+	}
+	return n, err
+}
+
+// blackhole blocks until the connection is closed or the read deadline
+// passes, returning the timeout error a real dead peer would produce.
+func (c *Conn) blackhole() error {
+	c.mu.Lock()
+	dl := c.readDeadline
+	c.mu.Unlock()
+	if dl.IsZero() {
+		<-c.closed
+		return ErrInjected
+	}
+	t := time.NewTimer(time.Until(dl))
+	defer t.Stop()
+	select {
+	case <-c.closed:
+		return ErrInjected
+	case <-t.C:
+		return os.ErrDeadlineExceeded
+	}
+}
+
+// Write applies the schedule, then writes to the wire. A truncating
+// reset writes a prefix of b (a mid-frame cut for the peer) before
+// closing.
+func (c *Conn) Write(b []byte) (int, error) {
+	_, corrupt, delay, reset, truncate, _ := c.step()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if reset {
+		if truncate && len(b) > 1 {
+			c.inner.Write(b[:len(b)/2])
+		}
+		c.hardClose()
+		return 0, ErrInjected
+	}
+	if corrupt {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		c.flip(cp)
+		b = cp
+	}
+	return c.inner.Write(b)
+}
+
+// Close tears the connection down.
+func (c *Conn) Close() error {
+	c.hardClose()
+	return nil
+}
+
+// LocalAddr returns the inner connection's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the inner connection's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline sets both read and write deadlines.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+// SetReadDeadline sets the read deadline; stalled reads honor it.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline sets the write deadline on the wire.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	return c.inner.SetWriteDeadline(t)
+}

@@ -1,10 +1,16 @@
 package telemetry
 
 import (
+	"encoding/gob"
 	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
 	"net"
 	"sync"
 	"time"
+
+	"wlanscale/internal/rng"
 )
 
 // Agent is the AP-side reporting agent: it queues reports locally and
@@ -17,6 +23,16 @@ type Agent struct {
 	// QueueLimit bounds the offline queue; oldest reports are dropped
 	// beyond it, as a real device's flash budget forces.
 	QueueLimit int
+	// Timeout bounds every tunnel frame op (see Tunnel.SetTimeout). The
+	// backend must poll more often than this or the agent treats the
+	// session as dead and reconnects. Zero disables deadlines.
+	Timeout time.Duration
+	// BackoffBase and BackoffMax tune the reconnect backoff; zero
+	// values default to 50ms and 5s.
+	BackoffBase, BackoffMax time.Duration
+	// Health, when set, receives the agent's reconnect and error
+	// counters. Safe to share one instance across a fleet.
+	Health *HarvestHealth
 
 	mu      sync.Mutex
 	queue   [][]byte
@@ -24,9 +40,11 @@ type Agent struct {
 	seq     uint64
 }
 
-// NewAgent creates an agent for a device.
+// NewAgent creates an agent for a device. The default 30s frame timeout
+// assumes the backend's poll cadence is well under 30s (merakid
+// defaults to 2s); slower deployments should raise Timeout.
 func NewAgent(serial string, key []byte) *Agent {
-	return &Agent{Serial: serial, Key: key, QueueLimit: 4096}
+	return &Agent{Serial: serial, Key: key, QueueLimit: 4096, Timeout: 30 * time.Second}
 }
 
 // Enqueue queues one report for upload, stamping its sequence number.
@@ -77,6 +95,50 @@ func (a *Agent) drop(n int) {
 	a.queue = a.queue[n:]
 }
 
+// queueSnapshot is the gob-persisted agent state — what a real device
+// keeps on flash so a reboot resumes where it left off.
+type queueSnapshot struct {
+	Serial  string
+	Seq     uint64
+	Dropped int
+	Queue   [][]byte
+}
+
+// SaveQueue persists the unacknowledged queue, the sequence counter,
+// and the overflow-drop counter. Acknowledged reports are already gone
+// from the queue, so a restore never re-delivers more than the
+// backend's (serial, seqno) dedup absorbs.
+func (a *Agent) SaveQueue(w io.Writer) error {
+	a.mu.Lock()
+	snap := queueSnapshot{Serial: a.Serial, Seq: a.seq, Dropped: a.dropped}
+	snap.Queue = make([][]byte, len(a.queue))
+	copy(snap.Queue, a.queue)
+	a.mu.Unlock()
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadQueue restores a saved queue after a reboot, replacing the
+// current queue. The sequence counter only moves forward: restoring a
+// stale snapshot must not re-issue sequence numbers that newer reports
+// may already have used, or the backend would dedup fresh data away.
+func (a *Agent) LoadQueue(r io.Reader) error {
+	var snap queueSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("telemetry: load queue: %w", err)
+	}
+	if snap.Serial != "" && snap.Serial != a.Serial {
+		return fmt.Errorf("telemetry: queue snapshot is for %q, agent is %q", snap.Serial, a.Serial)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.queue = snap.Queue
+	a.dropped = snap.Dropped
+	if snap.Seq > a.seq {
+		a.seq = snap.Seq
+	}
+	return nil
+}
+
 // Serve connects to the backend at addr and answers polls until the
 // connection fails or closed is signalled. It returns the error that
 // ended the session (nil on clean shutdown by the peer).
@@ -89,6 +151,8 @@ func (a *Agent) Serve(addr string) error {
 }
 
 // ServeConn runs the agent protocol over an established connection.
+// Every frame op is bounded by a.Timeout, so a stalled backend costs at
+// most one timeout, never a hung goroutine.
 func (a *Agent) ServeConn(conn net.Conn) error {
 	t, err := NewTunnel(conn, a.Key)
 	if err != nil {
@@ -96,6 +160,7 @@ func (a *Agent) ServeConn(conn net.Conn) error {
 		return err
 	}
 	defer t.Close()
+	t.SetTimeout(a.Timeout)
 	if err := t.WriteFrame(EncodeMessage(&Message{Type: frameHello, Serial: a.Serial})); err != nil {
 		return err
 	}
@@ -111,7 +176,9 @@ func (a *Agent) ServeConn(conn net.Conn) error {
 		switch m.Type {
 		case framePoll:
 			batch := a.peek(int(m.Max))
-			if err := t.WriteFrame(EncodeMessage(&Message{Type: frameReports, Reports: batch})); err != nil {
+			if err := t.WriteFrame(EncodeMessage(&Message{
+				Type: frameReports, Reports: batch, Dropped: uint32(a.Dropped()),
+			})); err != nil {
 				return err
 			}
 		case frameAck:
@@ -123,18 +190,55 @@ func (a *Agent) ServeConn(conn net.Conn) error {
 }
 
 // RunWithReconnect keeps the agent connected to addr, retrying with
-// exponential backoff, until stop is closed — closing stop also tears
-// down an in-flight session.
+// jittered, capped exponential backoff, until stop is closed — closing
+// stop also tears down an in-flight session.
 func (a *Agent) RunWithReconnect(addr string, stop <-chan struct{}) {
-	backoff := 50 * time.Millisecond
-	for {
+	a.runReconnect([]string{addr}, stop)
+}
+
+// RunMultiHome keeps the agent connected to one of two datacenters,
+// alternating on every failure — the paper's dual-DC deployment, where
+// a device falls back to its secondary when the primary is unreachable
+// and returns on the next failure. Backoff and jitter behave as in
+// RunWithReconnect.
+func (a *Agent) RunMultiHome(primary, secondary string, stop <-chan struct{}) {
+	a.runReconnect([]string{primary, secondary}, stop)
+}
+
+// reconnectJitter derives the agent's private jitter stream from its
+// serial, so a fleet restarted at once does not reconnect in lockstep
+// (no thundering herd after a backend restart) yet every run of one
+// agent is deterministic.
+func reconnectJitter(serial string) *rng.Source {
+	h := fnv.New64a()
+	h.Write([]byte(serial))
+	return rng.New(h.Sum64()).Split("reconnect-jitter")
+}
+
+func (a *Agent) runReconnect(addrs []string, stop <-chan struct{}) {
+	base := a.BackoffBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := a.BackoffMax
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	jitter := reconnectJitter(a.Serial)
+	backoff := base
+	sessions := 0
+	for attempt := 0; ; attempt++ {
 		select {
 		case <-stop:
 			return
 		default:
 		}
-		conn, err := net.Dial("tcp", addr)
+		conn, err := net.Dial("tcp", addrs[attempt%len(addrs)])
 		if err == nil {
+			sessions++
+			if sessions > 1 && a.Health != nil {
+				a.Health.AddReconnect()
+			}
 			done := make(chan struct{})
 			if stop != nil {
 				go func() {
@@ -151,13 +255,20 @@ func (a *Agent) RunWithReconnect(addr string, stop <-chan struct{}) {
 		if err == nil {
 			return
 		}
+		if a.Health != nil {
+			a.Health.Observe(err)
+		}
+		// Sleep backoff scaled by a jitter factor in [0.5, 1.5).
 		select {
 		case <-stop:
 			return
-		case <-time.After(backoff):
+		case <-time.After(time.Duration(float64(backoff) * (0.5 + jitter.Float64()))):
 		}
-		if backoff < time.Second {
+		if backoff < max {
 			backoff *= 2
+			if backoff > max {
+				backoff = max
+			}
 		}
 	}
 }
@@ -168,19 +279,33 @@ type Poller struct {
 	tunnel *Tunnel
 	// Serial is the device's announced serial.
 	Serial string
+	// Health, when set, receives the poller's error counters and the
+	// device's piggybacked queue-drop totals.
+	Health *HarvestHealth
 }
 
 // ErrNotHello is returned when the first frame is not a hello.
 var ErrNotHello = errors.New("telemetry: expected hello")
 
 // AcceptPoller performs the server side of the handshake on an accepted
-// connection.
+// connection with no deadline; prefer AcceptPollerWithTimeout in
+// servers, where a silent client would otherwise pin a goroutine.
 func AcceptPoller(conn net.Conn, key []byte) (*Poller, error) {
+	return AcceptPollerWithTimeout(conn, key, 0)
+}
+
+// AcceptPollerWithTimeout performs the handshake with every frame op
+// bounded by timeout, and leaves the same timeout armed for subsequent
+// polls (adjustable via SetTimeout). A client that connects and sends
+// nothing — the slow-loris — fails the handshake within timeout instead
+// of hanging.
+func AcceptPollerWithTimeout(conn net.Conn, key []byte, timeout time.Duration) (*Poller, error) {
 	t, err := NewTunnel(conn, key)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
+	t.SetTimeout(timeout)
 	raw, err := t.ReadFrame()
 	if err != nil {
 		t.Close()
@@ -197,6 +322,9 @@ func AcceptPoller(conn net.Conn, key []byte) (*Poller, error) {
 	return &Poller{tunnel: t, Serial: m.Serial}, nil
 }
 
+// SetTimeout bounds every subsequent frame op of the poller's tunnel.
+func (p *Poller) SetTimeout(d time.Duration) { p.tunnel.SetTimeout(d) }
+
 // Close closes the poller's tunnel.
 func (p *Poller) Close() error { return p.tunnel.Close() }
 
@@ -205,6 +333,14 @@ func (p *Poller) Close() error { return p.tunnel.Close() }
 // crash between receive and ack re-delivers reports rather than losing
 // them; the backend deduplicates by (serial, seqno).
 func (p *Poller) Poll(max int) ([]*Report, error) {
+	out, err := p.poll(max)
+	if err != nil && p.Health != nil {
+		p.Health.Observe(err)
+	}
+	return out, err
+}
+
+func (p *Poller) poll(max int) ([]*Report, error) {
 	if err := p.tunnel.WriteFrame(EncodeMessage(&Message{Type: framePoll, Max: uint32(max)})); err != nil {
 		return nil, err
 	}
@@ -218,6 +354,9 @@ func (p *Poller) Poll(max int) ([]*Report, error) {
 	}
 	if m.Type != frameReports {
 		return nil, ErrBadFrameType
+	}
+	if p.Health != nil && m.Dropped > 0 {
+		p.Health.SetQueueDrops(p.Serial, int(m.Dropped))
 	}
 	out := make([]*Report, 0, len(m.Reports))
 	for _, rb := range m.Reports {

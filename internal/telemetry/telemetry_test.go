@@ -2,7 +2,12 @@ package telemetry
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
 	"net"
+	"os"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -409,5 +414,253 @@ func BenchmarkTunnelWriteFrame(b *testing.B) {
 		if err := tun.WriteFrame(payload); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestTunnelOversizedLengthPrefix(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	tun, _ := NewTunnel(c2, testKey)
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, uint32(MaxFrameBytes+49))
+	go c1.Write(hdr)
+	if _, err := tun.ReadFrame(); err != ErrFrameTooBig {
+		t.Errorf("oversized frame err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestTunnelTruncatedFrameCleanError(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	tun, _ := NewTunnel(c2, testKey)
+	tun.SetTimeout(2 * time.Second)
+	go func() {
+		// Header promises 100 bytes; deliver 10 and hang up mid-frame.
+		hdr := make([]byte, 4)
+		binary.BigEndian.PutUint32(hdr, 100)
+		c1.Write(hdr)
+		c1.Write(make([]byte, 10))
+		c1.Close()
+	}()
+	start := time.Now()
+	if _, err := tun.ReadFrame(); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Error("truncated frame read did not fail promptly")
+	}
+}
+
+func TestTunnelStalledPeerTimesOut(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	tun, _ := NewTunnel(c2, testKey)
+	tun.SetTimeout(100 * time.Millisecond)
+
+	// Read side: peer never sends.
+	start := time.Now()
+	_, err := tun.ReadFrame()
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("stalled read err = %v, want timeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("stalled read overran its timeout")
+	}
+
+	// Write side: peer never reads (net.Pipe writes are synchronous).
+	start = time.Now()
+	err = tun.WriteFrame([]byte("queued report"))
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("stalled write err = %v, want timeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("stalled write overran its timeout")
+	}
+}
+
+func TestDecodeMessageMalformedReportsBatches(t *testing.T) {
+	cases := [][]byte{
+		{frameReports},                          // missing dropped counter
+		{frameReports, 0, 0},                    // short dropped counter
+		{frameReports, 0, 0, 0, 0, 0, 0},        // short length prefix
+		{frameReports, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 1, 2, 3}, // huge report length
+	}
+	for i, b := range cases {
+		if _, err := DecodeMessage(b); err == nil {
+			t.Errorf("case %d: malformed batch accepted", i)
+		}
+	}
+	// Dropped counter round-trips.
+	m, err := DecodeMessage(EncodeMessage(&Message{Type: frameReports, Dropped: 77, Reports: [][]byte{{9}}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dropped != 77 || len(m.Reports) != 1 {
+		t.Errorf("dropped=%d reports=%d, want 77 and 1", m.Dropped, len(m.Reports))
+	}
+}
+
+func TestSaveLoadQueue(t *testing.T) {
+	a := NewAgent("Q2XX-SAVE", testKey)
+	for i := 0; i < 5; i++ {
+		a.Enqueue(&Report{Serial: a.Serial, Timestamp: uint64(i)})
+	}
+	var buf bytes.Buffer
+	if err := a.SaveQueue(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot: a fresh agent restores the queue and the seq counter.
+	b := NewAgent("Q2XX-SAVE", testKey)
+	if err := b.LoadQueue(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if b.QueueLen() != 5 {
+		t.Errorf("restored queue = %d, want 5", b.QueueLen())
+	}
+	b.Enqueue(&Report{Serial: b.Serial, Timestamp: 5})
+	last, err := UnmarshalReport(b.peek(100)[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.SeqNo != 6 {
+		t.Errorf("post-restore seq = %d, want 6 (no seqno reuse)", last.SeqNo)
+	}
+
+	// A stale snapshot must never rewind a newer seq counter.
+	c := NewAgent("Q2XX-SAVE", testKey)
+	for i := 0; i < 20; i++ {
+		c.Enqueue(&Report{Serial: c.Serial})
+	}
+	if err := c.LoadQueue(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	c.Enqueue(&Report{Serial: c.Serial})
+	fresh, err := UnmarshalReport(c.peek(100)[c.QueueLen()-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.SeqNo != 21 {
+		t.Errorf("seq after stale restore = %d, want 21", fresh.SeqNo)
+	}
+
+	// A snapshot from another device is rejected.
+	other := NewAgent("Q2XX-OTHER", testKey)
+	if err := other.LoadQueue(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("foreign queue snapshot accepted")
+	}
+}
+
+func TestReconnectJitterDeterministic(t *testing.T) {
+	j1, j2 := reconnectJitter("Q2XX-A"), reconnectJitter("Q2XX-A")
+	for i := 0; i < 8; i++ {
+		if j1.Float64() != j2.Float64() {
+			t.Fatal("same serial produced different jitter streams")
+		}
+	}
+	ja, jb := reconnectJitter("Q2XX-A"), reconnectJitter("Q2XX-B")
+	same := true
+	for i := 0; i < 8; i++ {
+		if ja.Float64() != jb.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different serials produced identical jitter streams")
+	}
+}
+
+func TestAcceptPollerHandshakeTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Slow-loris: connect and send nothing.
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = AcceptPollerWithTimeout(conn, testKey, 100*time.Millisecond)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("silent client handshake err = %v, want timeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("handshake hung past its deadline")
+	}
+}
+
+func TestMultiHomeFailover(t *testing.T) {
+	// Primary is down (listener closed immediately); secondary answers.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	live, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	agent := NewAgent("Q2XX-MH", testKey)
+	agent.BackoffBase = 5 * time.Millisecond
+	agent.Health = &HarvestHealth{}
+	for i := 0; i < 5; i++ {
+		agent.Enqueue(&Report{Serial: agent.Serial, Timestamp: uint64(i)})
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go agent.RunMultiHome(deadAddr, live.Addr().String(), stop)
+
+	conn, err := live.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := AcceptPollerWithTimeout(conn, testKey, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	got, err := p.Poll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("failover harvested %d reports, want 5", len(got))
+	}
+}
+
+func TestHarvestHealthClassification(t *testing.T) {
+	h := &HarvestHealth{}
+	h.Observe(ErrBadMAC)
+	h.Observe(fmt.Errorf("wrapped: %w", ErrBadMAC))
+	h.Observe(ErrFrameTooBig)
+	h.Observe(os.ErrDeadlineExceeded)
+	h.Observe(io.EOF) // ordinary teardown: uncounted
+	h.Observe(nil)
+	h.AddReconnect()
+	h.SetQueueDrops("A", 3)
+	h.SetQueueDrops("A", 7) // cumulative: max wins
+	h.SetQueueDrops("A", 5)
+	h.SetQueueDrops("B", 2)
+	s := h.Snapshot()
+	want := HealthSnapshot{Reconnects: 1, MACFailures: 2, CorruptFrames: 1, Timeouts: 1, QueueDrops: 9}
+	if s != want {
+		t.Errorf("snapshot = %+v, want %+v", s, want)
+	}
+	if s.String() == "" {
+		t.Error("empty health string")
 	}
 }

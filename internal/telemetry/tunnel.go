@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
+	"time"
 )
 
 // Tunnel framing errors.
@@ -33,6 +35,8 @@ type Tunnel struct {
 	conn   net.Conn
 	encKey [32]byte
 	macKey [32]byte
+	// timeoutNS bounds each frame op; 0 disables deadlines.
+	timeoutNS int64
 }
 
 // NewTunnel wraps conn with the given 32-byte pre-shared key. Distinct
@@ -49,6 +53,28 @@ func NewTunnel(conn net.Conn, key []byte) (*Tunnel, error) {
 
 // Close closes the underlying connection.
 func (t *Tunnel) Close() error { return t.conn.Close() }
+
+// SetTimeout bounds every subsequent frame op: each ReadFrame and
+// WriteFrame must complete within d or fail with a timeout error. A
+// stalled or black-holed peer therefore costs at most d, not a hung
+// goroutine. Zero disables deadlines.
+func (t *Tunnel) SetTimeout(d time.Duration) {
+	atomic.StoreInt64(&t.timeoutNS, int64(d))
+}
+
+// armRead sets the per-op read deadline, if one is configured.
+func (t *Tunnel) armRead() {
+	if d := time.Duration(atomic.LoadInt64(&t.timeoutNS)); d > 0 {
+		t.conn.SetReadDeadline(time.Now().Add(d))
+	}
+}
+
+// armWrite sets the per-op write deadline, if one is configured.
+func (t *Tunnel) armWrite() {
+	if d := time.Duration(atomic.LoadInt64(&t.timeoutNS)); d > 0 {
+		t.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+}
 
 // WriteFrame encrypts and sends one message.
 func (t *Tunnel) WriteFrame(payload []byte) error {
@@ -77,6 +103,7 @@ func (t *Tunnel) WriteFrame(payload []byte) error {
 	frame = append(frame, iv[:]...)
 	frame = append(frame, ct...)
 	frame = append(frame, tag...)
+	t.armWrite()
 	_, err = t.conn.Write(frame)
 	return err
 }
@@ -84,6 +111,7 @@ func (t *Tunnel) WriteFrame(payload []byte) error {
 // ReadFrame receives and decrypts one message.
 func (t *Tunnel) ReadFrame() ([]byte, error) {
 	var hdr [4]byte
+	t.armRead()
 	if _, err := io.ReadFull(t.conn, hdr[:]); err != nil {
 		return nil, err
 	}
@@ -95,6 +123,7 @@ func (t *Tunnel) ReadFrame() ([]byte, error) {
 		return nil, ErrBadMAC
 	}
 	body := make([]byte, n)
+	t.armRead()
 	if _, err := io.ReadFull(t.conn, body); err != nil {
 		return nil, err
 	}
@@ -134,6 +163,7 @@ type Message struct {
 	Serial  string   // Hello
 	Max     uint32   // Poll
 	Count   uint32   // Ack
+	Dropped uint32   // Reports: device's cumulative queue-overflow drops
 	Reports [][]byte // Reports (encoded Report messages)
 }
 
@@ -148,6 +178,7 @@ func EncodeMessage(m *Message) []byte {
 	case frameAck:
 		out = binary.BigEndian.AppendUint32(out, m.Count)
 	case frameReports:
+		out = binary.BigEndian.AppendUint32(out, m.Dropped)
 		for _, r := range m.Reports {
 			out = binary.BigEndian.AppendUint32(out, uint32(len(r)))
 			out = append(out, r...)
@@ -177,6 +208,11 @@ func DecodeMessage(b []byte) (*Message, error) {
 			m.Count = v
 		}
 	case frameReports:
+		if len(rest) < 4 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		m.Dropped = binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
 		for len(rest) > 0 {
 			if len(rest) < 4 {
 				return nil, io.ErrUnexpectedEOF
