@@ -1,6 +1,8 @@
-# Tier-1 verification and race-detector targets. The telemetry and
-# backend packages are concurrency-heavy (harvest tunnels, chaos suite,
-# shared store), so `race` must stay green, not just `test`.
+# Tier-1 verification and race-detector targets. The telemetry, backend
+# and core packages are concurrency-heavy (harvest tunnels, chaos suite,
+# lock-striped store, parallel usage-epoch pipeline), so `race` must
+# stay green across the whole module, not just `test`. CI
+# (.github/workflows/ci.yml) runs build + vet + test + race.
 
 .PHONY: build test vet race bench verify
 
@@ -14,7 +16,7 @@ vet:
 	go vet ./...
 
 race:
-	go vet ./... && go test -race ./internal/telemetry/... ./internal/backend/...
+	go vet ./... && go test -race ./...
 
 bench:
 	go test -bench=. -benchmem ./...

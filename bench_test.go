@@ -7,11 +7,14 @@ package wlanscale_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"wlanscale/internal/airtime"
 	"wlanscale/internal/apps"
+	"wlanscale/internal/backend"
 	"wlanscale/internal/client"
 	"wlanscale/internal/core"
 	"wlanscale/internal/dot11"
@@ -20,6 +23,7 @@ import (
 	"wlanscale/internal/rf"
 	"wlanscale/internal/rng"
 	"wlanscale/internal/stats"
+	"wlanscale/internal/telemetry"
 )
 
 // The bench fixture runs at a mid scale: large enough for stable
@@ -264,6 +268,84 @@ func BenchmarkFigure11_Spectrum(b *testing.B) {
 		}
 	}
 	printOnce("fig11", r.Render())
+}
+
+// ---- Concurrency benches (DESIGN.md §7). ----
+
+// BenchmarkRunUsageEpoch measures the parallel usage-epoch pipeline on
+// the bench fixture (seed 2026, 120 networks). "workers=max" sizes the
+// pool to GOMAXPROCS, so running with -cpu 1,4,8 produces the scaling
+// curve; equivalence of outputs across worker counts is pinned by
+// TestRunUsageEpochWorkerEquivalence. Each iteration needs a fresh
+// study (AP pipelines accumulate state), so setup runs off the clock.
+func BenchmarkRunUsageEpoch(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = 2026
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			study, err := core.NewStudy(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := study.RunUsageEpochWorkers(study.Fleet15, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
+	b.Run("workers=max", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0)) })
+}
+
+// BenchmarkStoreIngest contrasts the lock-striped store with a
+// single-mutex (one-stripe) store under parallel report ingestion —
+// the contention the sharding removes from the harvest path. Reports
+// are pre-built off the clock; -cpu 1,4,8 sweeps the ingester count.
+func BenchmarkStoreIngest(b *testing.B) {
+	const nDevices = 256
+	reports := make([]*telemetry.Report, nDevices)
+	root := rng.New(2026)
+	for n := range reports {
+		src := root.SplitN("ingest", n)
+		clients := make([]telemetry.ClientRecord, 8)
+		for c := range clients {
+			clients[c] = telemetry.ClientRecord{
+				MAC:    dot11.MAC{0xac, 0xbc, 0x32, byte(n), byte(c), 1},
+				Band:   dot11.Band24,
+				RSSIdB: int32(5 + src.IntN(40)),
+				Apps: []telemetry.AppUsageRecord{
+					{App: "Netflix", UpBytes: src.Uint64() % 1e6, DownBytes: src.Uint64() % 1e8, Flows: 3},
+					{App: "YouTube", UpBytes: src.Uint64() % 1e6, DownBytes: src.Uint64() % 1e8, Flows: 2},
+				},
+			}
+		}
+		reports[n] = &telemetry.Report{
+			Serial:  fmt.Sprintf("Q2XX-%04d", n),
+			Clients: clients,
+			Radios: []telemetry.RadioStats{
+				{Band: dot11.Band24, Channel: 6, CycleUS: 1000, RxClearUS: 300, Rx11US: 120, TxUS: 40},
+			},
+		}
+	}
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"single-mutex", 1},
+		{"sharded-32", 32},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			store := backend.NewStoreShards(tc.shards)
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1)-1) % nDevices
+					store.Ingest(reports[i])
+				}
+			})
+		})
+	}
 }
 
 // ---- Ablation benches (DESIGN.md §4). ----

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"wlanscale/internal/core"
@@ -27,10 +28,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	scale := flag.String("scale", "small", "simulation scale: small, medium, or full")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel usage-epoch workers; results are identical for any value")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	switch *scale {
 	case "small":
 	case "medium":
@@ -43,6 +46,7 @@ func main() {
 	case "full":
 		cfg = cfg.Full()
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		cfg.Sampling = meshprobe.BinomialApprox
 	default:
 		fmt.Fprintf(os.Stderr, "merakireport: unknown scale %q\n", *scale)

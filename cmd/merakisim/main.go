@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -32,6 +33,7 @@ func main() {
 	networks := flag.Int("networks", 120, "simulated networks (offline mode)")
 	clientCap := flag.Int("client-cap", 400, "max clients per network (0 = uncapped)")
 	out := flag.String("out", "dataset.gob", "snapshot output path (offline mode)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel usage-epoch workers (offline mode); results are identical for any value")
 	serve := flag.String("serve", "", "backend address: run live agents instead of offline simulation")
 	aps := flag.Int("aps", 10, "number of live agents (serve mode)")
 	duration := flag.Duration("duration", 30*time.Second, "how long live agents run")
@@ -45,21 +47,22 @@ func main() {
 		}
 		return
 	}
-	if err := runOffline(*seed, *networks, *clientCap, *out); err != nil {
+	if err := runOffline(*seed, *networks, *clientCap, *workers, *out); err != nil {
 		log.Fatalf("merakisim: %v", err)
 	}
 }
 
-func runOffline(seed uint64, networks, clientCap int, out string) error {
+func runOffline(seed uint64, networks, clientCap, workers int, out string) error {
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
 	cfg.UsageNetworks = networks
 	cfg.ClientCap = clientCap
+	cfg.Workers = workers
 	study, err := core.NewStudy(cfg)
 	if err != nil {
 		return err
 	}
-	log.Printf("merakisim: simulating %d networks (Jan 2015 week)...", networks)
+	log.Printf("merakisim: simulating %d networks (Jan 2015 week) on %d workers...", networks, workers)
 	u, err := study.RunUsageEpoch(study.Fleet15)
 	if err != nil {
 		return err

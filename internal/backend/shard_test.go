@@ -1,0 +1,231 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/telemetry"
+)
+
+// fullReport builds a report exercising every store section, with
+// deterministic contents derived from (serial index, seq).
+func fullReport(n int, seq uint64) *telemetry.Report {
+	serial := fmt.Sprintf("AP-%04d", n)
+	mac := dot11.MAC{0xac, 0xbc, 0x32, byte(n >> 8), byte(n), 1}
+	return &telemetry.Report{
+		Serial:    serial,
+		Timestamp: seq * 300,
+		SeqNo:     seq,
+		Radios: []telemetry.RadioStats{
+			{Band: dot11.Band24, Channel: 6, CycleUS: 1000, RxClearUS: 250, Rx11US: 100, TxUS: 50},
+		},
+		Clients: []telemetry.ClientRecord{{
+			MAC: mac, Band: dot11.Band24, RSSIdB: int32(10 + n%40),
+			UserAgents: []string{fmt.Sprintf("UA-%d", n)},
+			Apps:       []telemetry.AppUsageRecord{{App: "Netflix", UpBytes: 10, DownBytes: 100, Flows: 1}},
+		}},
+		Neighbors: []telemetry.NeighborRecord{
+			{BSSID: dot11.BSSID{0, 0x18, 0x0a, 0, byte(n), 9}, SSID: "nbr", Band: dot11.Band24, Channel: 1},
+		},
+		LinkWindows: []telemetry.LinkWindow{
+			{Peer: dot11.MAC{0, 0x18, 0x0a, 0, byte(n), 8}, Band: dot11.Band5, Sent: 20, Delivered: uint32(seq)},
+		},
+		ScanSamples: []telemetry.ScanSample{
+			{Band: dot11.Band5, Channel: 36, BusyPermille: 120, DecodablePermille: 80},
+		},
+	}
+}
+
+// TestShardCountInvariance: every read accessor must return the same
+// explicitly sorted results no matter how many stripes the store has —
+// the "not map order, not shard order" contract Table rows depend on.
+func TestShardCountInvariance(t *testing.T) {
+	digest := func(shards int) []string {
+		s := NewStoreShards(shards)
+		for n := 0; n < 64; n++ {
+			for seq := uint64(1); seq <= 3; seq++ {
+				s.Ingest(fullReport(n, seq))
+			}
+		}
+		var out []string
+		for _, c := range s.Clients() {
+			out = append(out, fmt.Sprintf("client %v total=%d", c.MAC, c.Total()))
+		}
+		for _, l := range s.Links() {
+			out = append(out, fmt.Sprintf("link %+v sent=%v del=%v", l.Key, l.Sent, l.Deliver))
+		}
+		for _, serial := range s.RadioSerials() {
+			out = append(out, fmt.Sprintf("radio %s n=%d", serial, len(s.RadioSeries(serial))))
+		}
+		for _, serial := range s.ScanSerials() {
+			out = append(out, fmt.Sprintf("scan %s n=%d", serial, len(s.ScanSeries(serial))))
+		}
+		for _, serial := range s.NeighborSerials() {
+			out = append(out, fmt.Sprintf("nbr %s n=%d", serial, s.NeighborCount(serial)))
+		}
+		return out
+	}
+	want := digest(1)
+	for _, shards := range []int{2, 8, 32, 64} {
+		got := digest(shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: digest length %d, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: line %d = %q, want %q", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestClientsSorted pins the explicit sort of Clients(): ascending MAC,
+// regardless of ingest order or shard placement.
+func TestClientsSorted(t *testing.T) {
+	s := NewStore()
+	// Ingest in descending MAC order so map/shard order can't accidentally
+	// look sorted.
+	for n := 63; n >= 0; n-- {
+		s.Ingest(fullReport(n, 1))
+	}
+	clients := s.Clients()
+	if !sort.SliceIsSorted(clients, func(i, j int) bool {
+		return clients[i].MAC.Uint64() < clients[j].MAC.Uint64()
+	}) {
+		t.Error("Clients() not sorted by MAC")
+	}
+	if len(clients) != 64 {
+		t.Errorf("clients = %d, want 64", len(clients))
+	}
+}
+
+// TestConcurrentIngestManySerials hammers the striped store from many
+// goroutines across many serials and MACs; run under -race this is the
+// striping's safety proof, and the totals prove no lost updates.
+func TestConcurrentIngestManySerials(t *testing.T) {
+	s := NewStore()
+	const workers = 16
+	const perWorker = 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := w*perWorker + i
+				s.Ingest(fullReport(n, 1))
+				s.Ingest(fullReport(n, 2))
+				s.Ingest(fullReport(n, 2)) // dupe
+			}
+		}(w)
+	}
+	wg.Wait()
+	ing, dup := s.Stats()
+	if ing != workers*perWorker*2 || dup != workers*perWorker {
+		t.Errorf("ingests/dupes = %d/%d, want %d/%d", ing, dup, workers*perWorker*2, workers*perWorker)
+	}
+	if s.NumClients() != workers*perWorker {
+		t.Errorf("clients = %d, want %d", s.NumClients(), workers*perWorker)
+	}
+	for _, c := range s.Clients() {
+		if c.Total() != 220 { // two accepted reports x 110 bytes
+			t.Fatalf("client %v total = %d, want 220", c.MAC, c.Total())
+		}
+	}
+}
+
+// TestMergeEqualsDirectIngest: partitioning a report stream into
+// partial stores and merging them must be indistinguishable from
+// ingesting the whole stream into one store.
+func TestMergeEqualsDirectIngest(t *testing.T) {
+	const nDevices = 48
+	direct := NewStore()
+	for n := 0; n < nDevices; n++ {
+		direct.Ingest(fullReport(n, 1))
+		direct.Ingest(fullReport(n, 2))
+	}
+
+	merged := NewStore()
+	const parts = 5
+	for p := 0; p < parts; p++ {
+		part := NewStoreShards(1)
+		for n := p; n < nDevices; n += parts {
+			part.Ingest(fullReport(n, 1))
+			part.Ingest(fullReport(n, 2))
+		}
+		merged.Merge(part)
+	}
+
+	di, dd := direct.Stats()
+	mi, md := merged.Stats()
+	if di != mi || dd != md {
+		t.Errorf("stats differ: %d/%d vs %d/%d", di, dd, mi, md)
+	}
+	dc, mc := direct.Clients(), merged.Clients()
+	if len(dc) != len(mc) {
+		t.Fatalf("client counts differ: %d vs %d", len(dc), len(mc))
+	}
+	for i := range dc {
+		if dc[i].MAC != mc[i].MAC || dc[i].Total() != mc[i].Total() ||
+			len(dc[i].UserAgents) != len(mc[i].UserAgents) {
+			t.Fatalf("client %d differs: %+v vs %+v", i, dc[i], mc[i])
+		}
+	}
+	dl, ml := direct.Links(), merged.Links()
+	if len(dl) != len(ml) {
+		t.Fatalf("link counts differ: %d vs %d", len(dl), len(ml))
+	}
+	for i := range dl {
+		if dl[i].Key != ml[i].Key || fmt.Sprint(dl[i].Deliver) != fmt.Sprint(ml[i].Deliver) {
+			t.Fatalf("link %d differs: %+v vs %+v", i, dl[i], ml[i])
+		}
+	}
+	for n := 0; n < nDevices; n++ {
+		serial := fmt.Sprintf("AP-%04d", n)
+		if got, want := len(merged.RadioSeries(serial)), len(direct.RadioSeries(serial)); got != want {
+			t.Errorf("%s radio series %d, want %d", serial, got, want)
+		}
+	}
+	// Dedup high-water marks must survive the merge.
+	merged.Ingest(fullReport(0, 2))
+	if _, dup := merged.Stats(); dup != 1 {
+		t.Error("merge lost dedup state")
+	}
+}
+
+// TestMergeOverlappingClients: the same client roaming across partials
+// must aggregate exactly as roaming across APs in one store does.
+func TestMergeOverlappingClients(t *testing.T) {
+	mac := dot11.MAC{0xac, 0xbc, 0x32, 0, 0, 7}
+	mk := func(serial string) *Store {
+		p := NewStoreShards(1)
+		p.Ingest(&telemetry.Report{
+			Serial: serial, SeqNo: 1,
+			Clients: []telemetry.ClientRecord{{
+				MAC: mac, Band: dot11.Band5, RSSIdB: 30,
+				UserAgents: []string{"shared-ua"},
+				Apps:       []telemetry.AppUsageRecord{{App: "YouTube", UpBytes: 5, DownBytes: 50, Flows: 1}},
+			}},
+		})
+		return p
+	}
+	s := NewStore()
+	s.Merge(mk("AP-A"))
+	s.Merge(mk("AP-B"))
+	if s.NumClients() != 1 {
+		t.Fatalf("clients = %d, want 1", s.NumClients())
+	}
+	c := s.Clients()[0]
+	if c.Total() != 110 || c.Apps["YouTube"].Flows != 2 {
+		t.Errorf("merged usage = %+v", c.Apps["YouTube"])
+	}
+	if len(c.APs) != 2 {
+		t.Errorf("AP set = %v, want 2 entries", c.APs)
+	}
+	if len(c.UserAgents) != 1 {
+		t.Errorf("user agents not deduplicated: %v", c.UserAgents)
+	}
+}

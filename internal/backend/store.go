@@ -5,15 +5,24 @@
 // counters, neighbor tables, link-probe windows and scan samples, HMAC
 // anonymization of identifiers for analysis exports, and gob snapshot
 // persistence.
+//
+// The store is lock-striped: client aggregates shard by MAC and
+// device-keyed series shard by serial, so concurrent harvest workers
+// ingesting reports for different devices rarely contend. Every read
+// accessor returns results in an explicitly sorted order, so downstream
+// analyses are independent of both map iteration order and the shard
+// count.
 package backend
 
 import (
 	"encoding/gob"
 	"fmt"
+	"hash/maphash"
 	"io"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"wlanscale/internal/apps"
 	"wlanscale/internal/dot11"
@@ -119,55 +128,123 @@ type NeighborEntry struct {
 	Vendor  string
 }
 
-// Store is the backend datastore. It is safe for concurrent use.
-type Store struct {
-	mu sync.Mutex
+// DefaultShards is the stripe count of NewStore. 32 stripes keep
+// contention negligible up to typical harvest-worker counts while the
+// per-store footprint stays small.
+const DefaultShards = 32
 
-	seen    map[string]uint64 // highest seq per serial
-	dupes   int
-	ingests int
+// clientShard is one stripe of the MAC-keyed client aggregation.
+type clientShard struct {
+	mu      sync.Mutex
+	clients map[dot11.MAC]*ClientAggregate
+}
 
-	clients   map[dot11.MAC]*ClientAggregate
-	links     map[LinkKey]*LinkSeries
+// deviceShard is one stripe of the serial-keyed device data. Everything
+// a single report writes outside the client map lives in the reporting
+// device's shard, so dedup and series appends for one serial are
+// serialized by one lock.
+type deviceShard struct {
+	mu        sync.Mutex
+	seen      map[string]uint64 // highest seq per serial
 	radio     map[string][]RadioSample
 	scans     map[string][]ScanPoint
 	neighbors map[string]map[dot11.BSSID]NeighborEntry
 	crashes   map[string][]telemetry.CrashRecord
+	links     map[LinkKey]*LinkSeries // keyed by From == shard serial
 }
 
-// NewStore creates an empty store.
-func NewStore() *Store {
-	return &Store{
-		seen:      make(map[string]uint64),
-		clients:   make(map[dot11.MAC]*ClientAggregate),
-		links:     make(map[LinkKey]*LinkSeries),
-		radio:     make(map[string][]RadioSample),
-		scans:     make(map[string][]ScanPoint),
-		neighbors: make(map[string]map[dot11.BSSID]NeighborEntry),
-		crashes:   make(map[string][]telemetry.CrashRecord),
+// Store is the backend datastore. It is safe for concurrent use: client
+// aggregates are lock-striped by MAC and device series by serial.
+type Store struct {
+	clientShards []*clientShard
+	deviceShards []*deviceShard
+	mask         uint64
+
+	ingests atomic.Int64
+	dupes   atomic.Int64
+}
+
+// serialSeed fixes the serial hash across stores so sharding is
+// reproducible within a process (determinism never depends on it: reads
+// re-sort).
+var serialSeed = maphash.MakeSeed()
+
+// NewStore creates an empty store with DefaultShards stripes.
+func NewStore() *Store { return NewStoreShards(DefaultShards) }
+
+// NewStoreShards creates an empty store with n lock stripes (rounded up
+// to a power of two; n <= 1 yields a single-mutex store, useful as the
+// contention baseline in benchmarks).
+func NewStoreShards(n int) *Store {
+	shards := 1
+	for shards < n {
+		shards <<= 1
 	}
+	s := &Store{
+		clientShards: make([]*clientShard, shards),
+		deviceShards: make([]*deviceShard, shards),
+		mask:         uint64(shards - 1),
+	}
+	for i := 0; i < shards; i++ {
+		s.clientShards[i] = &clientShard{clients: make(map[dot11.MAC]*ClientAggregate)}
+		s.deviceShards[i] = &deviceShard{
+			seen:      make(map[string]uint64),
+			radio:     make(map[string][]RadioSample),
+			scans:     make(map[string][]ScanPoint),
+			neighbors: make(map[string]map[dot11.BSSID]NeighborEntry),
+			crashes:   make(map[string][]telemetry.CrashRecord),
+			links:     make(map[LinkKey]*LinkSeries),
+		}
+	}
+	return s
+}
+
+// NumShards returns the stripe count.
+func (s *Store) NumShards() int { return len(s.clientShards) }
+
+// clientShardFor picks the stripe for a client MAC. MACs from one OUI
+// differ only in the low 24 bits, so mix the packed value before
+// masking.
+func (s *Store) clientShardFor(mac dot11.MAC) *clientShard {
+	return s.clientShards[mix64(mac.Uint64())&s.mask]
+}
+
+func (s *Store) deviceShardFor(serial string) *deviceShard {
+	return s.deviceShards[maphash.String(serialSeed, serial)&s.mask]
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection.
+func mix64(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
 }
 
 // Ingest merges one report. Re-delivered reports (same serial, seqno not
 // above the high-water mark) are dropped, making harvest idempotent.
+// Reports for different serials take disjoint device stripes and
+// contend on a client stripe only when their clients hash together.
 func (s *Store) Ingest(r *telemetry.Report) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ds := s.deviceShardFor(r.Serial)
+	ds.mu.Lock()
 	if r.SeqNo != 0 {
-		if hw, ok := s.seen[r.Serial]; ok && r.SeqNo <= hw {
-			s.dupes++
+		if hw, ok := ds.seen[r.Serial]; ok && r.SeqNo <= hw {
+			ds.mu.Unlock()
+			s.dupes.Add(1)
 			return
 		}
-		s.seen[r.Serial] = r.SeqNo
+		ds.seen[r.Serial] = r.SeqNo
 	}
-	s.ingests++
 
 	for _, rs := range r.Radios {
 		cyc := float64(rs.CycleUS)
 		if cyc == 0 {
 			continue
 		}
-		s.radio[r.Serial] = append(s.radio[r.Serial], RadioSample{
+		ds.radio[r.Serial] = append(ds.radio[r.Serial], RadioSample{
 			Timestamp: r.Timestamp,
 			Band:      rs.Band,
 			Channel:   rs.Channel,
@@ -176,15 +253,53 @@ func (s *Store) Ingest(r *telemetry.Report) {
 			Tx:        float64(rs.TxUS) / cyc,
 		})
 	}
+	for _, l := range r.LinkWindows {
+		k := LinkKey{From: r.Serial, To: l.Peer, Band: l.Band}
+		series, ok := ds.links[k]
+		if !ok {
+			series = &LinkSeries{Key: k}
+			ds.links[k] = series
+		}
+		series.Sent = append(series.Sent, l.Sent)
+		series.Deliver = append(series.Deliver, l.Delivered)
+	}
+	for _, sc := range r.ScanSamples {
+		ds.scans[r.Serial] = append(ds.scans[r.Serial], ScanPoint{
+			Timestamp: r.Timestamp,
+			Band:      sc.Band,
+			Channel:   sc.Channel,
+			Busy:      float64(sc.BusyPermille) / 1000,
+			Decodable: float64(sc.DecodablePermille) / 1000,
+		})
+	}
+	if len(r.Crashes) > 0 {
+		ds.crashes[r.Serial] = append(ds.crashes[r.Serial], r.Crashes...)
+	}
+	for _, n := range r.Neighbors {
+		m, ok := ds.neighbors[r.Serial]
+		if !ok {
+			m = make(map[dot11.BSSID]NeighborEntry)
+			ds.neighbors[r.Serial] = m
+		}
+		m[n.BSSID] = NeighborEntry{
+			BSSID: n.BSSID, SSID: n.SSID, Band: n.Band,
+			Channel: n.Channel, RSSIdB: n.RSSIdB, Vendor: n.Vendor,
+		}
+	}
+	ds.mu.Unlock()
+	s.ingests.Add(1)
+
 	for _, c := range r.Clients {
-		agg, ok := s.clients[c.MAC]
+		cs := s.clientShardFor(c.MAC)
+		cs.mu.Lock()
+		agg, ok := cs.clients[c.MAC]
 		if !ok {
 			agg = &ClientAggregate{
 				MAC:  c.MAC,
 				Apps: make(map[string]*telemetry.AppUsageRecord),
 				APs:  make(map[string]bool),
 			}
-			s.clients[c.MAC] = agg
+			cs.clients[c.MAC] = agg
 		}
 		agg.Band = c.Band
 		agg.RSSIdB = c.RSSIdB
@@ -206,39 +321,7 @@ func (s *Store) Ingest(r *telemetry.Report) {
 			cur.DownBytes += a.DownBytes
 			cur.Flows += a.Flows
 		}
-	}
-	for _, l := range r.LinkWindows {
-		k := LinkKey{From: r.Serial, To: l.Peer, Band: l.Band}
-		series, ok := s.links[k]
-		if !ok {
-			series = &LinkSeries{Key: k}
-			s.links[k] = series
-		}
-		series.Sent = append(series.Sent, l.Sent)
-		series.Deliver = append(series.Deliver, l.Delivered)
-	}
-	for _, sc := range r.ScanSamples {
-		s.scans[r.Serial] = append(s.scans[r.Serial], ScanPoint{
-			Timestamp: r.Timestamp,
-			Band:      sc.Band,
-			Channel:   sc.Channel,
-			Busy:      float64(sc.BusyPermille) / 1000,
-			Decodable: float64(sc.DecodablePermille) / 1000,
-		})
-	}
-	if len(r.Crashes) > 0 {
-		s.crashes[r.Serial] = append(s.crashes[r.Serial], r.Crashes...)
-	}
-	for _, n := range r.Neighbors {
-		m, ok := s.neighbors[r.Serial]
-		if !ok {
-			m = make(map[dot11.BSSID]NeighborEntry)
-			s.neighbors[r.Serial] = m
-		}
-		m[n.BSSID] = NeighborEntry{
-			BSSID: n.BSSID, SSID: n.SSID, Band: n.Band,
-			Channel: n.Channel, RSSIdB: n.RSSIdB, Vendor: n.Vendor,
-		}
+		cs.mu.Unlock()
 	}
 }
 
@@ -262,27 +345,166 @@ func (c *ClientAggregate) addFP(fp []byte) {
 	c.DHCPFingerprints = append(c.DHCPFingerprints, cp)
 }
 
+// Merge folds a partial store into s. The caller hands over ownership
+// of p: the parallel epoch pipeline builds one partial per network and
+// merges them in network-index order, so every map and slice is folded
+// in a deterministic sequence (keys are visited sorted, making merge
+// output independent of p's map iteration order).
+func (s *Store) Merge(p *Store) {
+	// Client aggregates, in MAC order.
+	for _, agg := range p.Clients() {
+		cs := s.clientShardFor(agg.MAC)
+		cs.mu.Lock()
+		dst, ok := cs.clients[agg.MAC]
+		if !ok {
+			// First sighting: adopt the partial's aggregate wholesale.
+			cs.clients[agg.MAC] = agg
+			cs.mu.Unlock()
+			continue
+		}
+		dst.Band = agg.Band
+		dst.RSSIdB = agg.RSSIdB
+		dst.Caps = agg.Caps
+		for serial := range agg.APs {
+			dst.APs[serial] = true
+		}
+		for _, ua := range agg.UserAgents {
+			dst.addUA(ua)
+		}
+		for _, fp := range agg.DHCPFingerprints {
+			dst.addFP(fp)
+		}
+		names := make([]string, 0, len(agg.Apps))
+		for name := range agg.Apps {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			a := agg.Apps[name]
+			cur, ok := dst.Apps[name]
+			if !ok {
+				cur = &telemetry.AppUsageRecord{App: name}
+				dst.Apps[name] = cur
+			}
+			cur.UpBytes += a.UpBytes
+			cur.DownBytes += a.DownBytes
+			cur.Flows += a.Flows
+		}
+		cs.mu.Unlock()
+	}
+
+	// Device-keyed series, in serial (and link-key) order per stripe.
+	for _, pd := range p.deviceShards {
+		for _, serial := range sortedKeys(pd.seen) {
+			seq := pd.seen[serial]
+			ds := s.deviceShardFor(serial)
+			ds.mu.Lock()
+			if seq > ds.seen[serial] {
+				ds.seen[serial] = seq
+			}
+			ds.mu.Unlock()
+		}
+		for _, serial := range sortedKeys(pd.radio) {
+			ds := s.deviceShardFor(serial)
+			ds.mu.Lock()
+			ds.radio[serial] = append(ds.radio[serial], pd.radio[serial]...)
+			ds.mu.Unlock()
+		}
+		for _, serial := range sortedKeys(pd.scans) {
+			ds := s.deviceShardFor(serial)
+			ds.mu.Lock()
+			ds.scans[serial] = append(ds.scans[serial], pd.scans[serial]...)
+			ds.mu.Unlock()
+		}
+		for _, serial := range sortedKeys(pd.crashes) {
+			ds := s.deviceShardFor(serial)
+			ds.mu.Lock()
+			ds.crashes[serial] = append(ds.crashes[serial], pd.crashes[serial]...)
+			ds.mu.Unlock()
+		}
+		for _, serial := range sortedKeys(pd.neighbors) {
+			ds := s.deviceShardFor(serial)
+			ds.mu.Lock()
+			m, ok := ds.neighbors[serial]
+			if !ok {
+				ds.neighbors[serial] = pd.neighbors[serial]
+			} else {
+				for bssid, e := range pd.neighbors[serial] {
+					m[bssid] = e
+				}
+			}
+			ds.mu.Unlock()
+		}
+		keys := make([]LinkKey, 0, len(pd.links))
+		for k := range pd.links {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return lessLinkKey(keys[i], keys[j]) })
+		for _, k := range keys {
+			src := pd.links[k]
+			ds := s.deviceShardFor(k.From)
+			ds.mu.Lock()
+			series, ok := ds.links[k]
+			if !ok {
+				ds.links[k] = src
+			} else {
+				series.Sent = append(series.Sent, src.Sent...)
+				series.Deliver = append(series.Deliver, src.Deliver...)
+			}
+			ds.mu.Unlock()
+		}
+	}
+
+	s.ingests.Add(p.ingests.Load())
+	s.dupes.Add(p.dupes.Load())
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lessLinkKey(a, b LinkKey) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	if a.Band != b.Band {
+		return a.Band < b.Band
+	}
+	return a.To.Uint64() < b.To.Uint64()
+}
+
 // Stats summarizes ingestion.
 func (s *Store) Stats() (ingests, dupes int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ingests, s.dupes
+	return int(s.ingests.Load()), int(s.dupes.Load())
 }
 
 // NumClients returns the number of distinct client MACs.
 func (s *Store) NumClients() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.clients)
+	n := 0
+	for _, cs := range s.clientShards {
+		cs.mu.Lock()
+		n += len(cs.clients)
+		cs.mu.Unlock()
+	}
+	return n
 }
 
-// Clients returns the aggregates sorted by MAC.
+// Clients returns the aggregates explicitly sorted by MAC. The sort is
+// load-bearing: downstream table rows must not depend on map iteration
+// order or on how MACs happen to hash across shards.
 func (s *Store) Clients() []*ClientAggregate {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*ClientAggregate, 0, len(s.clients))
-	for _, c := range s.clients {
-		out = append(out, c)
+	var out []*ClientAggregate
+	for _, cs := range s.clientShards {
+		cs.mu.Lock()
+		for _, c := range cs.clients {
+			out = append(out, c)
+		}
+		cs.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].MAC.Uint64() < out[j].MAC.Uint64() })
 	return out
@@ -290,58 +512,54 @@ func (s *Store) Clients() []*ClientAggregate {
 
 // Links returns every stored link series, sorted for determinism.
 func (s *Store) Links() []*LinkSeries {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*LinkSeries, 0, len(s.links))
-	for _, l := range s.links {
-		out = append(out, l)
+	var out []*LinkSeries
+	for _, ds := range s.deviceShards {
+		ds.mu.Lock()
+		for _, l := range ds.links {
+			out = append(out, l)
+		}
+		ds.mu.Unlock()
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Key, out[j].Key
-		if a.From != b.From {
-			return a.From < b.From
-		}
-		if a.Band != b.Band {
-			return a.Band < b.Band
-		}
-		return a.To.Uint64() < b.To.Uint64()
-	})
+	sort.Slice(out, func(i, j int) bool { return lessLinkKey(out[i].Key, out[j].Key) })
 	return out
 }
 
 // RadioSeries returns a device's stored counter samples.
 func (s *Store) RadioSeries(serial string) []RadioSample {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.radio[serial]
+	ds := s.deviceShardFor(serial)
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.radio[serial]
 }
 
 // RadioSerials returns the serials with radio samples, sorted.
 func (s *Store) RadioSerials() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.radio))
-	for k := range s.radio {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return serialKeys(s.deviceShards, func(ds *deviceShard) map[string][]RadioSample { return ds.radio })
 }
 
 // ScanSeries returns a device's stored scan points.
 func (s *Store) ScanSeries(serial string) []ScanPoint {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.scans[serial]
+	ds := s.deviceShardFor(serial)
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.scans[serial]
 }
 
 // ScanSerials returns the serials with scan data, sorted.
 func (s *Store) ScanSerials() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.scans))
-	for k := range s.scans {
-		out = append(out, k)
+	return serialKeys(s.deviceShards, func(ds *deviceShard) map[string][]ScanPoint { return ds.scans })
+}
+
+// serialKeys collects the keys of one serial-keyed map across all
+// shards, sorted.
+func serialKeys[V any](shards []*deviceShard, pick func(*deviceShard) map[string]V) []string {
+	var out []string
+	for _, ds := range shards {
+		ds.mu.Lock()
+		for k := range pick(ds) {
+			out = append(out, k)
+		}
+		ds.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -350,57 +568,48 @@ func (s *Store) ScanSerials() []string {
 // Neighbors returns a device's deduplicated neighbor table, sorted by
 // BSSID.
 func (s *Store) Neighbors(serial string) []NeighborEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m := s.neighbors[serial]
+	ds := s.deviceShardFor(serial)
+	ds.mu.Lock()
+	m := ds.neighbors[serial]
 	out := make([]NeighborEntry, 0, len(m))
 	for _, n := range m {
 		out = append(out, n)
 	}
+	ds.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].BSSID.Uint64() < out[j].BSSID.Uint64() })
 	return out
 }
 
 // NeighborSerials returns the serials with neighbor tables, sorted.
 func (s *Store) NeighborSerials() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.neighbors))
-	for k := range s.neighbors {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return serialKeys(s.deviceShards, func(ds *deviceShard) map[string]map[dot11.BSSID]NeighborEntry { return ds.neighbors })
 }
 
 // Crashes returns a device's stored crash records.
 func (s *Store) Crashes(serial string) []telemetry.CrashRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.crashes[serial]
+	ds := s.deviceShardFor(serial)
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.crashes[serial]
 }
 
 // CrashSerials returns the serials with crash reports, sorted.
 func (s *Store) CrashSerials() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.crashes))
-	for k := range s.crashes {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return serialKeys(s.deviceShards, func(ds *deviceShard) map[string][]telemetry.CrashRecord { return ds.crashes })
 }
 
 // NeighborCount returns the size of a device's deduplicated neighbor
 // table (both bands).
 func (s *Store) NeighborCount(serial string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.neighbors[serial])
+	ds := s.deviceShardFor(serial)
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return len(ds.neighbors[serial])
 }
 
-// snapshot is the gob-persisted form of the store.
+// snapshot is the gob-persisted form of the store. The format predates
+// sharding (flat maps), so snapshots round-trip across shard counts and
+// old snapshots still load.
 type snapshot struct {
 	Seen      map[string]uint64
 	Clients   map[dot11.MAC]*ClientAggregate
@@ -413,13 +622,45 @@ type snapshot struct {
 
 // Save writes a gob snapshot.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return gob.NewEncoder(w).Encode(snapshot{
-		Seen: s.seen, Clients: s.clients, Links: s.links,
-		Radio: s.radio, Scans: s.scans, Neighbors: s.neighbors,
-		Crashes: s.crashes,
-	})
+	snap := snapshot{
+		Seen:      make(map[string]uint64),
+		Clients:   make(map[dot11.MAC]*ClientAggregate),
+		Links:     make(map[LinkKey]*LinkSeries),
+		Radio:     make(map[string][]RadioSample),
+		Scans:     make(map[string][]ScanPoint),
+		Neighbors: make(map[string]map[dot11.BSSID]NeighborEntry),
+		Crashes:   make(map[string][]telemetry.CrashRecord),
+	}
+	for _, cs := range s.clientShards {
+		cs.mu.Lock()
+		for mac, c := range cs.clients {
+			snap.Clients[mac] = c
+		}
+		cs.mu.Unlock()
+	}
+	for _, ds := range s.deviceShards {
+		ds.mu.Lock()
+		for k, v := range ds.seen {
+			snap.Seen[k] = v
+		}
+		for k, v := range ds.links {
+			snap.Links[k] = v
+		}
+		for k, v := range ds.radio {
+			snap.Radio[k] = v
+		}
+		for k, v := range ds.scans {
+			snap.Scans[k] = v
+		}
+		for k, v := range ds.neighbors {
+			snap.Neighbors[k] = v
+		}
+		for k, v := range ds.crashes {
+			snap.Crashes[k] = v
+		}
+		ds.mu.Unlock()
+	}
+	return gob.NewEncoder(w).Encode(snap)
 }
 
 // Load replaces the store contents from a gob snapshot.
@@ -428,25 +669,39 @@ func (s *Store) Load(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("backend: load: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.seen = snap.Seen
-	s.clients = snap.Clients
-	s.links = snap.Links
-	s.radio = snap.Radio
-	s.scans = snap.Scans
-	s.neighbors = snap.Neighbors
-	s.crashes = snap.Crashes
-	if s.crashes == nil {
-		s.crashes = make(map[string][]telemetry.CrashRecord)
-	}
-	for _, c := range s.clients {
+	fresh := NewStoreShards(len(s.clientShards))
+	s.clientShards = fresh.clientShards
+	s.deviceShards = fresh.deviceShards
+	s.mask = fresh.mask
+	s.ingests.Store(0)
+	s.dupes.Store(0)
+	for mac, c := range snap.Clients {
 		if c.Apps == nil {
 			c.Apps = make(map[string]*telemetry.AppUsageRecord)
 		}
 		if c.APs == nil {
 			c.APs = make(map[string]bool)
 		}
+		cs := s.clientShardFor(mac)
+		cs.clients[mac] = c
+	}
+	for serial, seq := range snap.Seen {
+		s.deviceShardFor(serial).seen[serial] = seq
+	}
+	for k, v := range snap.Links {
+		s.deviceShardFor(k.From).links[k] = v
+	}
+	for serial, v := range snap.Radio {
+		s.deviceShardFor(serial).radio[serial] = v
+	}
+	for serial, v := range snap.Scans {
+		s.deviceShardFor(serial).scans[serial] = v
+	}
+	for serial, v := range snap.Neighbors {
+		s.deviceShardFor(serial).neighbors[serial] = v
+	}
+	for serial, v := range snap.Crashes {
+		s.deviceShardFor(serial).crashes[serial] = v
 	}
 	return nil
 }

@@ -1,0 +1,83 @@
+// The parallel usage-epoch pipeline. The usage week is embarrassingly
+// parallel along the network axis: every network owns its APs, its
+// client population, and its own RNG stream (split off the study source
+// by network ID), so networks can simulate concurrently without
+// synchronizing. Each worker harvests into a private per-network
+// partial store; a deterministic merge then folds the partials into the
+// epoch's sharded store in network-index order. Because no random draw
+// and no store write ever crosses a network boundary, the merged result
+// is bit-for-bit identical for every worker count — the property the
+// equivalence and golden tests in parallel_test.go/golden_test.go pin.
+
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wlanscale/internal/apps"
+	"wlanscale/internal/backend"
+	"wlanscale/internal/synth"
+)
+
+// RunUsageEpochWorkers is RunUsageEpoch with an explicit worker count.
+// workers <= 0 selects GOMAXPROCS. The output is identical for every
+// worker count; only wall-clock time changes.
+func (s *Study) RunUsageEpochWorkers(f *synth.Fleet, workers int) (*UsageEpoch, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nets := f.NetworkOrder()
+	if workers > len(nets) {
+		workers = len(nets)
+	}
+	e := f.Params.Epoch
+	label := fmt.Sprintf("usage/%d", e)
+	catalog := apps.Catalog()
+
+	// Fan out: workers pull network indices from a shared counter and
+	// write only to their network's slot, so no two goroutines touch the
+	// same network, partial store, or error cell.
+	partials := make([]*backend.Store, len(nets))
+	errs := make([]error, len(nets))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(nets) {
+					return
+				}
+				// A partial holds one network's harvest and has exactly
+				// one writer; a single stripe avoids 2x32 map allocations
+				// per network.
+				part := backend.NewStoreShards(1)
+				if err := s.harvestNetworkUsage(f, nets[i], label, catalog, part); err != nil {
+					errs[i] = err
+					continue
+				}
+				partials[i] = part
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic merge: fold partials in network-index order. Errors
+	// surface in the same order, so the reported failure is the lowest
+	// failing network regardless of scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	store := backend.NewStore()
+	for _, part := range partials {
+		store.Merge(part)
+	}
+	return &UsageEpoch{Epoch: e, Scale: f.Params.Scale(), Store: store}, nil
+}

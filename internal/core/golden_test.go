@@ -1,0 +1,76 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata/golden snapshots")
+
+// goldenConfig pins the golden fixture: seed 2026 (the EXPERIMENTS.md
+// bench seed) at a scale small enough to regenerate under -race on
+// every CI run.
+func goldenConfig() Config {
+	cfg := smallConfig(2026)
+	cfg.UsageNetworks = 24
+	cfg.ClientCap = 150
+	return cfg
+}
+
+// TestGoldenRenders pins the seed-2026 Render() output of Table 1-6 and
+// Figure 1 against testdata/golden/. Any behavioral drift in the
+// simulation, classification, aggregation, or rendering path — however
+// it is scheduled across workers — fails this test with a diff. To
+// accept an intentional change:
+//
+//	go test ./internal/core -run TestGoldenRenders -update
+func TestGoldenRenders(t *testing.T) {
+	s, err := NewStudy(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err := s.RunUsageEpoch(s.Fleet15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.RunUsageEpoch(s.Fleet14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renders := map[string]string{
+		"table1": Table1Hardware().Render(),
+		"table2": Table2Industries(s.Fleet15).Render(),
+		"table3": Table3UsageByOS(now, before).Render(),
+		"table4": Table4Capabilities(now, before).Render(),
+		"table5": Table5TopApps(now, before, 20).Render(),
+		"table6": Table6Categories(now, before).Render(),
+		"fig1":   Figure1RSSI(now).Render(),
+	}
+	dir := filepath.Join("testdata", "golden")
+	if *update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, got := range renders {
+		name, got := name, got
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from seed-2026 golden.\n--- want\n%s\n--- got\n%s", name, want, got)
+			}
+		})
+	}
+}

@@ -38,6 +38,9 @@ type Config struct {
 	UtilWindows int
 	// ScanAPs is the number of MR18 APs swept for Figures 7-10.
 	ScanAPs int
+	// Workers is the usage-epoch worker-pool size; 0 means GOMAXPROCS.
+	// Results are identical for every value (see epochpool.go).
+	Workers int
 }
 
 // DefaultConfig returns a configuration that runs the whole study in

@@ -29,51 +29,60 @@ type UsageEpoch struct {
 // client associates, emits its flows through its AP's Click pipeline,
 // and every AP's report crosses the (in-process) telemetry wire into a
 // backend store. The returned store is what the analyses read.
+//
+// Networks fan out across Config.Workers goroutines (see epochpool.go);
+// the result is bit-for-bit identical for every worker count.
 func (s *Study) RunUsageEpoch(f *synth.Fleet) (*UsageEpoch, error) {
-	store := backend.NewStore()
-	catalog := apps.Catalog()
+	return s.RunUsageEpochWorkers(f, s.Config.Workers)
+}
+
+// harvestNetworkUsage simulates one network's usage week and ingests
+// its AP reports into store. Every random draw comes from the network's
+// own stream (split off the study source by network ID), so the result
+// does not depend on which other networks ran before or concurrently.
+// All mutated state — the network's APs, their Click pipelines, and the
+// store — is owned by the caller, making concurrent calls for distinct
+// networks (with distinct partial stores) race-free.
+func (s *Study) harvestNetworkUsage(f *synth.Fleet, n *synth.Network, label string, catalog []apps.AppInfo, store *backend.Store) error {
 	e := f.Params.Epoch
-	label := fmt.Sprintf("usage/%d", e)
-	for _, n := range f.Networks {
-		devs := f.Clients(n)
-		nsrc := s.src.Split(label).SplitN("net", n.ID)
-		for i, dev := range devs {
-			a := n.APs[i%len(n.APs)]
-			csrc := nsrc.SplitN("client", i)
-			dist := csrc.LogNormalMeanMedian(15, 0.45)
-			if _, err := a.Associate(dev, dist, csrc.Split("assoc")); err != nil {
-				return nil, err
-			}
-			a.ObserveClientDHCP(dev, csrc.Split("dhcp"))
-			ua := apps.UserAgentFor(dev.OS)
-			if dev.Ambiguous {
-				ua = ""
-			}
-			flows := dev.WeeklyFlows(e, catalog, csrc.Split("flows"))
-			for fid, fs := range flows {
-				meta := client.BuildMeta(fs, ua)
-				a.Pipe.Push(&click.Packet{
-					Client: dev.MAC, FlowID: uint64(fid), Length: 300, Meta: &meta,
-				})
-				if fs.DownBytes > 0 {
-					a.Pipe.Push(&click.Packet{Client: dev.MAC, FlowID: uint64(fid), Length: int(fs.DownBytes)})
-				}
-				if fs.UpBytes > 0 {
-					a.Pipe.Push(&click.Packet{Client: dev.MAC, FlowID: uint64(fid), Length: int(fs.UpBytes), Upstream: true})
-				}
-			}
+	devs := f.Clients(n)
+	nsrc := s.src.Split(label).SplitN("net", n.ID)
+	for i, dev := range devs {
+		a := n.APs[i%len(n.APs)]
+		csrc := nsrc.SplitN("client", i)
+		dist := csrc.LogNormalMeanMedian(15, 0.45)
+		if _, err := a.Associate(dev, dist, csrc.Split("assoc")); err != nil {
+			return err
 		}
-		// Harvest every AP over the telemetry wire format.
-		for _, a := range n.APs {
-			rep := a.BuildReport(uint64(e)*1e6, nil, nil, nil)
-			decoded, err := telemetry.UnmarshalReport(rep.Marshal())
-			if err != nil {
-				return nil, fmt.Errorf("core: harvest %s: %w", a.Serial, err)
+		a.ObserveClientDHCP(dev, csrc.Split("dhcp"))
+		ua := apps.UserAgentFor(dev.OS)
+		if dev.Ambiguous {
+			ua = ""
+		}
+		flows := dev.WeeklyFlows(e, catalog, csrc.Split("flows"))
+		for fid, fs := range flows {
+			meta := client.BuildMeta(fs, ua)
+			a.Pipe.Push(&click.Packet{
+				Client: dev.MAC, FlowID: uint64(fid), Length: 300, Meta: &meta,
+			})
+			if fs.DownBytes > 0 {
+				a.Pipe.Push(&click.Packet{Client: dev.MAC, FlowID: uint64(fid), Length: int(fs.DownBytes)})
 			}
-			store.Ingest(decoded)
+			if fs.UpBytes > 0 {
+				a.Pipe.Push(&click.Packet{Client: dev.MAC, FlowID: uint64(fid), Length: int(fs.UpBytes), Upstream: true})
+			}
 		}
 	}
-	return &UsageEpoch{Epoch: e, Scale: f.Params.Scale(), Store: store}, nil
+	// Harvest every AP over the telemetry wire format.
+	for _, a := range n.APs {
+		rep := a.BuildReport(uint64(e)*1e6, nil, nil, nil)
+		decoded, err := telemetry.UnmarshalReport(rep.Marshal())
+		if err != nil {
+			return fmt.Errorf("core: harvest %s: %w", a.Serial, err)
+		}
+		store.Ingest(decoded)
+	}
+	return nil
 }
 
 // usageCell is one aggregate row cell set shared by Tables 3, 5 and 6.

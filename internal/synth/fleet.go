@@ -13,6 +13,7 @@ package synth
 
 import (
 	"fmt"
+	"sort"
 
 	"wlanscale/internal/ap"
 	"wlanscale/internal/apps"
@@ -134,7 +135,12 @@ type Network struct {
 
 // Fleet is the generated universe.
 type Fleet struct {
-	Params   Params
+	Params Params
+	// Networks holds the generated networks in canonical order:
+	// ascending ID, with IDs contiguous in [0, NumNetworks). This
+	// ordering is a contract — the parallel usage-epoch pipeline merges
+	// per-network partial results in exactly this order to stay
+	// deterministic — so use NetworkOrder when order matters.
 	Networks []*Network
 
 	root       *rng.Source
@@ -254,6 +260,19 @@ func (f *Fleet) Clients(n *Network) []*client.Device {
 	for i := range out {
 		out[i] = client.NewFromMix(f.Params.Epoch, n.clientSerialBase+uint64(i), src.SplitN("dev", i))
 	}
+	return out
+}
+
+// NetworkOrder returns the networks in canonical network-index order
+// (ascending ID). GenerateFleet already appends networks in this order;
+// the copy re-sorts defensively so that callers who rearrange
+// f.Networks cannot perturb consumers — notably the parallel
+// usage-epoch pipeline, whose seed determinism rests on merging
+// per-network partials in exactly this order.
+func (f *Fleet) NetworkOrder() []*Network {
+	out := make([]*Network, len(f.Networks))
+	copy(out, f.Networks)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

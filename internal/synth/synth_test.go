@@ -336,3 +336,31 @@ func TestAPsByModelSplit(t *testing.T) {
 		}
 	}
 }
+
+// TestNetworkOrderContract pins the ordering contract the parallel
+// usage-epoch pipeline merges by: GenerateFleet produces networks with
+// contiguous ascending IDs, and NetworkOrder returns them in that
+// canonical order even if a caller shuffles f.Networks.
+func TestNetworkOrderContract(t *testing.T) {
+	f, err := GenerateFleet(Params{Seed: 3, NumNetworks: 25, Epoch: epoch.Jan2015, ClientCap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range f.Networks {
+		if n.ID != i {
+			t.Fatalf("Networks[%d].ID = %d, want %d (contiguous ascending)", i, n.ID, i)
+		}
+	}
+	// NetworkOrder must restore canonical order from any permutation.
+	f.Networks[0], f.Networks[24] = f.Networks[24], f.Networks[0]
+	f.Networks[3], f.Networks[17] = f.Networks[17], f.Networks[3]
+	for i, n := range f.NetworkOrder() {
+		if n.ID != i {
+			t.Fatalf("NetworkOrder()[%d].ID = %d, want %d", i, n.ID, i)
+		}
+	}
+	// And it must not mutate the caller's slice.
+	if f.Networks[0].ID != 24 {
+		t.Error("NetworkOrder mutated f.Networks")
+	}
+}
