@@ -1,7 +1,9 @@
 package backend
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"testing"
@@ -134,6 +136,62 @@ func TestConcurrentIngestManySerials(t *testing.T) {
 		if c.Total() != 220 { // two accepted reports x 110 bytes
 			t.Fatalf("client %v total = %d, want 220", c.MAC, c.Total())
 		}
+	}
+}
+
+// TestConcurrentSaveLoadIngest: Save and Load must be safe while
+// ingest workers are running — merakid snapshots (the "save" query
+// command and the shutdown snapshot) while serve goroutines are still
+// calling Ingest. Under -race this pins that Save encodes under the
+// stripe locks and Load never swaps the shard layout out from under
+// concurrent readers.
+func TestConcurrentSaveLoadIngest(t *testing.T) {
+	s := NewStore()
+	for n := 0; n < 32; n++ {
+		s.Ingest(fullReport(n, 1))
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	initial := buf.Bytes()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seq := uint64(2); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for n := 0; n < 32; n++ {
+					s.Ingest(fullReport(w*64+n, seq))
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Save(io.Discard); err != nil {
+			t.Errorf("save: %v", err)
+		}
+		if err := s.Load(bytes.NewReader(initial)); err != nil {
+			t.Errorf("load: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The snapshot taken before the churn must still round-trip cleanly.
+	s2 := NewStore()
+	if err := s2.Load(bytes.NewReader(initial)); err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumClients() != 32 {
+		t.Errorf("restored clients = %d, want 32", s2.NumClients())
 	}
 }
 

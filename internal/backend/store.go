@@ -287,7 +287,6 @@ func (s *Store) Ingest(r *telemetry.Report) {
 		}
 	}
 	ds.mu.Unlock()
-	s.ingests.Add(1)
 
 	for _, c := range r.Clients {
 		cs := s.clientShardFor(c.MAC)
@@ -323,6 +322,13 @@ func (s *Store) Ingest(r *telemetry.Report) {
 		}
 		cs.mu.Unlock()
 	}
+
+	// Counted only once every stripe write has landed, so an observer
+	// that sees the count sees the report's client aggregates too.
+	// Cross-shard reads are still only eventually consistent while
+	// ingests are in flight: a reader can interleave between stripe
+	// updates of a single report.
+	s.ingests.Add(1)
 }
 
 func (c *ClientAggregate) addUA(ua string) {
@@ -620,8 +626,31 @@ type snapshot struct {
 	Crashes   map[string][]telemetry.CrashRecord
 }
 
-// Save writes a gob snapshot.
+// Save writes a gob snapshot. Every stripe lock is held for the
+// duration of the encode: the snapshot references live aggregates and
+// series, so releasing the locks before encoding would let a concurrent
+// Ingest mutate a map mid-encode (merakid snapshots while serve
+// goroutines are still ingesting). Locks are acquired in index order,
+// clients then devices; no other path holds more than one stripe at a
+// time, so the ordering cannot deadlock. Ingest stalls for the encode,
+// which is the price of a consistent snapshot — same contract as the
+// pre-sharding single-mutex store.
 func (s *Store) Save(w io.Writer) error {
+	for _, cs := range s.clientShards {
+		cs.mu.Lock()
+	}
+	for _, ds := range s.deviceShards {
+		ds.mu.Lock()
+	}
+	defer func() {
+		for _, ds := range s.deviceShards {
+			ds.mu.Unlock()
+		}
+		for _, cs := range s.clientShards {
+			cs.mu.Unlock()
+		}
+	}()
+
 	snap := snapshot{
 		Seen:      make(map[string]uint64),
 		Clients:   make(map[dot11.MAC]*ClientAggregate),
@@ -632,14 +661,11 @@ func (s *Store) Save(w io.Writer) error {
 		Crashes:   make(map[string][]telemetry.CrashRecord),
 	}
 	for _, cs := range s.clientShards {
-		cs.mu.Lock()
 		for mac, c := range cs.clients {
 			snap.Clients[mac] = c
 		}
-		cs.mu.Unlock()
 	}
 	for _, ds := range s.deviceShards {
-		ds.mu.Lock()
 		for k, v := range ds.seen {
 			snap.Seen[k] = v
 		}
@@ -658,21 +684,39 @@ func (s *Store) Save(w io.Writer) error {
 		for k, v := range ds.crashes {
 			snap.Crashes[k] = v
 		}
-		ds.mu.Unlock()
 	}
 	return gob.NewEncoder(w).Encode(snap)
 }
 
-// Load replaces the store contents from a gob snapshot.
+// Load replaces the store contents from a gob snapshot. The shard
+// layout is never swapped out — the slice headers and mask are
+// effectively immutable after NewStoreShards, which is what lets every
+// other method read them without synchronization — so Load instead
+// resets each existing stripe and folds the decoded entries in under
+// the stripe locks. That makes Load race-free against concurrent Ingest
+// and readers, but not atomic: an overlapping reader can observe a mix
+// of old and new entries while the load is in flight. Callers wanting a
+// consistent view should load before serving (merakid does).
 func (s *Store) Load(r io.Reader) error {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("backend: load: %w", err)
 	}
-	fresh := NewStoreShards(len(s.clientShards))
-	s.clientShards = fresh.clientShards
-	s.deviceShards = fresh.deviceShards
-	s.mask = fresh.mask
+	for _, cs := range s.clientShards {
+		cs.mu.Lock()
+		cs.clients = make(map[dot11.MAC]*ClientAggregate)
+		cs.mu.Unlock()
+	}
+	for _, ds := range s.deviceShards {
+		ds.mu.Lock()
+		ds.seen = make(map[string]uint64)
+		ds.radio = make(map[string][]RadioSample)
+		ds.scans = make(map[string][]ScanPoint)
+		ds.neighbors = make(map[string]map[dot11.BSSID]NeighborEntry)
+		ds.crashes = make(map[string][]telemetry.CrashRecord)
+		ds.links = make(map[LinkKey]*LinkSeries)
+		ds.mu.Unlock()
+	}
 	s.ingests.Store(0)
 	s.dupes.Store(0)
 	for mac, c := range snap.Clients {
@@ -683,25 +727,33 @@ func (s *Store) Load(r io.Reader) error {
 			c.APs = make(map[string]bool)
 		}
 		cs := s.clientShardFor(mac)
+		cs.mu.Lock()
 		cs.clients[mac] = c
+		cs.mu.Unlock()
+	}
+	withDeviceShard := func(serial string, fill func(*deviceShard)) {
+		ds := s.deviceShardFor(serial)
+		ds.mu.Lock()
+		fill(ds)
+		ds.mu.Unlock()
 	}
 	for serial, seq := range snap.Seen {
-		s.deviceShardFor(serial).seen[serial] = seq
+		withDeviceShard(serial, func(ds *deviceShard) { ds.seen[serial] = seq })
 	}
 	for k, v := range snap.Links {
-		s.deviceShardFor(k.From).links[k] = v
+		withDeviceShard(k.From, func(ds *deviceShard) { ds.links[k] = v })
 	}
 	for serial, v := range snap.Radio {
-		s.deviceShardFor(serial).radio[serial] = v
+		withDeviceShard(serial, func(ds *deviceShard) { ds.radio[serial] = v })
 	}
 	for serial, v := range snap.Scans {
-		s.deviceShardFor(serial).scans[serial] = v
+		withDeviceShard(serial, func(ds *deviceShard) { ds.scans[serial] = v })
 	}
 	for serial, v := range snap.Neighbors {
-		s.deviceShardFor(serial).neighbors[serial] = v
+		withDeviceShard(serial, func(ds *deviceShard) { ds.neighbors[serial] = v })
 	}
 	for serial, v := range snap.Crashes {
-		s.deviceShardFor(serial).crashes[serial] = v
+		withDeviceShard(serial, func(ds *deviceShard) { ds.crashes[serial] = v })
 	}
 	return nil
 }

@@ -43,12 +43,22 @@ func (s *Study) RunUsageEpochWorkers(f *synth.Fleet, workers int) (*UsageEpoch, 
 	partials := make([]*backend.Store, len(nets))
 	errs := make([]error, len(nets))
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				// Once any network has failed the epoch cannot succeed,
+				// so stop pulling new networks instead of simulating the
+				// rest of the fleet just to discard it. In-flight
+				// networks still finish; which additional errors get
+				// recorded depends on scheduling, but the run is failing
+				// either way and success output is unaffected.
+				if failed.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(nets) {
 					return
@@ -59,7 +69,8 @@ func (s *Study) RunUsageEpochWorkers(f *synth.Fleet, workers int) (*UsageEpoch, 
 				part := backend.NewStoreShards(1)
 				if err := s.harvestNetworkUsage(f, nets[i], label, catalog, part); err != nil {
 					errs[i] = err
-					continue
+					failed.Store(true)
+					return
 				}
 				partials[i] = part
 			}
@@ -67,9 +78,9 @@ func (s *Study) RunUsageEpochWorkers(f *synth.Fleet, workers int) (*UsageEpoch, 
 	}
 	wg.Wait()
 
-	// Deterministic merge: fold partials in network-index order. Errors
-	// surface in the same order, so the reported failure is the lowest
-	// failing network regardless of scheduling.
+	// Deterministic merge: fold partials in network-index order. The
+	// error scan runs in the same order, so the lowest-index recorded
+	// failure is the one reported.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
