@@ -4,7 +4,7 @@
 # stay green across the whole module, not just `test`. CI
 # (.github/workflows/ci.yml) runs build + vet + test + race.
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench docs verify
 
 build:
 	go build ./...
@@ -21,4 +21,9 @@ race:
 bench:
 	go test -bench=. -benchmem ./...
 
-verify: build vet test race
+# docs fails if any package under internal/ or cmd/ is missing a
+# package comment (or carries a duplicated one).
+docs:
+	go vet ./... && go run ./scripts/checkdocs
+
+verify: build vet test race docs

@@ -20,6 +20,7 @@ import (
 	"wlanscale/internal/dot11"
 	"wlanscale/internal/epoch"
 	"wlanscale/internal/meshprobe"
+	"wlanscale/internal/obs"
 	"wlanscale/internal/rf"
 	"wlanscale/internal/rng"
 	"wlanscale/internal/stats"
@@ -278,10 +279,15 @@ func BenchmarkFigure11_Spectrum(b *testing.B) {
 // curve; equivalence of outputs across worker counts is pinned by
 // TestRunUsageEpochWorkerEquivalence. Each iteration needs a fresh
 // study (AP pipelines accumulate state), so setup runs off the clock.
+//
+// The obs=off/obs=on pair is the observability overhead guard: off runs
+// with the nil (no-op) registry, on with a live obs.Registry attached.
+// EXPERIMENTS.md records the measured delta; the budget is <2%.
 func BenchmarkRunUsageEpoch(b *testing.B) {
-	cfg := core.DefaultConfig()
-	cfg.Seed = 2026
-	run := func(b *testing.B, workers int) {
+	run := func(b *testing.B, workers int, reg *obs.Registry) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = 2026
+		cfg.Obs = reg
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			study, err := core.NewStudy(cfg)
@@ -294,8 +300,10 @@ func BenchmarkRunUsageEpoch(b *testing.B) {
 			}
 		}
 	}
-	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
-	b.Run("workers=max", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0)) })
+	b.Run("workers=1", func(b *testing.B) { run(b, 1, nil) })
+	b.Run("workers=max", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0), nil) })
+	b.Run("workers=max/obs=off", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0), nil) })
+	b.Run("workers=max/obs=on", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0), obs.NewRegistry()) })
 }
 
 // BenchmarkStoreIngest contrasts the lock-striped store with a

@@ -4,11 +4,16 @@
 // line-based queries on -query (see cmd/apstat). The store can be
 // snapshotted to disk with -snapshot on shutdown (SIGINT) or via the
 // "save" query. Queries: status, clients, top-apps N, util, crashes,
-// anomalies, save PATH, quit. The status response includes the harvest
-// health counters (reconnects, MAC failures, corrupt frames, timeouts,
-// device queue drops, dedup hits); all tunnel I/O runs under the
-// -timeout deadline so a stalled or silent peer can never pin a
-// goroutine.
+// anomalies, metrics, save PATH, quit; an unrecognized command gets an
+// "ERR unknown command" line back (every error line starts with "ERR").
+// The status response includes the harvest health counters (reconnects,
+// MAC failures, corrupt frames, timeouts, device queue drops, dedup
+// hits), and "metrics" dumps the full observability registry — harvest,
+// poll-pool, and store counters — in one round trip. With -debug ADDR
+// the same registry is served as expvar-style JSON at /debug/vars next
+// to the net/http/pprof handlers (see the README operator guide). All
+// tunnel I/O runs under the -timeout deadline so a stalled or silent
+// peer can never pin a goroutine.
 package main
 
 import (
@@ -18,6 +23,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -28,6 +35,7 @@ import (
 
 	"wlanscale/internal/anomaly"
 	"wlanscale/internal/backend"
+	"wlanscale/internal/obs"
 	"wlanscale/internal/telemetry"
 )
 
@@ -39,19 +47,26 @@ func main() {
 	batch := flag.Int("batch", 64, "max reports per poll")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-frame tunnel I/O deadline (handshake and polls)")
 	snapshot := flag.String("snapshot", "", "snapshot file written on shutdown")
+	debug := flag.String("debug", "", "debug HTTP listen address serving /debug/vars and /debug/pprof (empty = off)")
 	flag.Parse()
 
 	key, err := parseKey(*keyHex)
 	if err != nil {
 		log.Fatalf("merakid: %v", err)
 	}
-	d := &daemon{
-		store:     backend.NewStore(),
-		key:       key,
-		pollEvery: *pollEvery,
-		batch:     *batch,
-		timeout:   *timeout,
-		health:    &telemetry.HarvestHealth{},
+	d := newDaemon(key, *pollEvery, *batch, *timeout)
+
+	if *debug != "" {
+		dbgLn, err := net.Listen("tcp", *debug)
+		if err != nil {
+			log.Fatalf("merakid: debug listen: %v", err)
+		}
+		log.Printf("merakid: debug HTTP on http://%s/debug/vars (pprof at /debug/pprof/)", dbgLn.Addr())
+		go func() {
+			if err := http.Serve(dbgLn, debugMux(d.obs)); err != nil {
+				log.Printf("merakid: debug server: %v", err)
+			}
+		}()
 	}
 
 	devLn, err := net.Listen("tcp", *listen)
@@ -100,9 +115,65 @@ type daemon struct {
 	timeout   time.Duration
 	health    *telemetry.HarvestHealth
 
+	// obs is the daemon's metrics registry: harvest.* (health counters
+	// and poll-loop counts), pool.* (connected-device pool), and
+	// store.* (ingest totals, per-stripe routing, snapshot timing).
+	obs         *obs.Registry
+	harvest     telemetry.HarvestMetrics
+	disconnects *obs.Counter
+
 	mu       sync.Mutex
 	devices  map[string]bool
 	seenEver map[string]bool
+}
+
+// newDaemon wires a daemon and its observability registry together:
+// the store's counters, the harvest health block, the poll-loop
+// counters, and the device-pool gauges all publish into one registry,
+// which the "metrics" query and the -debug listener serve.
+func newDaemon(key []byte, pollEvery time.Duration, batch int, timeout time.Duration) *daemon {
+	d := &daemon{
+		store:     backend.NewStore(),
+		key:       key,
+		pollEvery: pollEvery,
+		batch:     batch,
+		timeout:   timeout,
+		health:    &telemetry.HarvestHealth{},
+		obs:       obs.NewRegistry(),
+	}
+	d.store.EnableObs(d.obs)
+	telemetry.RegisterHealth(d.obs, d.health)
+	d.harvest = telemetry.NewHarvestMetrics(d.obs)
+	d.disconnects = d.obs.Counter("pool.disconnects")
+	d.obs.RegisterFunc("pool.devices", func() int64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return int64(len(d.devices))
+	})
+	d.obs.RegisterFunc("pool.devices_ever", func() int64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return int64(len(d.seenEver))
+	})
+	return d
+}
+
+// debugMux builds the -debug HTTP handler: the metrics registry as one
+// expvar-style JSON object at /debug/vars, and the standard pprof
+// handlers at /debug/pprof/ (profile, heap, goroutine, trace, ...) for
+// profiling a busy harvest without restarting the daemon.
+func debugMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func (d *daemon) acceptDevices(ln net.Listener) {
@@ -126,6 +197,7 @@ func (d *daemon) serveDevice(conn net.Conn) {
 	}
 	defer p.Close()
 	p.Health = d.health
+	p.Metrics = d.harvest
 	d.mu.Lock()
 	if d.devices == nil {
 		d.devices = make(map[string]bool)
@@ -142,6 +214,7 @@ func (d *daemon) serveDevice(conn net.Conn) {
 		d.mu.Lock()
 		delete(d.devices, p.Serial)
 		d.mu.Unlock()
+		d.disconnects.Inc()
 		log.Printf("merakid: device %s disconnected", p.Serial)
 	}()
 	ticker := time.NewTicker(d.pollEvery)
@@ -169,7 +242,10 @@ func (d *daemon) acceptQueries(ln net.Listener) {
 
 // serveQuery speaks a line protocol: one command per line, response
 // terminated by a blank line. Commands: status, clients, top-apps N,
-// util, save PATH, quit.
+// util, crashes, anomalies, metrics, save PATH, quit. Error responses
+// are single lines prefixed "ERR"; in particular an unknown command
+// answers "ERR unknown command" instead of closing silently, so a
+// client typo gets a diagnosis rather than a dead socket.
 func (d *daemon) serveQuery(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
@@ -222,11 +298,13 @@ func (d *daemon) serveQuery(conn net.Conn) {
 			for _, o := range det.NeighborOutliers(8) {
 				fmt.Fprintf(w, "neighbor-outlier %s count=%d sigma=%.0f\n", o.Serial, o.Count, o.Sigma)
 			}
+		case "metrics":
+			d.obs.WriteText(w)
 		case "save":
 			if len(fields) < 2 {
-				fmt.Fprintln(w, "error: save needs a path")
+				fmt.Fprintln(w, "ERR save needs a path")
 			} else if err := d.store.SaveFile(fields[1]); err != nil {
-				fmt.Fprintf(w, "error: %v\n", err)
+				fmt.Fprintf(w, "ERR %v\n", err)
 			} else {
 				fmt.Fprintln(w, "saved")
 			}
@@ -234,7 +312,7 @@ func (d *daemon) serveQuery(conn net.Conn) {
 			w.Flush()
 			return
 		default:
-			fmt.Fprintf(w, "error: unknown command %q\n", fields[0])
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
 		}
 		fmt.Fprintln(w)
 		w.Flush()

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/telemetry"
+)
+
+// startQueryServer runs a daemon's query listener on an ephemeral port
+// and returns its address.
+func startQueryServer(t *testing.T) (*daemon, string) {
+	t.Helper()
+	d := newDaemon(nil, time.Second, 64, time.Second)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go d.acceptQueries(ln)
+	return d, ln.Addr().String()
+}
+
+// query sends one command and returns the response lines up to the
+// blank terminator.
+func query(t *testing.T, addr, command string) []string {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintf(conn, "%s\nquit\n", command); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		if sc.Text() == "" {
+			break
+		}
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestQueryUnknownCommand pins the error contract: an unrecognized
+// command must answer with an "ERR unknown command" line — not a
+// silent close — and the connection must stay usable afterwards.
+func TestQueryUnknownCommand(t *testing.T) {
+	_, addr := startQueryServer(t)
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintf(conn, "bogus-command\nclients\nquit\n"); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatalf("connection closed without a response: %v", sc.Err())
+	}
+	if got := sc.Text(); !strings.HasPrefix(got, `ERR unknown command "bogus-command"`) {
+		t.Fatalf("unknown command answered %q, want ERR unknown command line", got)
+	}
+	if !sc.Scan() || sc.Text() != "" {
+		t.Fatalf("missing blank terminator after ERR line")
+	}
+	// The session survives the error: the next command still answers.
+	if !sc.Scan() {
+		t.Fatalf("connection dead after ERR: %v", sc.Err())
+	}
+	if got := sc.Text(); got != "0" {
+		t.Fatalf("clients after ERR = %q, want \"0\"", got)
+	}
+}
+
+// TestQueryMetrics checks that one "metrics" round trip returns
+// harvest, pool, and store counters together.
+func TestQueryMetrics(t *testing.T) {
+	d, addr := startQueryServer(t)
+	// Give the store something to count.
+	d.store.Ingest(&telemetry.Report{
+		Serial: "Q2AA-TEST", SeqNo: 1,
+		Clients: []telemetry.ClientRecord{{MAC: dot11.MAC{0xac, 1, 2, 3, 4, 5}, Band: dot11.Band5}},
+	})
+	lines := query(t, addr, "metrics")
+	byName := make(map[string]string)
+	for _, l := range lines {
+		name, rest, ok := strings.Cut(l, " ")
+		if !ok {
+			t.Fatalf("unparseable metrics line %q", l)
+		}
+		byName[name] = rest
+	}
+	for _, want := range []string{
+		"harvest.polls", "harvest.reconnects", "harvest.timeouts",
+		"pool.devices", "pool.disconnects",
+		"store.ingests", "store.clients", "store.save_us",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("metrics response missing %q", want)
+		}
+	}
+	if byName["store.ingests"] != "1" {
+		t.Errorf("store.ingests = %q, want 1", byName["store.ingests"])
+	}
+	if byName["store.clients"] != "1" {
+		t.Errorf("store.clients = %q, want 1", byName["store.clients"])
+	}
+}
+
+// TestDebugMux drives the -debug HTTP surface: /debug/vars must serve
+// the registry as valid JSON and the pprof index must answer.
+func TestDebugMux(t *testing.T) {
+	d := newDaemon(nil, time.Second, 64, time.Second)
+	srv := httptest.NewServer(debugMux(d.obs))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/debug/vars content type %q", ct)
+	}
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["store.ingests"]; !ok {
+		t.Fatalf("/debug/vars missing store.ingests; keys: %d", len(vars))
+	}
+
+	pp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pp.Body.Close()
+	if pp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/ status %d", pp.StatusCode)
+	}
+}

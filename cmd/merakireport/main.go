@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	merakireport [-seed N] [-scale small|medium|full] [-only exp1,exp2]
+//	merakireport [-seed N] [-scale small|medium|full] [-only exp1,exp2] [-timings]
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 // fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+//
+// -timings prints an end-of-run summary to stderr: wall-clock per
+// simulation/render stage plus the epoch pipeline's metrics. Timing is
+// observe-only, so the rendered tables are bit-identical with and
+// without it.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"wlanscale/internal/dot11"
 	"wlanscale/internal/epoch"
 	"wlanscale/internal/meshprobe"
+	"wlanscale/internal/obs"
 )
 
 func main() {
@@ -29,9 +35,15 @@ func main() {
 	scale := flag.String("scale", "small", "simulation scale: small, medium, or full")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel usage-epoch workers; results are identical for any value")
+	timings := flag.Bool("timings", false, "print an end-of-run stage-timing summary to stderr")
 	flag.Parse()
 
+	var timer *obs.Timer
 	cfg := core.DefaultConfig()
+	if *timings {
+		timer = obs.NewTimer()
+		cfg.Obs = obs.NewRegistry()
+	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	switch *scale {
@@ -65,18 +77,33 @@ func main() {
 		return false
 	}
 
-	if err := run(cfg, want); err != nil {
+	if err := run(cfg, want, timer); err != nil {
 		fmt.Fprintf(os.Stderr, "merakireport: %v\n", err)
 		os.Exit(1)
 	}
+	if s := timer.Summary(); s != "" {
+		fmt.Fprintf(os.Stderr, "\nstage timings:\n%s", s)
+	}
+	if cfg.Obs != nil {
+		fmt.Fprintln(os.Stderr, "\npipeline metrics:")
+		cfg.Obs.WriteText(os.Stderr)
+	}
 }
 
-func run(cfg core.Config, want func(string) bool) error {
+func run(cfg core.Config, want func(string) bool, timer *obs.Timer) error {
+	sp := timer.Start("build-fleets")
 	study, err := core.NewStudy(cfg)
+	sp.End()
 	if err != nil {
 		return err
 	}
 	section := func(s string) { fmt.Printf("\n%s\n%s\n", s, strings.Repeat("=", len(s))) }
+	// timed runs one experiment's simulate+render under a timer stage.
+	timed := func(stage string, f func() error) error {
+		sp := timer.Start(stage)
+		defer sp.End()
+		return f()
+	}
 
 	if want("table1") {
 		section("Table 1")
@@ -91,10 +118,14 @@ func run(cfg core.Config, want func(string) bool) error {
 	var now, before *core.UsageEpoch
 	if needUsage {
 		fmt.Fprintln(os.Stderr, "simulating usage weeks (two epochs)...")
-		if now, err = study.RunUsageEpoch(study.Fleet15); err != nil {
+		err := timed("simulate-usage", func() error {
+			if now, err = study.RunUsageEpoch(study.Fleet15); err != nil {
+				return err
+			}
+			before, err = study.RunUsageEpoch(study.Fleet14)
 			return err
-		}
-		if before, err = study.RunUsageEpoch(study.Fleet14); err != nil {
+		})
+		if err != nil {
 			return err
 		}
 	}
@@ -121,11 +152,15 @@ func run(cfg core.Config, want func(string) bool) error {
 
 	if want("table7") || want("fig2") {
 		fmt.Fprintln(os.Stderr, "scanning AP environments (two epochs)...")
-		scanNow, err := study.RunNeighborScan(epoch.Jan2015)
-		if err != nil {
+		var scanNow, scanBefore *core.NeighborScan
+		err := timed("simulate-scans", func() error {
+			var err error
+			if scanNow, err = study.RunNeighborScan(epoch.Jan2015); err != nil {
+				return err
+			}
+			scanBefore, err = study.RunNeighborScan(epoch.Jul2014)
 			return err
-		}
-		scanBefore, err := study.RunNeighborScan(epoch.Jul2014)
+		})
 		if err != nil {
 			return err
 		}
@@ -142,65 +177,110 @@ func run(cfg core.Config, want func(string) bool) error {
 
 	if want("fig3") {
 		fmt.Fprintln(os.Stderr, "measuring link deliveries (two epochs)...")
-		section("Figure 3")
-		fmt.Print(study.RunFigure3().Render())
+		if err := timed("links-fig3", func() error {
+			section("Figure 3")
+			fmt.Print(study.RunFigure3().Render())
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if want("fig4") {
-		section("Figure 4")
-		fmt.Print(study.RunLinkSeries(dot11.Band24).Render())
+		if err := timed("links-fig4", func() error {
+			section("Figure 4")
+			fmt.Print(study.RunLinkSeries(dot11.Band24).Render())
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if want("fig5") {
-		section("Figure 5")
-		fmt.Print(study.RunLinkSeries(dot11.Band5).Render())
+		if err := timed("links-fig5", func() error {
+			section("Figure 5")
+			fmt.Print(study.RunLinkSeries(dot11.Band5).Render())
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if want("fig6") {
 		fmt.Fprintln(os.Stderr, "measuring MR16 utilization...")
-		r, err := study.RunFigure6()
-		if err != nil {
+		if err := timed("util-fig6", func() error {
+			r, err := study.RunFigure6()
+			if err != nil {
+				return err
+			}
+			section("Figure 6")
+			fmt.Print(r.Render())
+			return nil
+		}); err != nil {
 			return err
 		}
-		section("Figure 6")
-		fmt.Print(r.Render())
 	}
 	if want("fig7") {
-		r, err := study.RunScatter(dot11.Band24)
-		if err != nil {
+		if err := timed("util-fig7", func() error {
+			r, err := study.RunScatter(dot11.Band24)
+			if err != nil {
+				return err
+			}
+			section("Figure 7")
+			fmt.Print(r.Render())
+			return nil
+		}); err != nil {
 			return err
 		}
-		section("Figure 7")
-		fmt.Print(r.Render())
 	}
 	if want("fig8") {
-		r, err := study.RunScatter(dot11.Band5)
-		if err != nil {
+		if err := timed("util-fig8", func() error {
+			r, err := study.RunScatter(dot11.Band5)
+			if err != nil {
+				return err
+			}
+			section("Figure 8")
+			fmt.Print(r.Render())
+			return nil
+		}); err != nil {
 			return err
 		}
-		section("Figure 8")
-		fmt.Print(r.Render())
 	}
 	if want("fig9") {
-		r, err := study.RunFigure9()
-		if err != nil {
+		if err := timed("util-fig9", func() error {
+			r, err := study.RunFigure9()
+			if err != nil {
+				return err
+			}
+			section("Figure 9")
+			fmt.Print(r.Render())
+			return nil
+		}); err != nil {
 			return err
 		}
-		section("Figure 9")
-		fmt.Print(r.Render())
 	}
 	if want("fig10") {
-		r, err := study.RunFigure10()
-		if err != nil {
+		if err := timed("util-fig10", func() error {
+			r, err := study.RunFigure10()
+			if err != nil {
+				return err
+			}
+			section("Figure 10")
+			fmt.Print(r.Render())
+			return nil
+		}); err != nil {
 			return err
 		}
-		section("Figure 10")
-		fmt.Print(r.Render())
 	}
 	if want("fig11") {
-		r, err := study.RunFigure11(4)
-		if err != nil {
+		if err := timed("spectrum-fig11", func() error {
+			r, err := study.RunFigure11(4)
+			if err != nil {
+				return err
+			}
+			section("Figure 11")
+			fmt.Print(r.Render())
+			return nil
+		}); err != nil {
 			return err
 		}
-		section("Figure 11")
-		fmt.Print(r.Render())
 	}
 	return nil
 }

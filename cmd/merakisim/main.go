@@ -10,12 +10,16 @@
 // answer polls — the full wire path of paper Section 2.
 //
 //	merakisim -serve 127.0.0.1:7771 -aps 20 -duration 30s
+//
+// Either mode accepts -timings, which prints an end-of-run stage
+// summary (and, offline, the epoch pipeline's metrics) to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -23,6 +27,7 @@ import (
 
 	"wlanscale/internal/core"
 	"wlanscale/internal/epoch"
+	"wlanscale/internal/obs"
 	"wlanscale/internal/rng"
 	"wlanscale/internal/synth"
 	"wlanscale/internal/telemetry"
@@ -39,46 +44,68 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "how long live agents run")
 	every := flag.Duration("every", 2*time.Second, "report period per live agent")
 	keyHex := flag.String("key", strings.Repeat("42", 32), "64-hex-char pre-shared tunnel key")
+	timings := flag.Bool("timings", false, "print an end-of-run stage-timing summary to stderr")
 	flag.Parse()
 
+	// A nil timer (and nil registry) is the no-op path: without
+	// -timings the run is not instrumented at all.
+	var timer *obs.Timer
+	if *timings {
+		timer = obs.NewTimer()
+	}
 	if *serve != "" {
-		if err := runAgents(*serve, *aps, *seed, *duration, *every, *keyHex); err != nil {
+		if err := runAgents(*serve, *aps, *seed, *duration, *every, *keyHex, timer); err != nil {
 			log.Fatalf("merakisim: %v", err)
 		}
-		return
-	}
-	if err := runOffline(*seed, *networks, *clientCap, *workers, *out); err != nil {
+	} else if err := runOffline(*seed, *networks, *clientCap, *workers, *out, timer); err != nil {
 		log.Fatalf("merakisim: %v", err)
+	}
+	if s := timer.Summary(); s != "" {
+		fmt.Fprintf(os.Stderr, "\nstage timings:\n%s", s)
 	}
 }
 
-func runOffline(seed uint64, networks, clientCap, workers int, out string) error {
+func runOffline(seed uint64, networks, clientCap, workers int, out string, timer *obs.Timer) error {
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
 	cfg.UsageNetworks = networks
 	cfg.ClientCap = clientCap
 	cfg.Workers = workers
+	if timer != nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	sp := timer.Start("build-fleets")
 	study, err := core.NewStudy(cfg)
+	sp.End()
 	if err != nil {
 		return err
 	}
 	log.Printf("merakisim: simulating %d networks (Jan 2015 week) on %d workers...", networks, workers)
+	sp = timer.Start("usage-epoch")
 	u, err := study.RunUsageEpoch(study.Fleet15)
+	sp.End()
 	if err != nil {
 		return err
 	}
 	ing, _ := u.Store.Stats()
 	log.Printf("merakisim: %d reports ingested, %d clients aggregated", ing, u.Store.NumClients())
-	if err := u.Store.SaveFile(out); err != nil {
+	sp = timer.Start("snapshot")
+	err = u.Store.SaveFile(out)
+	sp.End()
+	if err != nil {
 		return err
 	}
 	log.Printf("merakisim: snapshot written to %s", out)
+	if cfg.Obs != nil {
+		fmt.Fprintln(os.Stderr, "\npipeline metrics:")
+		cfg.Obs.WriteText(os.Stderr)
+	}
 	return nil
 }
 
 // runAgents spins up live AP agents that measure their simulated
 // environments and stream reports to a merakid over encrypted tunnels.
-func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration, keyHex string) error {
+func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration, keyHex string, timer *obs.Timer) error {
 	if len(keyHex) != 64 {
 		return fmt.Errorf("key must be 64 hex chars")
 	}
@@ -87,9 +114,11 @@ func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration
 		return fmt.Errorf("bad key: %v", err)
 	}
 
+	sp := timer.Start("build-fleet")
 	fleet, err := synth.GenerateFleet(synth.Params{
 		Seed: seed, NumNetworks: (nAPs + 2) / 3, Epoch: epoch.Jan2015, ClientCap: 50,
 	})
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -154,9 +183,11 @@ func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration
 			}
 		}(idx, la)
 	}
+	sp = timer.Start("live-agents")
 	time.Sleep(duration)
 	close(stop)
 	wg.Wait()
+	sp.End()
 	var queued, dropped int
 	for _, la := range live {
 		queued += la.agent.QueueLen()

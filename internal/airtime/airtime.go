@@ -1,17 +1,3 @@
-// Package airtime models per-channel medium occupancy as seen by one
-// listener: which transmitters near an access point hold the channel
-// busy, for what fraction of a measurement window, and whether the busy
-// time carries decodable 802.11 preambles. It is the substrate behind
-// the paper's channel-utilization results (Figures 6 through 10).
-//
-// The model is statistical rather than per-packet: each source has a
-// duty-cycle process (window-to-window AR(1) variation around a
-// heavy-tailed mean, with optional diurnal modulation), and a window's
-// busy fraction is the probabilistic union of the in-range sources'
-// contributions. This reproduces the two key phenomena the paper
-// reports: utilization is driven by a few heavy sources rather than by
-// the neighbor count (Figures 7/8 show no correlation), and most busy
-// time is decodable 802.11 (Figure 10).
 package airtime
 
 import (

@@ -1,9 +1,3 @@
-// Package anomaly implements the operational-telemetry machinery of
-// paper Section 6: crash reports carrying firmware and program-counter
-// state (Section 6.1's out-of-memory reboots), a neighbor-table memory
-// model that reproduces the skyscraper/bus failure mode, detection of
-// those outliers in the backend, and the Section 6.2 usage-spike
-// detector for fleet-wide software-update surges.
 package anomaly
 
 import (

@@ -1,0 +1,14 @@
+// Package anomaly implements the operational-telemetry machinery of
+// paper Section 6: crash reports carrying firmware and program-counter
+// state (Section 6.1's out-of-memory reboots), a neighbor-table memory
+// model that reproduces the skyscraper/bus failure mode, detection of
+// those outliers in the backend, and the Section 6.2 usage-spike
+// detector for fleet-wide software-update surges.
+//
+// The AP side is NeighborTable (bounded memory that fills — and
+// eventually OOMs — as beacons from dense environments accumulate) and
+// CrashReport, the record an AP uploads after a watchdog reboot. The
+// backend side is Detector, which clusters crash reports by firmware
+// and program counter to surface Outliers, and SpikeDetector, which
+// flags fleet-wide upload surges against a trailing baseline.
+package anomaly

@@ -26,6 +26,7 @@ import (
 
 	"wlanscale/internal/apps"
 	"wlanscale/internal/dot11"
+	"wlanscale/internal/obs"
 	"wlanscale/internal/telemetry"
 )
 
@@ -144,6 +145,12 @@ type clientShard struct {
 // device's shard, so dedup and series appends for one serial are
 // serialized by one lock.
 type deviceShard struct {
+	// ingests counts reports Ingest routed to this stripe (accepted,
+	// not deduplicated) — the per-stripe load signal EnableObs exports.
+	// Merge is not attributed per stripe, so after merges the stripe
+	// sum can trail the store total. Atomic, so readers never touch
+	// the stripe lock.
+	ingests   atomic.Int64
 	mu        sync.Mutex
 	seen      map[string]uint64 // highest seq per serial
 	radio     map[string][]RadioSample
@@ -162,6 +169,10 @@ type Store struct {
 
 	ingests atomic.Int64
 	dupes   atomic.Int64
+
+	// saveDur, when EnableObs attached a registry, times gob snapshot
+	// encodes. Nil (no-op) otherwise.
+	saveDur *obs.Histogram
 }
 
 // serialSeed fixes the serial hash across stores so sharding is
@@ -328,7 +339,32 @@ func (s *Store) Ingest(r *telemetry.Report) {
 	// Cross-shard reads are still only eventually consistent while
 	// ingests are in flight: a reader can interleave between stripe
 	// updates of a single report.
+	ds.ingests.Add(1)
 	s.ingests.Add(1)
+}
+
+// EnableObs folds the store's counters into reg: "store.ingests",
+// "store.dupes", "store.clients", and "store.shards" as func gauges,
+// one "store.stripe.NN.ingests" gauge per device stripe (the load-skew
+// signal — a hot stripe means serials are hashing together), and a
+// "store.save_us" histogram timing snapshot encodes. Like everything in
+// obs, these are observe-only; calling EnableObs changes no stored
+// data. Call before serving (merakid does) — attaching the save
+// histogram is not synchronized with a concurrent Save.
+func (s *Store) EnableObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterFunc("store.ingests", func() int64 { return s.ingests.Load() })
+	reg.RegisterFunc("store.dupes", func() int64 { return s.dupes.Load() })
+	reg.RegisterFunc("store.clients", func() int64 { return int64(s.NumClients()) })
+	reg.RegisterFunc("store.shards", func() int64 { return int64(s.NumShards()) })
+	for i := range s.deviceShards {
+		ds := s.deviceShards[i]
+		reg.RegisterFunc(fmt.Sprintf("store.stripe.%02d.ingests", i),
+			func() int64 { return ds.ingests.Load() })
+	}
+	s.saveDur = reg.Histogram("store.save_us", obs.DurationBuckets)
 }
 
 func (c *ClientAggregate) addUA(ua string) {
@@ -636,6 +672,8 @@ type snapshot struct {
 // which is the price of a consistent snapshot — same contract as the
 // pre-sharding single-mutex store.
 func (s *Store) Save(w io.Writer) error {
+	sp := obs.StartSpan(s.saveDur)
+	defer sp.End()
 	for _, cs := range s.clientShards {
 		cs.mu.Lock()
 	}
@@ -715,6 +753,7 @@ func (s *Store) Load(r io.Reader) error {
 		ds.neighbors = make(map[string]map[dot11.BSSID]NeighborEntry)
 		ds.crashes = make(map[string][]telemetry.CrashRecord)
 		ds.links = make(map[LinkKey]*LinkSeries)
+		ds.ingests.Store(0)
 		ds.mu.Unlock()
 	}
 	s.ingests.Store(0)

@@ -1,10 +1,3 @@
-// Package chanplan implements the paper's second practical implication:
-// "channel planning using a utilization measure to identify the best
-// wireless channel". It provides two selection policies — the naive
-// count-based policy (fewest detected APs) and the utilization-based
-// policy the paper's Figures 7/8 argue for — plus a fleet-level planner
-// that assigns channels to the APs of one network while avoiding
-// co-channel overlap between peers.
 package chanplan
 
 import (

@@ -1,0 +1,15 @@
+// Package chanplan implements the paper's second practical implication:
+// "channel planning using a utilization measure to identify the best
+// wireless channel". It provides two selection policies — the naive
+// count-based policy (fewest detected APs) and the utilization-based
+// policy the paper's Figures 7/8 argue for — plus a fleet-level planner
+// that assigns channels to the APs of one network while avoiding
+// co-channel overlap between peers.
+//
+// A Survey carries what one AP knows about its candidate channels
+// (detected-AP counts and measured utilization); Policy selects
+// between ByCount and ByUtilization ranking. Evaluate scores a
+// set of Assignments against the true airtime.Neighborhoods so tests
+// can show the utilization policy beating the count policy — the
+// paper's argument, made runnable.
+package chanplan

@@ -16,11 +16,45 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wlanscale/internal/apps"
 	"wlanscale/internal/backend"
+	"wlanscale/internal/obs"
 	"wlanscale/internal/synth"
 )
+
+// poolMetrics is the epoch pool's observability hookup. All fields are
+// nil (no-op) without a registry, and `live` gates the explicit clock
+// reads so an un-instrumented run never calls time.Now. Metrics are
+// observe-only — nothing here feeds back into the simulation, which is
+// why instrumented and plain runs stay bit-identical (the determinism
+// contract, pinned by TestRunUsageEpochObsInvariance).
+type poolMetrics struct {
+	live      bool
+	runs      *obs.Counter   // epochs completed
+	networks  *obs.Counter   // networks simulated, all workers
+	perWorker []*obs.Counter // networks simulated by each worker
+	netSim    *obs.Histogram // per-network simulate+harvest time, µs
+	queueWait *obs.Histogram // per-claim wait between networks, µs
+	mergeDur  *obs.Histogram // full partial-fold time, µs
+}
+
+func newPoolMetrics(reg *obs.Registry, workers int) poolMetrics {
+	m := poolMetrics{
+		live:      reg != nil,
+		runs:      reg.Counter("epoch.runs"),
+		networks:  reg.Counter("epoch.networks"),
+		netSim:    reg.Histogram("epoch.net_sim_us", obs.DurationBuckets),
+		queueWait: reg.Histogram("epoch.queue_wait_us", obs.DurationBuckets),
+		mergeDur:  reg.Histogram("epoch.merge_us", obs.DurationBuckets),
+	}
+	m.perWorker = make([]*obs.Counter, workers)
+	for w := range m.perWorker {
+		m.perWorker[w] = reg.Counter(fmt.Sprintf("epoch.worker.%02d.networks", w))
+	}
+	return m
+}
 
 // RunUsageEpochWorkers is RunUsageEpoch with an explicit worker count.
 // workers <= 0 selects GOMAXPROCS. The output is identical for every
@@ -42,13 +76,22 @@ func (s *Study) RunUsageEpochWorkers(f *synth.Fleet, workers int) (*UsageEpoch, 
 	// same network, partial store, or error cell.
 	partials := make([]*backend.Store, len(nets))
 	errs := make([]error, len(nets))
+	m := newPoolMetrics(s.Config.Obs, workers)
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// free marks when this worker last became idle; the gap to
+			// the next claim is its queue wait (with an atomic-counter
+			// queue it is nanoseconds today, but it is the number that
+			// grows first if claiming ever becomes a bottleneck).
+			var free time.Time
+			if m.live {
+				free = time.Now()
+			}
 			for {
 				// Once any network has failed the epoch cannot succeed,
 				// so stop pulling new networks instead of simulating the
@@ -63,18 +106,28 @@ func (s *Study) RunUsageEpochWorkers(f *synth.Fleet, workers int) (*UsageEpoch, 
 				if i >= len(nets) {
 					return
 				}
+				if m.live {
+					m.queueWait.ObserveDuration(time.Since(free))
+				}
 				// A partial holds one network's harvest and has exactly
 				// one writer; a single stripe avoids 2x32 map allocations
 				// per network.
 				part := backend.NewStoreShards(1)
+				sp := obs.StartSpan(m.netSim)
 				if err := s.harvestNetworkUsage(f, nets[i], label, catalog, part); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
 				}
+				sp.End()
+				m.networks.Inc()
+				m.perWorker[w].Inc()
 				partials[i] = part
+				if m.live {
+					free = time.Now()
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -87,8 +140,11 @@ func (s *Study) RunUsageEpochWorkers(f *synth.Fleet, workers int) (*UsageEpoch, 
 		}
 	}
 	store := backend.NewStore()
+	sp := obs.StartSpan(m.mergeDur)
 	for _, part := range partials {
 		store.Merge(part)
 	}
+	sp.End()
+	m.runs.Inc()
 	return &UsageEpoch{Epoch: e, Scale: f.Params.Scale(), Store: store}, nil
 }

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"wlanscale/internal/obs"
+)
+
+// TestRunUsageEpochObsInvariance pins the observe-only contract of the
+// observability layer (DESIGN.md §8): attaching a metrics registry to
+// the pipeline must not change a single byte of simulation output. The
+// instrumented run is compared digest-for-digest against a plain run at
+// the same seed and worker count.
+func TestRunUsageEpochObsInvariance(t *testing.T) {
+	const seed = 2026
+	_, plain := runEpochAt(t, seed, 4)
+
+	cfg := parallelConfig(seed)
+	cfg.Obs = obs.NewRegistry()
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := s.RunUsageEpochWorkers(s.Fleet15, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := storeDigest(t, plain), storeDigest(t, u)
+	if len(a) != len(b) {
+		t.Fatalf("digest lengths differ: plain=%d instrumented=%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instrumented run diverges at digest line %d:\n  plain:        %s\n  instrumented: %s",
+				i, a[i], b[i])
+		}
+	}
+
+	// And the registry actually observed the run: every network was
+	// counted, each exactly once, with a simulate span per network.
+	nets := int64(len(s.Fleet15.NetworkOrder()))
+	if got := cfg.Obs.Counter("epoch.networks").Value(); got != nets {
+		t.Fatalf("epoch.networks = %d, want %d", got, nets)
+	}
+	var perWorker int64
+	for _, sm := range cfg.Obs.Snapshot() {
+		if strings.HasPrefix(sm.Name, "epoch.worker.") {
+			perWorker += sm.Value
+		}
+	}
+	if perWorker != nets {
+		t.Fatalf("per-worker network counts sum to %d, want %d", perWorker, nets)
+	}
+	if got := cfg.Obs.Histogram("epoch.net_sim_us", nil).Count(); got != nets {
+		t.Fatalf("epoch.net_sim_us count = %d, want %d", got, nets)
+	}
+	if got := cfg.Obs.Histogram("epoch.merge_us", nil).Count(); got != 1 {
+		t.Fatalf("epoch.merge_us count = %d, want 1", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"wlanscale/internal/backend"
 	"wlanscale/internal/epoch"
 	"wlanscale/internal/meshprobe"
+	"wlanscale/internal/obs"
 	"wlanscale/internal/rng"
 	"wlanscale/internal/synth"
 )
@@ -41,6 +42,11 @@ type Config struct {
 	// Workers is the usage-epoch worker-pool size; 0 means GOMAXPROCS.
 	// Results are identical for every value (see epochpool.go).
 	Workers int
+	// Obs, when set, receives the pipeline's stage metrics (per-worker
+	// network counts, simulate/merge timing — the "epoch.*" names in
+	// DESIGN.md §8). Metrics are observe-only: a nil and a non-nil
+	// registry produce bit-identical simulation output.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns a configuration that runs the whole study in

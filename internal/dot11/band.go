@@ -1,10 +1,3 @@
-// Package dot11 implements the 802.11 substrate the study rests on:
-// frequency bands and channels (including the 5 GHz UNII sub-bands and
-// their DFS requirements), channel-overlap math for 20 and 40 MHz
-// operation, client capability advertisement, PHY rate tables with
-// air-time calculations, and wire-format encoding and decoding of the
-// management frames the measurement pipeline observes (beacons and the
-// mesh link probes).
 package dot11
 
 import (

@@ -1,0 +1,16 @@
+// Package dot11 implements the 802.11 substrate the study rests on:
+// frequency bands and channels (including the 5 GHz UNII sub-bands and
+// their DFS requirements), channel-overlap math for 20 and 40 MHz
+// operation, client capability advertisement, PHY rate tables with
+// air-time calculations, and wire-format encoding and decoding of the
+// management frames the measurement pipeline observes (beacons and the
+// mesh link probes).
+//
+// The package is organized by file: band.go (Band, Channel, the UNII
+// sub-bands, Overlap), mac.go (MAC addresses and OUI vendor prefixes),
+// caps.go (client capability advertisement for Table 4), rates.go
+// (PHY Rate tables, AirTime, SNRForRate), and frame.go (beacon and
+// probe wire formats with round-trip encode/decode). Everything here
+// is pure computation — no I/O, no clock — so every higher layer can
+// use it deterministically.
+package dot11

@@ -1,0 +1,12 @@
+// Package epoch labels the measurement periods of the study. Time in
+// the simulation is virtual: the usage studies (Section 3) compare the
+// weeks of January 15-22 2014 and 2015, while the interference studies
+// (Sections 4 and 5) compare July 2014 ("six months ago") with January
+// 2015 ("now").
+//
+// An Epoch is a small enum, not a timestamp — generators split their
+// RNG streams per epoch so the "same" network six months apart is the
+// same network, aged: clients churn, capabilities upgrade, neighbors
+// appear. WeekSeconds converts the one-week usage window into the
+// virtual-seconds timeline the telemetry reports use.
+package epoch

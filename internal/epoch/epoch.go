@@ -1,8 +1,3 @@
-// Package epoch labels the measurement periods of the study. Time in
-// the simulation is virtual: the usage studies (Section 3) compare the
-// weeks of January 15-22 2014 and 2015, while the interference studies
-// (Sections 4 and 5) compare July 2014 ("six months ago") with January
-// 2015 ("now").
 package epoch
 
 // Epoch is one measurement period.

@@ -1,12 +1,3 @@
-// Package faultnet is a deterministic fault-injection layer for the
-// harvest path. It wraps net.Listener/net.Conn with a scriptable Plan
-// that refuses connections during outage windows, corrupts bytes in
-// flight, truncates frames mid-write, hard-resets sessions, black-holes
-// reads, and adds latency — the hostile conditions paper Section 2's
-// queue-and-catch-up design and Section 6's reboot storms assume. Every
-// fault decision is driven by an internal/rng stream split per
-// connection, so a whole chaos run reproduces from one seed: the same
-// seed and the same per-listener connection order yield the same faults.
 package faultnet
 
 import (

@@ -1,0 +1,15 @@
+// Package meshprobe implements the link-measurement subsystem of paper
+// Section 4.2: each access point broadcasts a 60-byte probe every 15
+// seconds — at 1 Mb/s on its 2.4 GHz radio and 6 Mb/s at 5 GHz — and
+// receivers report delivery ratios over 300-second windows to the
+// backend. Links combine a fading channel (rf.LinkChannel) with a
+// co-channel-busy process, so delivery ratios are intermediate and vary
+// over time exactly as Figures 3-5 show.
+//
+// Link is the unit of measurement: one directed AP-to-AP path whose
+// MeasureWindow method yields a WindowResult (probes sent, received,
+// delivery ratio) and whose WeekSeries traces the Figures 4/5 curves. SamplingMode selects between per-probe Bernoulli draws and
+// the binomial window approximation — both produce the same population
+// statistics; the ablation in EXPERIMENTS.md measures the speed
+// difference.
+package meshprobe

@@ -1,10 +1,3 @@
-// Package meshprobe implements the link-measurement subsystem of paper
-// Section 4.2: each access point broadcasts a 60-byte probe every 15
-// seconds — at 1 Mb/s on its 2.4 GHz radio and 6 Mb/s at 5 GHz — and
-// receivers report delivery ratios over 300-second windows to the
-// backend. Links combine a fading channel (rf.LinkChannel) with a
-// co-channel-busy process, so delivery ratios are intermediate and vary
-// over time exactly as Figures 3-5 show.
 package meshprobe
 
 import (

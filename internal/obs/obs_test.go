@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", DurationBuckets)
+	r.RegisterFunc("f", func() int64 { return 7 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(10)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil metrics accumulated state: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", got)
+	}
+	sp := StartSpan(h)
+	if d := sp.End(); d != 0 {
+		t.Fatalf("inert span returned %v", d)
+	}
+	var tm *Timer
+	tm.Start("s").End()
+	tm.Record("s", time.Second)
+	if s := tm.Summary(); s != "" {
+		t.Fatalf("nil timer summary = %q", s)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("harvest.polls")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	if r.Counter("harvest.polls") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("pool.devices")
+	g.Set(4)
+	g.Add(-1)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reusing a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 2, 0, 1} // <=10: {1,10}; <=100: {11,100}; <=1000: none; +Inf: 5000
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 1+10+11+100+5000 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	if q := h.Quantile(0.5); q != 100 {
+		t.Fatalf("p50 = %d, want 100", q)
+	}
+	if q := h.Quantile(1.0); q != 1000 { // +Inf bucket floors at the largest bound
+		t.Fatalf("p100 = %d, want 1000", q)
+	}
+	if m := h.Mean(); m != float64(5122)/5 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestRegistrySnapshotSortedAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Gauge("a.gauge").Set(9)
+	r.RegisterFunc("c.func", func() int64 { return 42 })
+	r.Histogram("d.hist_us", []int64{100}).Observe(50)
+	snap := r.Snapshot()
+	var names []string
+	for _, s := range snap {
+		names = append(names, s.Name)
+	}
+	want := []string{"a.gauge", "b.count", "c.func", "d.hist_us"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("snapshot order %v, want %v", names, want)
+	}
+	if snap[2].Value != 42 {
+		t.Fatalf("func gauge read %d, want 42", snap[2].Value)
+	}
+}
+
+func TestWriteTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("store.ingests").Add(7)
+	h := r.Histogram("store.save_us", []int64{100, 1000})
+	h.Observe(40)
+	h.Observe(400)
+
+	var text bytes.Buffer
+	r.WriteText(&text)
+	out := text.String()
+	if !strings.Contains(out, "store.ingests 7\n") {
+		t.Fatalf("text output missing counter line:\n%s", out)
+	}
+	if !strings.Contains(out, "store.save_us count=2 sum=440 mean=220.0 p50=100 p99=1000") {
+		t.Fatalf("text output missing histogram line:\n%s", out)
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, js.String())
+	}
+	if decoded["store.ingests"].(float64) != 7 {
+		t.Fatalf("json counter = %v", decoded["store.ingests"])
+	}
+	hist := decoded["store.save_us"].(map[string]any)
+	if hist["count"].(float64) != 2 || hist["sum"].(float64) != 440 {
+		t.Fatalf("json histogram = %v", hist)
+	}
+}
+
+func TestTimerSummary(t *testing.T) {
+	tm := NewTimer()
+	tm.Record("build-fleets", 1500*time.Millisecond)
+	tm.Record("usage-epoch", time.Second)
+	tm.Record("usage-epoch", 3*time.Second)
+	sum := tm.Summary()
+	lines := strings.Split(strings.TrimRight(sum, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("summary has %d lines:\n%s", len(lines), sum)
+	}
+	// Insertion order, not alphabetical.
+	if !strings.HasPrefix(strings.TrimSpace(lines[1]), "build-fleets") {
+		t.Fatalf("first stage line %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "usage-epoch") || !strings.Contains(lines[2], "4s") ||
+		!strings.Contains(lines[2], "2") {
+		t.Fatalf("usage-epoch line %q (want total 4s, count 2)", lines[2])
+	}
+}
+
+func TestSpanRecordsIntoHistogramAndTimer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("epoch.net_sim_us", DurationBuckets)
+	sp := StartSpan(h)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatalf("span elapsed %v", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	tm := NewTimer()
+	tm.Start("merge").End()
+	if !strings.Contains(tm.Summary(), "merge") {
+		t.Fatal("timer missing merge stage")
+	}
+}
+
+// TestConcurrentUse exercises the registry and metrics from many
+// goroutines; run under -race this pins the lock-free hot path.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared.count")
+			h := r.Histogram("shared.hist", []int64{10, 100})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j % 150))
+				if j%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared.count").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("shared.hist", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

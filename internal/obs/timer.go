@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed interval in flight. End records the elapsed time
+// into the histogram and/or timer stage the span was started against.
+// The zero Span (from StartSpan(nil) or a nil Timer) is inert and never
+// reads the clock, so un-instrumented code paths skip even time.Now.
+type Span struct {
+	h     *Histogram
+	t     *Timer
+	stage int
+	start time.Time
+}
+
+// StartSpan begins timing an interval recorded into h on End.
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End stops the span, records it, and returns the elapsed time (zero
+// for an inert span). Durations land in histograms in microseconds,
+// matching DurationBuckets.
+func (s Span) End() time.Duration {
+	if s.h == nil && s.t == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.ObserveDuration(d)
+	if s.t != nil {
+		s.t.add(s.stage, d)
+	}
+	return d
+}
+
+// Timer accumulates wall-clock time per named pipeline stage, in
+// insertion order, for an end-of-run summary (the -timings flag on
+// merakisim and merakireport). A nil Timer is a no-op. Safe for
+// concurrent use — parallel stages may overlap, so stage totals can
+// legitimately sum to more than the run's wall time.
+type Timer struct {
+	mu     sync.Mutex
+	names  []string
+	idx    map[string]int
+	totals []time.Duration
+	counts []int64
+}
+
+// NewTimer creates an empty stage timer.
+func NewTimer() *Timer {
+	return &Timer{idx: make(map[string]int)}
+}
+
+// Start begins timing one execution of the named stage; call End on the
+// returned span when the stage completes.
+func (t *Timer) Start(stage string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, stage: t.stageIndex(stage), start: time.Now()}
+}
+
+// Record adds one completed execution of the named stage directly.
+func (t *Timer) Record(stage string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.add(t.stageIndex(stage), d)
+}
+
+func (t *Timer) stageIndex(stage string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i, ok := t.idx[stage]; ok {
+		return i
+	}
+	i := len(t.names)
+	t.idx[stage] = i
+	t.names = append(t.names, stage)
+	t.totals = append(t.totals, 0)
+	t.counts = append(t.counts, 0)
+	return i
+}
+
+func (t *Timer) add(i int, d time.Duration) {
+	t.mu.Lock()
+	t.totals[i] += d
+	t.counts[i]++
+	t.mu.Unlock()
+}
+
+// Summary renders an aligned stage table in insertion order:
+//
+//	stage             total     count   mean
+//	build-fleets      1.204s        1   1.204s
+//
+// Empty timers (and nil) render as an empty string.
+func (t *Timer) Summary() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	names := append([]string(nil), t.names...)
+	totals := append([]time.Duration(nil), t.totals...)
+	counts := append([]int64(nil), t.counts...)
+	t.mu.Unlock()
+	if len(names) == 0 {
+		return ""
+	}
+	wName := len("stage")
+	for _, n := range names {
+		if len(n) > wName {
+			wName = len(n)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %12s  %6s  %12s\n", wName, "stage", "total", "count", "mean")
+	for i, n := range names {
+		mean := time.Duration(0)
+		if counts[i] > 0 {
+			mean = totals[i] / time.Duration(counts[i])
+		}
+		fmt.Fprintf(&b, "%-*s  %12s  %6d  %12s\n",
+			wName, n, totals[i].Round(time.Microsecond), counts[i], mean.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,10 +1,3 @@
-// Package shaper implements the paper's first practical implication:
-// "traffic shaping at the wireless access point to better serve the
-// growing number of bandwidth hungry clients and applications". It
-// provides token-bucket rate limiters, per-client shaping with
-// application-category overrides (throttle video, leave VoIP alone),
-// and fairness accounting across a cell — all in virtual time, so the
-// simulator can drive it deterministically.
 package shaper
 
 import (

@@ -1,0 +1,14 @@
+// Package spectrum is the study's software spectrum analyzer: a pure-Go
+// radix-2 FFT, a complex-baseband composer that synthesizes the 2.4 and
+// 5 GHz environments of Figure 11 (20/40 MHz 802.11 OFDM bursts, 1 MHz
+// Bluetooth frequency hoppers, narrowband interferers, and
+// frequency-selective fading), and analysis utilities that recover the
+// occupied bands from the computed spectrum. It substitutes for the
+// USRP B200 the paper pointed at one access point.
+//
+// The pipeline is ComposeBaseband (Emitters → time-domain samples at
+// CaptureSampleRateHz) → HannWindow → FFT → PowerSpectrumDB →
+// AverageSpectraDB over repeated captures → Render for the ASCII
+// spectra merakireport prints as Figure 11. FFT/IFFT are in-place and
+// allocation-free; ErrNotPowerOfTwo is the only failure mode.
+package spectrum

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"wlanscale/internal/obs"
 	"wlanscale/internal/rng"
 )
 
@@ -33,6 +34,9 @@ type Agent struct {
 	// Health, when set, receives the agent's reconnect and error
 	// counters. Safe to share one instance across a fleet.
 	Health *HarvestHealth
+	// Metrics, when attached (NewAgentMetrics), counts dials, retries,
+	// backoff waits, and queue pressure. The zero value is a no-op.
+	Metrics AgentMetrics
 
 	mu      sync.Mutex
 	queue   [][]byte
@@ -54,10 +58,12 @@ func (a *Agent) Enqueue(r *Report) {
 	a.seq++
 	r.SeqNo = a.seq
 	a.queue = append(a.queue, r.Marshal())
+	a.Metrics.Enqueued.Inc()
 	if a.QueueLimit > 0 && len(a.queue) > a.QueueLimit {
 		over := len(a.queue) - a.QueueLimit
 		a.queue = a.queue[over:]
 		a.dropped += over
+		a.Metrics.Dropped.Add(int64(over))
 	}
 }
 
@@ -233,6 +239,7 @@ func (a *Agent) runReconnect(addrs []string, stop <-chan struct{}) {
 			return
 		default:
 		}
+		a.Metrics.Dials.Inc()
 		conn, err := net.Dial("tcp", addrs[attempt%len(addrs)])
 		if err == nil {
 			sessions++
@@ -258,11 +265,15 @@ func (a *Agent) runReconnect(addrs []string, stop <-chan struct{}) {
 		if a.Health != nil {
 			a.Health.Observe(err)
 		}
+		a.Metrics.Retries.Inc()
 		// Sleep backoff scaled by a jitter factor in [0.5, 1.5).
+		wait := time.Duration(float64(backoff) * (0.5 + jitter.Float64()))
+		a.Metrics.BackoffWaits.Inc()
+		a.Metrics.BackoffUS.Add(wait.Microseconds())
 		select {
 		case <-stop:
 			return
-		case <-time.After(time.Duration(float64(backoff) * (0.5 + jitter.Float64()))):
+		case <-time.After(wait):
 		}
 		if backoff < max {
 			backoff *= 2
@@ -282,6 +293,9 @@ type Poller struct {
 	// Health, when set, receives the poller's error counters and the
 	// device's piggybacked queue-drop totals.
 	Health *HarvestHealth
+	// Metrics, when attached (NewHarvestMetrics), counts polls, frames,
+	// and reports. The zero value is a no-op.
+	Metrics HarvestMetrics
 }
 
 // ErrNotHello is returned when the first frame is not a hello.
@@ -333,9 +347,17 @@ func (p *Poller) Close() error { return p.tunnel.Close() }
 // crash between receive and ack re-delivers reports rather than losing
 // them; the backend deduplicates by (serial, seqno).
 func (p *Poller) Poll(max int) ([]*Report, error) {
+	p.Metrics.Polls.Inc()
+	sp := obs.StartSpan(p.Metrics.PollDur)
 	out, err := p.poll(max)
-	if err != nil && p.Health != nil {
-		p.Health.Observe(err)
+	sp.End()
+	if err != nil {
+		p.Metrics.PollErrors.Inc()
+		if p.Health != nil {
+			p.Health.Observe(err)
+		}
+	} else {
+		p.Metrics.Reports.Add(int64(len(out)))
 	}
 	return out, err
 }
@@ -344,10 +366,12 @@ func (p *Poller) poll(max int) ([]*Report, error) {
 	if err := p.tunnel.WriteFrame(EncodeMessage(&Message{Type: framePoll, Max: uint32(max)})); err != nil {
 		return nil, err
 	}
+	p.Metrics.FramesOut.Inc()
 	raw, err := p.tunnel.ReadFrame()
 	if err != nil {
 		return nil, err
 	}
+	p.Metrics.FramesIn.Inc()
 	m, err := DecodeMessage(raw)
 	if err != nil {
 		return nil, err
@@ -369,5 +393,6 @@ func (p *Poller) poll(max int) ([]*Report, error) {
 	if err := p.tunnel.WriteFrame(EncodeMessage(&Message{Type: frameAck, Count: uint32(len(m.Reports))})); err != nil {
 		return nil, err
 	}
+	p.Metrics.FramesOut.Inc()
 	return out, nil
 }

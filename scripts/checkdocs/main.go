@@ -1,0 +1,73 @@
+// Command checkdocs enforces the repo's documentation floor: every
+// package under internal/ and cmd/ must carry a package comment, and
+// must carry it exactly once (two files both holding doc comments get
+// silently concatenated by go doc, which always reads as an accident).
+// `make docs` runs it; CI fails if it prints anything.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var problems []string
+	for _, root := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			problems = append(problems, checkDir(path)...)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "checkdocs: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkDir inspects the non-test package in one directory and reports
+// a missing or duplicated package comment.
+func checkDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", dir, err)}
+	}
+	var problems []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		var documented []string
+		for file, f := range pkg.Files {
+			if f.Doc != nil {
+				documented = append(documented, filepath.Base(file))
+			}
+		}
+		switch {
+		case len(documented) == 0:
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+		case len(documented) > 1:
+			sort.Strings(documented)
+			problems = append(problems, fmt.Sprintf("%s: package %s has package comments in %d files (%s)",
+				dir, name, len(documented), strings.Join(documented, ", ")))
+		}
+	}
+	return problems
+}
