@@ -4,7 +4,7 @@
 # stay green across the whole module, not just `test`. CI
 # (.github/workflows/ci.yml) runs build + vet + test + race.
 
-.PHONY: build test vet race bench docs verify
+.PHONY: build test vet race bench docs trace-smoke verify
 
 build:
 	go build ./...
@@ -26,4 +26,12 @@ bench:
 docs:
 	go vet ./... && go run ./scripts/checkdocs
 
-verify: build vet test race docs
+# trace-smoke runs a fully sampled offline harvest and validates the
+# flight-recorder dump: it must parse as JSON and contain at least one
+# complete five-stage trace (see scripts/tracecheck).
+trace-smoke:
+	go run ./cmd/merakisim -networks 4 -trace-sample 1.0 \
+		-trace-out /tmp/trace-smoke.json -out /tmp/trace-smoke.gob
+	go run ./scripts/tracecheck /tmp/trace-smoke.json
+
+verify: build vet test race docs trace-smoke

@@ -10,10 +10,20 @@
 // MAC failures, corrupt frames, timeouts, device queue drops, dedup
 // hits), and "metrics" dumps the full observability registry — harvest,
 // poll-pool, and store counters — in one round trip. With -debug ADDR
-// the same registry is served as expvar-style JSON at /debug/vars next
-// to the net/http/pprof handlers (see the README operator guide). All
+// the same registry is served as expvar-style JSON at /debug/vars and
+// as Prometheus text at /debug/metrics, next to the net/http/pprof
+// handlers (see the README operator guide); the debug server carries
+// read/write timeouts so a stalled scraper cannot wedge shutdown. All
 // tunnel I/O runs under the -timeout deadline so a stalled or silent
 // peer can never pin a goroutine.
+//
+// Every ingested report's trace spans land in a bounded flight
+// recorder (-trace-buf events, sampled at -trace-sample); "trace
+// <id>" and "trace last" render a trace's span chain, and the recorder
+// dumps itself as JSON to stderr on SIGQUIT, on crash-report ingestion,
+// or when the harvest health degrades (rate-limited to one dump per 30
+// seconds). -trace-load replays a dump written by an offline run
+// (merakisim -trace-out) so its traces are queryable here.
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -36,6 +47,7 @@ import (
 	"wlanscale/internal/anomaly"
 	"wlanscale/internal/backend"
 	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/trace"
 	"wlanscale/internal/telemetry"
 )
 
@@ -47,23 +59,43 @@ func main() {
 	batch := flag.Int("batch", 64, "max reports per poll")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-frame tunnel I/O deadline (handshake and polls)")
 	snapshot := flag.String("snapshot", "", "snapshot file written on shutdown")
-	debug := flag.String("debug", "", "debug HTTP listen address serving /debug/vars and /debug/pprof (empty = off)")
+	debug := flag.String("debug", "", "debug HTTP listen address serving /debug/vars, /debug/metrics and /debug/pprof (empty = off)")
+	traceSample := flag.Float64("trace-sample", 1.0, "fraction of trace IDs the flight recorder keeps (0 disables tracing)")
+	traceBuf := flag.Int("trace-buf", 4096, "flight-recorder capacity in span events (rounded up to a power of two)")
+	traceLoad := flag.String("trace-load", "", "flight-recorder dump (JSON) to preload, making offline traces queryable")
 	flag.Parse()
 
 	key, err := parseKey(*keyHex)
 	if err != nil {
 		log.Fatalf("merakid: %v", err)
 	}
-	d := newDaemon(key, *pollEvery, *batch, *timeout)
+	d := newDaemon(key, *pollEvery, *batch, *timeout, *traceSample, *traceBuf)
 
+	if *traceLoad != "" {
+		f, err := os.Open(*traceLoad)
+		if err != nil {
+			log.Fatalf("merakid: %v", err)
+		}
+		dump, err := trace.LoadDump(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("merakid: %v", err)
+		}
+		d.trec.Load(dump)
+		log.Printf("merakid: loaded %d span events (%d traces) from %s",
+			len(dump.Events), len(d.trec.TraceIDs()), *traceLoad)
+	}
+
+	var dbgSrv *http.Server
 	if *debug != "" {
 		dbgLn, err := net.Listen("tcp", *debug)
 		if err != nil {
 			log.Fatalf("merakid: debug listen: %v", err)
 		}
-		log.Printf("merakid: debug HTTP on http://%s/debug/vars (pprof at /debug/pprof/)", dbgLn.Addr())
+		log.Printf("merakid: debug HTTP on http://%s/debug/vars (pprof at /debug/pprof/, Prometheus at /debug/metrics)", dbgLn.Addr())
+		dbgSrv = newDebugServer(debugMux(d.obs))
 		go func() {
-			if err := http.Serve(dbgLn, debugMux(d.obs)); err != nil {
+			if err := dbgSrv.Serve(dbgLn); err != nil && err != http.ErrServerClosed {
 				log.Printf("merakid: debug server: %v", err)
 			}
 		}()
@@ -81,12 +113,26 @@ func main() {
 
 	go d.acceptDevices(devLn)
 	go d.acceptQueries(qLn)
+	go d.watchHealth(30*time.Second, 10, nil)
+
+	// SIGQUIT dumps the flight recorder to stderr and keeps running —
+	// the operator's "what just happened" button on a live daemon.
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	go func() {
+		for range sigq {
+			d.dump.Fire("sigquit")
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	devLn.Close()
 	qLn.Close()
+	if dbgSrv != nil {
+		dbgSrv.Close()
+	}
 	if *snapshot != "" {
 		if err := d.store.SaveFile(*snapshot); err != nil {
 			log.Printf("merakid: snapshot: %v", err)
@@ -116,11 +162,19 @@ type daemon struct {
 	health    *telemetry.HarvestHealth
 
 	// obs is the daemon's metrics registry: harvest.* (health counters
-	// and poll-loop counts), pool.* (connected-device pool), and
-	// store.* (ingest totals, per-stripe routing, snapshot timing).
+	// and poll-loop counts), pool.* (connected-device pool), trace.*
+	// (flight recorder), and store.* (ingest totals, per-stripe routing,
+	// snapshot timing).
 	obs         *obs.Registry
 	harvest     telemetry.HarvestMetrics
 	disconnects *obs.Counter
+
+	// trec buffers the last -trace-buf span events; tracer decides which
+	// incoming trace IDs it records; dump writes the ring to stderr when
+	// an anomaly trigger fires.
+	trec   *trace.Recorder
+	tracer *trace.Tracer
+	dump   *trace.Trigger
 
 	mu       sync.Mutex
 	devices  map[string]bool
@@ -129,9 +183,10 @@ type daemon struct {
 
 // newDaemon wires a daemon and its observability registry together:
 // the store's counters, the harvest health block, the poll-loop
-// counters, and the device-pool gauges all publish into one registry,
-// which the "metrics" query and the -debug listener serve.
-func newDaemon(key []byte, pollEvery time.Duration, batch int, timeout time.Duration) *daemon {
+// counters, the device-pool gauges, and the trace flight recorder all
+// publish into one registry, which the "metrics" query and the -debug
+// listener serve.
+func newDaemon(key []byte, pollEvery time.Duration, batch int, timeout time.Duration, traceSample float64, traceBuf int) *daemon {
 	d := &daemon{
 		store:     backend.NewStore(),
 		key:       key,
@@ -140,8 +195,16 @@ func newDaemon(key []byte, pollEvery time.Duration, batch int, timeout time.Dura
 		timeout:   timeout,
 		health:    &telemetry.HarvestHealth{},
 		obs:       obs.NewRegistry(),
+		trec:      trace.NewRecorder(traceBuf),
 	}
+	// The daemon never mints trace IDs — they arrive stamped on reports
+	// — so the tracer seed is immaterial; only the sampling threshold
+	// matters here.
+	d.tracer = trace.New(d.trec, 1, traceSample)
+	d.trec.RegisterMetrics(d.obs)
+	d.dump = &trace.Trigger{Rec: d.trec, W: os.Stderr, Fires: d.obs.Counter("trace.dumps")}
 	d.store.EnableObs(d.obs)
+	d.store.EnableTrace(d.tracer)
 	telemetry.RegisterHealth(d.obs, d.health)
 	d.harvest = telemetry.NewHarvestMetrics(d.obs)
 	d.disconnects = d.obs.Counter("pool.disconnects")
@@ -159,14 +222,19 @@ func newDaemon(key []byte, pollEvery time.Duration, batch int, timeout time.Dura
 }
 
 // debugMux builds the -debug HTTP handler: the metrics registry as one
-// expvar-style JSON object at /debug/vars, and the standard pprof
-// handlers at /debug/pprof/ (profile, heap, goroutine, trace, ...) for
-// profiling a busy harvest without restarting the daemon.
+// expvar-style JSON object at /debug/vars and as Prometheus text at
+// /debug/metrics, and the standard pprof handlers at /debug/pprof/
+// (profile, heap, goroutine, trace, ...) for profiling a busy harvest
+// without restarting the daemon.
 func debugMux(reg *obs.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteProm(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -174,6 +242,47 @@ func debugMux(reg *obs.Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// newDebugServer wraps the debug handler in an http.Server with
+// conservative I/O deadlines. The -debug listener is an operator
+// surface, not a device surface, but the same slow-loris rule applies:
+// a scraper that stalls mid-request must cost a timeout, not a pinned
+// connection that keeps Shutdown waiting forever
+// (TestDebugServerShutdownWithStalledClient pins this).
+func newDebugServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		// pprof profile captures default to 30 s of sampling, so the
+		// write deadline must comfortably exceed that.
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+}
+
+// watchHealth fires a flight-recorder dump when the harvest path
+// degrades: threshold or more new hard errors (MAC failures, corrupt
+// frames, timeouts) observed within one interval. stop is for tests;
+// the daemon runs it for the life of the process.
+func (d *daemon) watchHealth(every time.Duration, threshold int, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	var lastErrs int
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		s := d.health.Snapshot()
+		errs := s.MACFailures + s.CorruptFrames + s.Timeouts
+		if errs-lastErrs >= threshold {
+			d.dump.Fire(fmt.Sprintf("harvest-degraded +%d errors in %v", errs-lastErrs, every))
+		}
+		lastErrs = errs
+	}
 }
 
 func (d *daemon) acceptDevices(ln net.Listener) {
@@ -198,6 +307,7 @@ func (d *daemon) serveDevice(conn net.Conn) {
 	defer p.Close()
 	p.Health = d.health
 	p.Metrics = d.harvest
+	p.Trace = d.tracer
 	d.mu.Lock()
 	if d.devices == nil {
 		d.devices = make(map[string]bool)
@@ -226,6 +336,12 @@ func (d *daemon) serveDevice(conn net.Conn) {
 		}
 		for _, r := range reports {
 			d.store.Ingest(r)
+			// A crash report is exactly the moment the recent span
+			// history is worth keeping: dump the recorder before the
+			// ring overwrites the lead-up.
+			if len(r.Crashes) > 0 {
+				d.dump.Fire("crash-report " + r.Serial)
+			}
 		}
 	}
 }
@@ -242,10 +358,11 @@ func (d *daemon) acceptQueries(ln net.Listener) {
 
 // serveQuery speaks a line protocol: one command per line, response
 // terminated by a blank line. Commands: status, clients, top-apps N,
-// util, crashes, anomalies, metrics, save PATH, quit. Error responses
-// are single lines prefixed "ERR"; in particular an unknown command
-// answers "ERR unknown command" instead of closing silently, so a
-// client typo gets a diagnosis rather than a dead socket.
+// util, crashes, anomalies, metrics, trace ID|last, save PATH, quit.
+// Error responses are single lines prefixed "ERR"; in particular an
+// unknown command answers "ERR unknown command" instead of closing
+// silently, so a client typo gets a diagnosis rather than a dead
+// socket.
 func (d *daemon) serveQuery(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
@@ -300,6 +417,8 @@ func (d *daemon) serveQuery(conn net.Conn) {
 			}
 		case "metrics":
 			d.obs.WriteText(w)
+		case "trace":
+			d.queryTrace(w, fields)
 		case "save":
 			if len(fields) < 2 {
 				fmt.Fprintln(w, "ERR save needs a path")
@@ -316,6 +435,66 @@ func (d *daemon) serveQuery(conn net.Conn) {
 		}
 		fmt.Fprintln(w)
 		w.Flush()
+	}
+}
+
+// queryTrace answers "trace <id>" and "trace last": the span chain of
+// one harvested report, one line per span in pipeline order, indented
+// by depth so the parent links read as a tree. Durations and start
+// offsets are microseconds; retries, fault-injection profile, and
+// errors appear only when set.
+func (d *daemon) queryTrace(w io.Writer, fields []string) {
+	if len(fields) < 2 {
+		fmt.Fprintln(w, `ERR trace needs an id or "last"`)
+		return
+	}
+	var (
+		id  trace.ID
+		evs []trace.Event
+	)
+	if fields[1] == "last" {
+		var ok bool
+		id, evs, ok = d.trec.LastTrace()
+		if !ok {
+			fmt.Fprintln(w, "ERR flight recorder is empty")
+			return
+		}
+	} else {
+		v, err := trace.ParseID(fields[1])
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		id = v
+		evs = d.trec.Trace(id)
+		if len(evs) == 0 {
+			fmt.Fprintf(w, "ERR no such trace %s\n", id)
+			return
+		}
+	}
+	fmt.Fprintf(w, "trace %s spans=%d\n", id, len(evs))
+	for _, ev := range evs {
+		depth := int(ev.Span) - 1
+		if depth < 0 {
+			depth = 0
+		}
+		fmt.Fprintf(w, "%s%s dur_us=%d start_us=%d", strings.Repeat("  ", depth), ev.Stage, ev.DurUS, ev.StartUS)
+		if ev.Serial != "" {
+			fmt.Fprintf(w, " serial=%s", ev.Serial)
+		}
+		if ev.Seq != 0 {
+			fmt.Fprintf(w, " seq=%d", ev.Seq)
+		}
+		if ev.Retries > 0 {
+			fmt.Fprintf(w, " retries=%d", ev.Retries)
+		}
+		if ev.Fault != "" {
+			fmt.Fprintf(w, " fault=%q", ev.Fault)
+		}
+		if ev.Err != "" {
+			fmt.Fprintf(w, " err=%q", ev.Err)
+		}
+		fmt.Fprintln(w)
 	}
 }
 

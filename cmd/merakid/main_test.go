@@ -18,7 +18,7 @@ import (
 // and returns its address.
 func startQueryServer(t *testing.T) (*daemon, string) {
 	t.Helper()
-	d := newDaemon(nil, time.Second, 64, time.Second)
+	d := newDaemon(nil, time.Second, 64, time.Second, 1.0, 1024)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestQueryMetrics(t *testing.T) {
 // TestDebugMux drives the -debug HTTP surface: /debug/vars must serve
 // the registry as valid JSON and the pprof index must answer.
 func TestDebugMux(t *testing.T) {
-	d := newDaemon(nil, time.Second, 64, time.Second)
+	d := newDaemon(nil, time.Second, 64, time.Second, 1.0, 1024)
 	srv := httptest.NewServer(debugMux(d.obs))
 	defer srv.Close()
 

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/trace"
+	"wlanscale/internal/telemetry"
+)
+
+// seedTrace records a full five-stage span chain for id into the
+// daemon's flight recorder, as a harvest would.
+func seedTrace(d *daemon, id trace.ID, serial string) {
+	stages := []trace.Stage{
+		trace.StageAgentEnqueue, trace.StageTunnelWrite, trace.StageDaemonRead,
+		trace.StageStoreIngest, trace.StageEpochMerge,
+	}
+	for i, st := range stages {
+		ev := trace.Event{
+			Trace: id, Span: st.SpanID(), Parent: st.Parent(), Stage: st.String(),
+			Serial: serial, Seq: 7, StartUS: int64(1000 * i), DurUS: int64(10 + i),
+		}
+		if st == trace.StageTunnelWrite {
+			ev.Retries = 2
+			ev.Fault = "stall@3"
+		}
+		d.trec.Record(ev)
+	}
+}
+
+// TestQueryTrace drives the "trace" query command end to end: "trace
+// last" and "trace <id>" render the span chain in pipeline order with
+// annotations, and the error paths all answer ERR lines.
+func TestQueryTrace(t *testing.T) {
+	d, addr := startQueryServer(t)
+
+	// Empty recorder first: "trace last" must diagnose, not hang.
+	if got := query(t, addr, "trace last"); len(got) != 1 || !strings.HasPrefix(got[0], "ERR") {
+		t.Fatalf("trace last on empty recorder = %q, want one ERR line", got)
+	}
+
+	id := trace.ID(0xdeadbeef12345678)
+	seedTrace(d, id, "Q2AA-TEST")
+
+	for _, cmd := range []string{"trace " + id.String(), "trace last"} {
+		lines := query(t, addr, cmd)
+		if len(lines) != 6 {
+			t.Fatalf("%q returned %d lines, want header + 5 spans: %q", cmd, len(lines), lines)
+		}
+		if want := "trace " + id.String() + " spans=5"; lines[0] != want {
+			t.Fatalf("%q header = %q, want %q", cmd, lines[0], want)
+		}
+		wantStages := []string{"agent.enqueue", "tunnel.write", "daemon.read", "store.ingest", "epoch.merge"}
+		for i, l := range lines[1:] {
+			if !strings.Contains(l, wantStages[i]) {
+				t.Fatalf("%q span line %d = %q, want stage %q", cmd, i, l, wantStages[i])
+			}
+			// Depth-indented: span i sits under i*2 leading spaces.
+			if want := strings.Repeat("  ", i) + wantStages[i]; !strings.HasPrefix(l, want) {
+				t.Fatalf("%q span line %d = %q, want indent prefix %q", cmd, i, l, want)
+			}
+		}
+		if !strings.Contains(lines[2], "retries=2") || !strings.Contains(lines[2], `fault="stall@3"`) {
+			t.Fatalf("tunnel.write line lost its annotations: %q", lines[2])
+		}
+	}
+
+	cases := []struct{ cmd, wantPrefix string }{
+		{"trace", "ERR trace needs"},
+		{"trace zz", "ERR"},
+		{"trace 0000000000000bad", "ERR no such trace"},
+	}
+	for _, c := range cases {
+		got := query(t, addr, c.cmd)
+		if len(got) != 1 || !strings.HasPrefix(got[0], c.wantPrefix) {
+			t.Fatalf("%q = %q, want single line with prefix %q", c.cmd, got, c.wantPrefix)
+		}
+	}
+}
+
+// TestDebugServerShutdownWithStalledClient pins the debug listener's
+// slow-loris defence: a client that connects and never completes a
+// request is cut off by the read-header deadline, so Shutdown returns
+// promptly instead of waiting on the stalled connection forever.
+func TestDebugServerShutdownWithStalledClient(t *testing.T) {
+	d := newDaemon(nil, time.Second, 64, time.Second, 1.0, 1024)
+	srv := newDebugServer(debugMux(d.obs))
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 {
+		t.Fatalf("debug server is missing I/O deadlines: header=%v read=%v write=%v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.WriteTimeout)
+	}
+	srv.ReadHeaderTimeout = 200 * time.Millisecond
+	srv.ReadTimeout = 200 * time.Millisecond
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	// The stalled client: opens a connection, sends half a request
+	// line, and goes silent.
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET /debug/va"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown did not complete with a stalled client attached: %v", err)
+	}
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("Shutdown took %v, want well under the context deadline", took)
+	}
+}
+
+// TestDebugMetricsEndpoint checks the Prometheus text exposition on
+// the -debug mux: sanitized names and histogram bucket series.
+func TestDebugMetricsEndpoint(t *testing.T) {
+	d := newDaemon(nil, time.Second, 64, time.Second, 1.0, 1024)
+	d.store.Ingest(&telemetry.Report{Serial: "Q2AA-TEST", SeqNo: 1})
+	d.obs.Histogram("store.save_us", obs.DurationBuckets).Observe(75)
+	srv := httptest.NewServer(debugMux(d.obs))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/debug/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"store_ingests 1", "trace_capacity 1024",
+		`store_save_us_bucket{le="100"} 1`, `store_save_us_bucket{le="+Inf"} 1`,
+		"store_save_us_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/debug/metrics missing %q; body:\n%s", want, text)
+		}
+	}
+}
+
+// TestWatchHealthFiresDump checks the degradation trigger: a burst of
+// harvest errors past the threshold dumps the flight recorder.
+func TestWatchHealthFiresDump(t *testing.T) {
+	d := newDaemon(nil, time.Second, 64, time.Second, 1.0, 1024)
+	d.dump = &trace.Trigger{Rec: d.trec, W: io.Discard, MinInterval: time.Millisecond,
+		Fires: d.obs.Counter("trace.dumps")}
+	stop := make(chan struct{})
+	defer close(stop)
+	go d.watchHealth(5*time.Millisecond, 3, stop)
+
+	for i := 0; i < 5; i++ {
+		d.health.Observe(telemetry.ErrBadMAC)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.obs.Counter("trace.dumps").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("degradation watcher never fired a dump")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -13,7 +13,9 @@
 // -timings prints an end-of-run summary to stderr: wall-clock per
 // simulation/render stage plus the epoch pipeline's metrics. Timing is
 // observe-only, so the rendered tables are bit-identical with and
-// without it.
+// without it. -trace-sample records the usage-epoch span chains of
+// that fraction of reports into a flight recorder, dumped as JSON at
+// exit (-trace-out or stderr); like timing it never changes output.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"wlanscale/internal/epoch"
 	"wlanscale/internal/meshprobe"
 	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/trace"
 )
 
 func main() {
@@ -36,6 +39,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel usage-epoch workers; results are identical for any value")
 	timings := flag.Bool("timings", false, "print an end-of-run stage-timing summary to stderr")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of usage-epoch reports to trace end to end (0 = off)")
+	traceOut := flag.String("trace-out", "", "flight-recorder dump path (default stderr when tracing)")
 	flag.Parse()
 
 	var timer *obs.Timer
@@ -43,6 +48,9 @@ func main() {
 	if *timings {
 		timer = obs.NewTimer()
 		cfg.Obs = obs.NewRegistry()
+	}
+	if *traceSample > 0 {
+		cfg.Trace = trace.New(trace.NewRecorder(1<<16), *seed, *traceSample)
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
@@ -87,6 +95,22 @@ func main() {
 	if cfg.Obs != nil {
 		fmt.Fprintln(os.Stderr, "\npipeline metrics:")
 		cfg.Obs.WriteText(os.Stderr)
+	}
+	if cfg.Trace != nil {
+		w := os.Stderr
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "merakireport: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := cfg.Trace.Recorder().DumpJSON(w, "end-of-run"); err != nil {
+			fmt.Fprintf(os.Stderr, "merakireport: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

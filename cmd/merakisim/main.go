@@ -13,6 +13,15 @@
 //
 // Either mode accepts -timings, which prints an end-of-run stage
 // summary (and, offline, the epoch pipeline's metrics) to stderr.
+//
+// Both modes also accept -trace-sample FRACTION, which stamps that
+// fraction of harvest reports with deterministic trace IDs and records
+// their span chains in a flight recorder; the recorder is dumped as
+// one JSON object at end of run, to -trace-out when set and stderr
+// otherwise. Tracing is observe-only: the snapshot and stdout are
+// bit-identical with it on or off. A dump can be replayed into a
+// daemon with merakid -trace-load for interactive "trace <id>"
+// queries.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"wlanscale/internal/core"
 	"wlanscale/internal/epoch"
 	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/trace"
 	"wlanscale/internal/rng"
 	"wlanscale/internal/synth"
 	"wlanscale/internal/telemetry"
@@ -45,32 +55,68 @@ func main() {
 	every := flag.Duration("every", 2*time.Second, "report period per live agent")
 	keyHex := flag.String("key", strings.Repeat("42", 32), "64-hex-char pre-shared tunnel key")
 	timings := flag.Bool("timings", false, "print an end-of-run stage-timing summary to stderr")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of reports to trace end to end (0 = off)")
+	traceOut := flag.String("trace-out", "", "flight-recorder dump path (default stderr when tracing)")
 	flag.Parse()
 
 	// A nil timer (and nil registry) is the no-op path: without
-	// -timings the run is not instrumented at all.
+	// -timings the run is not instrumented at all. The same holds for
+	// the tracer: without -trace-sample no report carries a trace ID
+	// and no span is ever recorded.
 	var timer *obs.Timer
 	if *timings {
 		timer = obs.NewTimer()
 	}
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.NewRecorder(1<<16), *seed, *traceSample)
+	}
 	if *serve != "" {
-		if err := runAgents(*serve, *aps, *seed, *duration, *every, *keyHex, timer); err != nil {
+		if err := runAgents(*serve, *aps, *seed, *duration, *every, *keyHex, timer, tracer); err != nil {
 			log.Fatalf("merakisim: %v", err)
 		}
-	} else if err := runOffline(*seed, *networks, *clientCap, *workers, *out, timer); err != nil {
+	} else if err := runOffline(*seed, *networks, *clientCap, *workers, *out, timer, tracer); err != nil {
 		log.Fatalf("merakisim: %v", err)
 	}
 	if s := timer.Summary(); s != "" {
 		fmt.Fprintf(os.Stderr, "\nstage timings:\n%s", s)
 	}
+	if tracer != nil {
+		if err := writeTraceDump(tracer.Recorder(), *traceOut); err != nil {
+			log.Fatalf("merakisim: %v", err)
+		}
+	}
 }
 
-func runOffline(seed uint64, networks, clientCap, workers int, out string, timer *obs.Timer) error {
+// writeTraceDump writes the flight recorder as one JSON dump — to path
+// when set, stderr otherwise — in the format merakid -trace-load
+// replays.
+func writeTraceDump(rec *trace.Recorder, path string) error {
+	w := os.Stderr
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.DumpJSON(w, "end-of-run"); err != nil {
+		return err
+	}
+	if path != "" {
+		log.Printf("merakisim: %d traced reports dumped to %s", len(rec.TraceIDs()), path)
+	}
+	return nil
+}
+
+func runOffline(seed uint64, networks, clientCap, workers int, out string, timer *obs.Timer, tracer *trace.Tracer) error {
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
 	cfg.UsageNetworks = networks
 	cfg.ClientCap = clientCap
 	cfg.Workers = workers
+	cfg.Trace = tracer
 	if timer != nil {
 		cfg.Obs = obs.NewRegistry()
 	}
@@ -105,7 +151,7 @@ func runOffline(seed uint64, networks, clientCap, workers int, out string, timer
 
 // runAgents spins up live AP agents that measure their simulated
 // environments and stream reports to a merakid over encrypted tunnels.
-func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration, keyHex string, timer *obs.Timer) error {
+func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration, keyHex string, timer *obs.Timer, tracer *trace.Tracer) error {
 	if len(keyHex) != 64 {
 		return fmt.Errorf("key must be 64 hex chars")
 	}
@@ -133,8 +179,12 @@ func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration
 			if len(live) == nAPs {
 				break
 			}
+			ag := telemetry.NewAgent(n.APs[i].Serial, key)
+			if tracer != nil {
+				ag.EnableTrace(tracer)
+			}
 			live = append(live, liveAP{
-				agent: telemetry.NewAgent(n.APs[i].Serial, key),
+				agent: ag,
 				netID: n.ID,
 				apIdx: i,
 			})

@@ -27,6 +27,7 @@ import (
 	"wlanscale/internal/apps"
 	"wlanscale/internal/dot11"
 	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/trace"
 	"wlanscale/internal/telemetry"
 )
 
@@ -173,6 +174,10 @@ type Store struct {
 	// saveDur, when EnableObs attached a registry, times gob snapshot
 	// encodes. Nil (no-op) otherwise.
 	saveDur *obs.Histogram
+
+	// tracer, when EnableTrace attached one, records a store.ingest span
+	// for every sampled report folded in. Nil (no-op) otherwise.
+	tracer *trace.Tracer
 }
 
 // serialSeed fixes the serial hash across stores so sharding is
@@ -239,6 +244,10 @@ func mix64(v uint64) uint64 {
 // Reports for different serials take disjoint device stripes and
 // contend on a client stripe only when their clients hash together.
 func (s *Store) Ingest(r *telemetry.Report) {
+	sp := s.tracer.Start(trace.ID(r.TraceID), trace.StageStoreIngest)
+	sp.SetSerial(r.Serial)
+	sp.SetSeq(r.SeqNo)
+	defer sp.End()
 	ds := s.deviceShardFor(r.Serial)
 	ds.mu.Lock()
 	if r.SeqNo != 0 {
@@ -366,6 +375,13 @@ func (s *Store) EnableObs(reg *obs.Registry) {
 	}
 	s.saveDur = reg.Histogram("store.save_us", obs.DurationBuckets)
 }
+
+// EnableTrace attaches a tracer: every sampled report folded in by
+// Ingest records a store.ingest span (trace ID read from the report,
+// duration covering all stripe writes). Observe-only — stored data and
+// digests are unchanged. Call before serving; attaching is not
+// synchronized with concurrent Ingest.
+func (s *Store) EnableTrace(t *trace.Tracer) { s.tracer = t }
 
 func (c *ClientAggregate) addUA(ua string) {
 	for _, e := range c.UserAgents {

@@ -21,6 +21,7 @@ import (
 	"wlanscale/internal/apps"
 	"wlanscale/internal/backend"
 	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/trace"
 	"wlanscale/internal/synth"
 )
 
@@ -76,6 +77,8 @@ func (s *Study) RunUsageEpochWorkers(f *synth.Fleet, workers int) (*UsageEpoch, 
 	// same network, partial store, or error cell.
 	partials := make([]*backend.Store, len(nets))
 	errs := make([]error, len(nets))
+	traced := make([][]tracedReport, len(nets))
+	tr := s.Config.Trace
 	m := newPoolMetrics(s.Config.Obs, workers)
 	var next atomic.Int64
 	var failed atomic.Bool
@@ -113,13 +116,16 @@ func (s *Study) RunUsageEpochWorkers(f *synth.Fleet, workers int) (*UsageEpoch, 
 				// one writer; a single stripe avoids 2x32 map allocations
 				// per network.
 				part := backend.NewStoreShards(1)
+				part.EnableTrace(tr)
 				sp := obs.StartSpan(m.netSim)
-				if err := s.harvestNetworkUsage(f, nets[i], label, catalog, part); err != nil {
+				t, err := s.harvestNetworkUsage(f, nets[i], label, catalog, part)
+				if err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
 				}
 				sp.End()
+				traced[i] = t
 				m.networks.Inc()
 				m.perWorker[w].Inc()
 				partials[i] = part
@@ -141,8 +147,31 @@ func (s *Study) RunUsageEpochWorkers(f *synth.Fleet, workers int) (*UsageEpoch, 
 	}
 	store := backend.NewStore()
 	sp := obs.StartSpan(m.mergeDur)
-	for _, part := range partials {
+	for i, part := range partials {
+		// Each traced report of this network gets an epoch.merge span
+		// covering its partial's fold into the epoch store — the final
+		// link of the agent→…→epoch chain. The clock is only read when
+		// the network actually has sampled reports.
+		var mergeStart time.Time
+		if tr != nil && len(traced[i]) > 0 {
+			mergeStart = time.Now()
+		}
 		store.Merge(part)
+		if tr != nil && len(traced[i]) > 0 {
+			durUS := time.Since(mergeStart).Microseconds()
+			for _, trd := range traced[i] {
+				tr.RecordEvent(trace.Event{
+					Trace:   trd.id,
+					Span:    trace.StageEpochMerge.SpanID(),
+					Parent:  trace.StageEpochMerge.Parent(),
+					Stage:   trace.StageEpochMerge.String(),
+					Serial:  trd.serial,
+					Seq:     trd.seq,
+					StartUS: mergeStart.UnixMicro(),
+					DurUS:   durUS,
+				})
+			}
+		}
 	}
 	sp.End()
 	m.runs.Inc()

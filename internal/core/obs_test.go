@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/trace"
 )
 
 // TestRunUsageEpochObsInvariance pins the observe-only contract of the
@@ -58,5 +59,72 @@ func TestRunUsageEpochObsInvariance(t *testing.T) {
 	}
 	if got := cfg.Obs.Histogram("epoch.merge_us", nil).Count(); got != 1 {
 		t.Fatalf("epoch.merge_us count = %d, want 1", got)
+	}
+
+	// Tracing at full sampling is equally observe-only: digests match
+	// the plain run byte for byte...
+	tcfg := parallelConfig(seed)
+	rec := trace.NewRecorder(1 << 16)
+	tcfg.Trace = trace.New(rec, seed, 1.0)
+	ts, err := NewStudy(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := ts.RunUsageEpochWorkers(ts.Fleet15, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := storeDigest(t, tu)
+	if len(a) != len(c) {
+		t.Fatalf("digest lengths differ: plain=%d traced=%d", len(a), len(c))
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("traced run diverges at digest line %d:\n  plain:  %s\n  traced: %s", i, a[i], c[i])
+		}
+	}
+
+	// ...and the recorder holds at least one complete trace whose span
+	// tree covers the full agent→tunnel→daemon→store→epoch chain with
+	// correct parent links.
+	id, evs, ok := rec.LastTrace()
+	if !ok {
+		t.Fatal("flight recorder is empty after a fully sampled run")
+	}
+	wantStages := []string{"agent.enqueue", "tunnel.write", "daemon.read", "store.ingest", "epoch.merge"}
+	if len(evs) != len(wantStages) {
+		t.Fatalf("trace %v has %d spans, want %d: %+v", id, len(evs), len(wantStages), evs)
+	}
+	for i, ev := range evs {
+		if ev.Stage != wantStages[i] {
+			t.Fatalf("span %d stage = %q, want %q", i, ev.Stage, wantStages[i])
+		}
+		if ev.Span != uint32(i+1) || ev.Parent != uint32(i) {
+			t.Fatalf("span %d has ids span=%d parent=%d, want span=%d parent=%d",
+				i, ev.Span, ev.Parent, i+1, i)
+		}
+	}
+
+	// Trace IDs are deterministic: the same seed re-run assigns the same
+	// ID to the last trace.
+	rcfg := parallelConfig(seed)
+	rec2 := trace.NewRecorder(1 << 16)
+	rcfg.Trace = trace.New(rec2, seed, 1.0)
+	rs, err := NewStudy(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.RunUsageEpochWorkers(rs.Fleet15, 1); err != nil {
+		t.Fatal(err)
+	}
+	ids1, ids2 := rec.TraceIDs(), rec2.TraceIDs()
+	set1 := make(map[trace.ID]bool, len(ids1))
+	for _, v := range ids1 {
+		set1[v] = true
+	}
+	for _, v := range ids2 {
+		if !set1[v] {
+			t.Fatalf("trace ID %v from workers=1 run absent from workers=4 run", v)
+		}
 	}
 }

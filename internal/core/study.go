@@ -12,6 +12,7 @@ import (
 	"wlanscale/internal/epoch"
 	"wlanscale/internal/meshprobe"
 	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/trace"
 	"wlanscale/internal/rng"
 	"wlanscale/internal/synth"
 )
@@ -47,6 +48,13 @@ type Config struct {
 	// DESIGN.md §8). Metrics are observe-only: a nil and a non-nil
 	// registry produce bit-identical simulation output.
 	Obs *obs.Registry
+	// Trace, when set, stamps sampled harvest reports with deterministic
+	// trace IDs and records the offline pipeline's span chain
+	// (agent.enqueue → tunnel.write → daemon.read → store.ingest →
+	// epoch.merge) into the tracer's flight recorder. Like Obs it is
+	// observe-only: tracing on or off, stdout and epoch digests are
+	// bit-identical (pinned by TestRunUsageEpochObsInvariance).
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns a configuration that runs the whole study in

@@ -11,6 +11,7 @@ import (
 	"wlanscale/internal/client"
 	"wlanscale/internal/dot11"
 	"wlanscale/internal/epoch"
+	"wlanscale/internal/obs/trace"
 	"wlanscale/internal/stats"
 	"wlanscale/internal/synth"
 	"wlanscale/internal/telemetry"
@@ -36,14 +37,25 @@ func (s *Study) RunUsageEpoch(f *synth.Fleet) (*UsageEpoch, error) {
 	return s.RunUsageEpochWorkers(f, s.Config.Workers)
 }
 
+// tracedReport remembers one sampled report of the offline pipeline so
+// the merge stage can record its epoch.merge span later.
+type tracedReport struct {
+	id     trace.ID
+	serial string
+	seq    uint64
+}
+
 // harvestNetworkUsage simulates one network's usage week and ingests
-// its AP reports into store. Every random draw comes from the network's
-// own stream (split off the study source by network ID), so the result
-// does not depend on which other networks ran before or concurrently.
-// All mutated state — the network's APs, their Click pipelines, and the
-// store — is owned by the caller, making concurrent calls for distinct
-// networks (with distinct partial stores) race-free.
-func (s *Study) harvestNetworkUsage(f *synth.Fleet, n *synth.Network, label string, catalog []apps.AppInfo, store *backend.Store) error {
+// its AP reports into store, returning the trace bookkeeping for any
+// sampled reports (nil when tracing is off). Every random draw comes
+// from the network's own stream (split off the study source by network
+// ID) — and trace IDs likewise come from a per-network stream keyed by
+// network ID — so the result does not depend on which other networks
+// ran before or concurrently. All mutated state — the network's APs,
+// their Click pipelines, and the store — is owned by the caller, making
+// concurrent calls for distinct networks (with distinct partial stores)
+// race-free.
+func (s *Study) harvestNetworkUsage(f *synth.Fleet, n *synth.Network, label string, catalog []apps.AppInfo, store *backend.Store) ([]tracedReport, error) {
 	e := f.Params.Epoch
 	devs := f.Clients(n)
 	nsrc := s.src.Split(label).SplitN("net", n.ID)
@@ -52,7 +64,7 @@ func (s *Study) harvestNetworkUsage(f *synth.Fleet, n *synth.Network, label stri
 		csrc := nsrc.SplitN("client", i)
 		dist := csrc.LogNormalMeanMedian(15, 0.45)
 		if _, err := a.Associate(dev, dist, csrc.Split("assoc")); err != nil {
-			return err
+			return nil, err
 		}
 		a.ObserveClientDHCP(dev, csrc.Split("dhcp"))
 		ua := apps.UserAgentFor(dev.OS)
@@ -73,16 +85,51 @@ func (s *Study) harvestNetworkUsage(f *synth.Fleet, n *synth.Network, label stri
 			}
 		}
 	}
-	// Harvest every AP over the telemetry wire format.
-	for _, a := range n.APs {
-		rep := a.BuildReport(uint64(e)*1e6, nil, nil, nil)
-		decoded, err := telemetry.UnmarshalReport(rep.Marshal())
-		if err != nil {
-			return fmt.Errorf("core: harvest %s: %w", a.Serial, err)
-		}
-		store.Ingest(decoded)
+	// Harvest every AP over the telemetry wire format. With tracing on,
+	// the offline pipeline maps onto the same span chain as the live
+	// protocol: agent.enqueue is the report build, tunnel.write its
+	// marshal onto the (in-process) wire, daemon.read the unmarshal on
+	// the backend side, and store.ingest is recorded by the store itself
+	// (the partial store carries the tracer).
+	tr := s.Config.Trace
+	var ids *trace.IDStream
+	if tr != nil {
+		ids = tr.IDs(fmt.Sprintf("net/%d", n.ID))
 	}
-	return nil
+	var traced []tracedReport
+	for _, a := range n.APs {
+		var id trace.ID
+		var sampled bool
+		if ids != nil {
+			id, sampled = ids.Next()
+		}
+		esp := tr.Start(id, trace.StageAgentEnqueue)
+		esp.SetSerial(a.Serial)
+		rep := a.BuildReport(uint64(e)*1e6, nil, nil, nil)
+		rep.TraceID = uint64(id)
+		esp.SetSeq(rep.SeqNo)
+		esp.End()
+		wsp := tr.Start(id, trace.StageTunnelWrite)
+		wsp.SetSerial(a.Serial)
+		wsp.SetSeq(rep.SeqNo)
+		wire := rep.Marshal()
+		wsp.End()
+		rsp := tr.Start(id, trace.StageDaemonRead)
+		rsp.SetSerial(a.Serial)
+		decoded, err := telemetry.UnmarshalReport(wire)
+		if err != nil {
+			rsp.SetErr(err)
+			rsp.End()
+			return nil, fmt.Errorf("core: harvest %s: %w", a.Serial, err)
+		}
+		rsp.SetSeq(decoded.SeqNo)
+		rsp.End()
+		store.Ingest(decoded)
+		if sampled {
+			traced = append(traced, tracedReport{id: id, serial: a.Serial, seq: decoded.SeqNo})
+		}
+	}
+	return traced, nil
 }
 
 // usageCell is one aggregate row cell set shared by Tables 3, 5 and 6.

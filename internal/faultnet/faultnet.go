@@ -2,8 +2,10 @@ package faultnet
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -182,6 +184,31 @@ func newConn(c net.Conn, plan *Plan, index int, src *rng.Source) *Conn {
 		fc.stallAfter = 1 + src.IntN(4)
 	}
 	return fc
+}
+
+// FaultProfile summarizes the connection's pre-drawn fault schedule
+// ("corrupt", "reset@3", "reset+truncate@3", "stall@2", comma-joined),
+// or "" for a clean connection. Trace spans attach it so a slow or
+// failed report delivery can be read against the faults that were
+// scheduled on its connection.
+func (c *Conn) FaultProfile() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var parts []string
+	if c.corrupt {
+		parts = append(parts, "corrupt")
+	}
+	if c.resetAfter >= 0 {
+		if c.truncate {
+			parts = append(parts, fmt.Sprintf("reset+truncate@%d", c.resetAfter))
+		} else {
+			parts = append(parts, fmt.Sprintf("reset@%d", c.resetAfter))
+		}
+	}
+	if c.stallAfter >= 0 {
+		parts = append(parts, fmt.Sprintf("stall@%d", c.stallAfter))
+	}
+	return strings.Join(parts, ",")
 }
 
 // step advances the op counter and returns this op's fault decisions.

@@ -138,9 +138,18 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Quantile returns an upper-bound estimate of the q-quantile (0 < q <=
-// 1): the bound of the bucket holding the q*count-th observation. The
-// +Inf bucket reports the largest finite bound (or 0 with no finite
-// buckets) — a floor, clearly marked by Snapshot consumers.
+// 1): the bound of the bucket holding the q*count-th observation.
+//
+// Error bound: because observations inside a bucket are not tracked
+// individually, the true quantile lies in (lower bound, returned
+// bound], so the estimate never understates and overstates by at most
+// one bucket width. With the DurationBuckets 1-2.5-5 decade layout the
+// returned value is at most 2.5x the true quantile; the estimate is
+// exact whenever every observation in the target bucket equals its
+// bound. The +Inf bucket has no upper bound, so a quantile landing
+// there reports the largest finite bound (or 0 with no finite buckets)
+// — a floor rather than a ceiling, clearly marked by Snapshot
+// consumers.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0

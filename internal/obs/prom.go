@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promName converts a dotted metric name to the Prometheus identifier
+// charset: dots and dashes become underscores, any other character
+// outside [a-zA-Z0-9_:] is dropped, and a leading digit is prefixed
+// with an underscore. "epoch.worker.02.networks" →
+// "epoch_worker_02_networks".
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '.' || c == '-':
+			b.WriteByte('_')
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Scalars become untyped samples; histograms
+// become the conventional triplet of cumulative `_bucket{le="..."}`
+// series (ending with le="+Inf"), `_sum`, and `_count`. Metric names
+// are sanitized with promName, so the dotted registry names scrape as
+// underscore-separated families. merakid serves this at /debug/metrics
+// on the -debug listener.
+func (r *Registry) WriteProm(w io.Writer) {
+	for _, s := range r.Snapshot() {
+		name := promName(s.Name)
+		if s.Hist == nil {
+			fmt.Fprintf(w, "%s %d\n", name, s.Value)
+			continue
+		}
+		h := s.Hist
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			if i < len(h.Bounds) {
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, h.Bounds[i], cum)
+			} else {
+				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			}
+		}
+		fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}

@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"wlanscale/internal/obs"
+)
+
+// Event is one recorded span: a (trace, stage) pair with its timing and
+// annotations. Events are what the flight recorder stores and what a
+// dump serializes.
+type Event struct {
+	// Index is the recorder-assigned global sequence number; it orders
+	// events across goroutines in a dump.
+	Index int64 `json:"i"`
+	// Trace identifies the report; Span/Parent place this event in the
+	// trace's span tree (span IDs are the Stage constants).
+	Trace  ID     `json:"trace"`
+	Span   uint32 `json:"span"`
+	Parent uint32 `json:"parent"`
+	// Stage is the dotted stage name ("agent.enqueue").
+	Stage string `json:"stage"`
+	// Serial and Seq identify the report within its device's stream.
+	Serial string `json:"serial,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+	// StartUS is the span's wall-clock start (Unix microseconds); DurUS
+	// its duration in microseconds.
+	StartUS int64 `json:"start_us"`
+	DurUS   int64 `json:"dur_us"`
+	// Retries counts delivery attempts that preceded this one.
+	Retries int `json:"retries,omitempty"`
+	// Fault carries the fault-injection annotation active on the
+	// connection that carried the report (see internal/faultnet).
+	Fault string `json:"fault,omitempty"`
+	// Err is the error that ended the stage, if it failed.
+	Err string `json:"err,omitempty"`
+}
+
+// MarshalJSON renders the ID as a 16-hex-digit string — the same form
+// the merakid "trace <id>" query accepts.
+func (id ID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// UnmarshalJSON accepts the hex-string form (and, for robustness, a
+// bare JSON number).
+func (id *ID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		var v uint64
+		if err2 := json.Unmarshal(b, &v); err2 != nil {
+			return err
+		}
+		*id = ID(v)
+		return nil
+	}
+	v, err := ParseID(s)
+	if err != nil {
+		return err
+	}
+	*id = v
+	return nil
+}
+
+// Recorder is the bounded in-memory flight recorder: a lock-free ring
+// holding the last N span events. Writers pay one atomic add and one
+// atomic pointer store; there is no lock for readers to block on, so
+// recording from every harvest goroutine is safe and cheap. A nil
+// Recorder ignores all writes and dumps empty.
+//
+// Consistency: a dump taken while writers are in flight may miss the
+// very newest events (a writer that has claimed a slot but not yet
+// stored into it leaves the slot's previous event visible), but never
+// observes a torn event — slots hold immutable Event copies swapped in
+// by pointer.
+type Recorder struct {
+	slots  []atomic.Pointer[Event]
+	mask   uint64
+	cursor atomic.Uint64 // total events ever recorded
+}
+
+// NewRecorder creates a recorder holding the last n events (rounded up
+// to a power of two, minimum 16).
+func NewRecorder(n int) *Recorder {
+	size := 16
+	for size < n {
+		size <<= 1
+	}
+	return &Recorder{slots: make([]atomic.Pointer[Event], size), mask: uint64(size - 1)}
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Total returns how many events were ever recorded, including ones the
+// ring has since overwritten.
+func (r *Recorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(r.cursor.Load())
+}
+
+// Record appends one event, overwriting the oldest once the ring is
+// full. Safe for concurrent use; no-op on nil.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	seq := r.cursor.Add(1) - 1
+	ev.Index = int64(seq)
+	r.slots[seq&r.mask].Store(&ev)
+}
+
+// Events returns the buffered events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Trace returns the buffered events of one trace, in span order (the
+// pipeline's stage order), deduplicated: when a span was recorded more
+// than once (a re-delivered batch re-ships its agent spans), the most
+// recent recording wins.
+func (r *Recorder) Trace(id ID) []Event {
+	bySpan := make(map[uint32]Event)
+	for _, ev := range r.Events() {
+		if ev.Trace == id {
+			bySpan[ev.Span] = ev // Events is oldest-first; later overwrites
+		}
+	}
+	out := make([]Event, 0, len(bySpan))
+	for _, ev := range bySpan {
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Span < out[j].Span })
+	return out
+}
+
+// LastTrace returns the trace of the most recently recorded event (the
+// "trace last" query). ok is false when the recorder is empty.
+func (r *Recorder) LastTrace() (id ID, events []Event, ok bool) {
+	evs := r.Events()
+	if len(evs) == 0 {
+		return 0, nil, false
+	}
+	id = evs[len(evs)-1].Trace
+	return id, r.Trace(id), true
+}
+
+// TraceIDs returns the distinct trace IDs currently buffered, most
+// recent last.
+func (r *Recorder) TraceIDs() []ID {
+	seen := make(map[ID]bool)
+	var out []ID
+	for _, ev := range r.Events() {
+		if !seen[ev.Trace] {
+			seen[ev.Trace] = true
+			out = append(out, ev.Trace)
+		}
+	}
+	return out
+}
+
+// Dump is the JSON form of a flight-recorder dump.
+type Dump struct {
+	// Reason says what triggered the dump ("sigquit",
+	// "crash-report ...", "end-of-run", ...).
+	Reason string `json:"reason"`
+	// AtUS is the dump's wall-clock time (Unix microseconds).
+	AtUS int64 `json:"at_us"`
+	// Total counts events ever recorded; Dropped is how many of those
+	// the ring had already overwritten at dump time.
+	Total   int64   `json:"events_total"`
+	Dropped int64   `json:"events_dropped"`
+	Events  []Event `json:"events"`
+}
+
+// DumpJSON writes the recorder contents as one JSON object. A nil
+// recorder dumps an empty event list.
+func (r *Recorder) DumpJSON(w io.Writer, reason string) error {
+	events := r.Events()
+	d := Dump{
+		Reason: reason,
+		AtUS:   time.Now().UnixMicro(),
+		Total:  r.Total(),
+		Events: events,
+	}
+	d.Dropped = d.Total - int64(len(events))
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// LoadDump parses a dump previously written by DumpJSON.
+func LoadDump(rd io.Reader) (*Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(rd).Decode(&d); err != nil {
+		return nil, fmt.Errorf("trace: load dump: %w", err)
+	}
+	return &d, nil
+}
+
+// Load replays a dump's events into the recorder in their original
+// order, so traces from an offline run become queryable in a daemon
+// (merakid -trace-load).
+func (r *Recorder) Load(d *Dump) {
+	if r == nil || d == nil {
+		return
+	}
+	events := append([]Event(nil), d.Events...)
+	sort.Slice(events, func(i, j int) bool { return events[i].Index < events[j].Index })
+	for _, ev := range events {
+		r.Record(ev)
+	}
+}
+
+// RegisterMetrics folds the recorder's counters into an obs registry:
+// "trace.recorded" (events ever), "trace.buffered" (currently held),
+// and "trace.capacity".
+func (r *Recorder) RegisterMetrics(reg *obs.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	reg.RegisterFunc("trace.recorded", r.Total)
+	reg.RegisterFunc("trace.buffered", func() int64 {
+		t := r.Total()
+		if c := int64(len(r.slots)); t > c {
+			return c
+		}
+		return r.Total()
+	})
+	reg.RegisterFunc("trace.capacity", func() int64 { return int64(len(r.slots)) })
+}
+
+// Trigger rate-limits anomaly-driven dumps: Fire dumps the recorder to
+// W at most once per MinInterval, so a burst of crash reports or a
+// degrading harvest produces one readable dump, not a dump per report.
+// Safe for concurrent use.
+type Trigger struct {
+	Rec *Recorder
+	W   io.Writer
+	// MinInterval is the minimum spacing between dumps; zero defaults
+	// to 30 seconds.
+	MinInterval time.Duration
+	// Fires, when set, counts dumps actually written (an obs counter).
+	Fires *obs.Counter
+
+	last atomic.Int64 // unix nanos of the last dump
+}
+
+// Fire dumps the recorder if the rate limit allows, returning whether a
+// dump was written.
+func (tg *Trigger) Fire(reason string) bool {
+	if tg == nil || tg.Rec == nil || tg.W == nil {
+		return false
+	}
+	min := tg.MinInterval
+	if min <= 0 {
+		min = 30 * time.Second
+	}
+	now := time.Now().UnixNano()
+	last := tg.last.Load()
+	if last != 0 && now-last < int64(min) {
+		return false
+	}
+	if !tg.last.CompareAndSwap(last, now) {
+		return false // another goroutine just fired
+	}
+	tg.Fires.Inc()
+	tg.Rec.DumpJSON(tg.W, reason)
+	return true
+}

@@ -1,0 +1,317 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDStringRoundTrip(t *testing.T) {
+	for _, id := range []ID{1, 0xdeadbeef, 1<<64 - 1} {
+		got, err := ParseID(id.String())
+		if err != nil {
+			t.Fatalf("ParseID(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Fatalf("round trip %v -> %q -> %v", id, id.String(), got)
+		}
+	}
+	if _, err := ParseID("0xdeadbeef"); err != nil {
+		t.Fatalf("ParseID with 0x prefix: %v", err)
+	}
+	if _, err := ParseID("not-hex"); err == nil {
+		t.Fatal("ParseID accepted garbage")
+	}
+}
+
+func TestIDStreamDeterministic(t *testing.T) {
+	draw := func(sample float64, n int) []ID {
+		tr := New(NewRecorder(16), 2026, sample)
+		s := tr.IDs("net/7")
+		out := make([]ID, n)
+		for i := range out {
+			out[i], _ = s.Next()
+		}
+		return out
+	}
+	a, b := draw(1.0, 32), draw(1.0, 32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// The ID assignment must not depend on the sampling rate: sampling
+	// only changes which IDs record, never which IDs reports carry.
+	c := draw(0.01, 32)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("draw %d depends on sample rate: %v vs %v", i, a[i], c[i])
+		}
+	}
+	// Distinct labels get distinct streams.
+	tr := New(nil, 2026, 1)
+	other, _ := tr.IDs("net/8").Next()
+	if other == a[0] {
+		t.Fatal("distinct labels produced identical first draws")
+	}
+	for _, id := range a {
+		if id == 0 {
+			t.Fatal("stream yielded the reserved untraced ID")
+		}
+	}
+}
+
+func TestSampling(t *testing.T) {
+	full := New(nil, 1, 1.0)
+	none := New(nil, 1, 0.0)
+	half := New(nil, 1, 0.5)
+	if !full.Sampled(1) || !full.Sampled(1<<64-1) {
+		t.Fatal("sample=1 must sample every nonzero ID")
+	}
+	if full.Sampled(0) {
+		t.Fatal("untraced ID sampled")
+	}
+	if none.Sampled(1) || none.Sampled(1<<64-1) {
+		t.Fatal("sample=0 sampled something")
+	}
+	if !half.Sampled(1) {
+		t.Fatal("sample=0.5 must sample small IDs")
+	}
+	if half.Sampled(1<<64 - 1) {
+		t.Fatal("sample=0.5 sampled the max ID")
+	}
+	var nilT *Tracer
+	if nilT.Sampled(1) {
+		t.Fatal("nil tracer sampled")
+	}
+	if s := nilT.IDs("x"); s != nil {
+		t.Fatal("nil tracer returned a stream")
+	}
+	if id, ok := (*IDStream)(nil).Next(); id != 0 || ok {
+		t.Fatal("nil stream drew a sampled ID")
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	rec := NewRecorder(64)
+	tr := New(rec, 42, 1.0)
+	sp := tr.Start(7, StageDaemonRead)
+	sp.SetSerial("Q2XX-1")
+	sp.SetSeq(9)
+	sp.SetRetries(2)
+	sp.SetFault("corrupt")
+	sp.SetErr(errors.New("boom"))
+	sp.End()
+
+	evs := rec.Trace(7)
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Stage != "daemon.read" || ev.Span != 3 || ev.Parent != 2 {
+		t.Fatalf("bad span identity: %+v", ev)
+	}
+	if ev.Serial != "Q2XX-1" || ev.Seq != 9 || ev.Retries != 2 || ev.Fault != "corrupt" || ev.Err != "boom" {
+		t.Fatalf("annotations lost: %+v", ev)
+	}
+	if ev.StartUS == 0 {
+		t.Fatal("start time not stamped")
+	}
+
+	// Inert spans: unsampled ID and nil tracer record nothing.
+	cold := New(rec, 42, 0)
+	sp = cold.Start(7, StageStoreIngest)
+	sp.End()
+	var nilT *Tracer
+	sp = nilT.Start(7, StageStoreIngest)
+	sp.SetSerial("x")
+	sp.End()
+	if got := rec.Total(); got != 1 {
+		t.Fatalf("inert spans recorded: total=%d", got)
+	}
+}
+
+func TestStageChain(t *testing.T) {
+	stages := []Stage{StageAgentEnqueue, StageTunnelWrite, StageDaemonRead, StageStoreIngest, StageEpochMerge}
+	for i, s := range stages {
+		if s.SpanID() != uint32(i+1) {
+			t.Fatalf("%v span id %d", s, s.SpanID())
+		}
+		want := uint32(i)
+		if s.Parent() != want {
+			t.Fatalf("%v parent %d, want %d", s, s.Parent(), want)
+		}
+		if StageByName(s.String()) != s {
+			t.Fatalf("StageByName(%q) != %v", s.String(), s)
+		}
+	}
+	if StageByName("nope") != 0 {
+		t.Fatal("unknown stage name mapped")
+	}
+}
+
+func TestRecorderWraparound(t *testing.T) {
+	rec := NewRecorder(16) // exact power of two
+	if rec.Cap() != 16 {
+		t.Fatalf("cap %d", rec.Cap())
+	}
+	for i := 0; i < 40; i++ {
+		rec.Record(Event{Trace: ID(i + 1), Span: 1})
+	}
+	evs := rec.Events()
+	if len(evs) != 16 {
+		t.Fatalf("buffered %d, want 16", len(evs))
+	}
+	// Oldest first, and only the newest 16 survive.
+	for i, ev := range evs {
+		if want := ID(40 - 16 + i + 1); ev.Trace != want {
+			t.Fatalf("slot %d trace %v, want %v", i, ev.Trace, want)
+		}
+	}
+	if rec.Total() != 40 {
+		t.Fatalf("total %d", rec.Total())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder(128)
+	var wg sync.WaitGroup
+	const writers, per = 8, 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec.Record(Event{Trace: ID(w + 1), Span: 1, Seq: uint64(i)})
+			}
+		}(w)
+	}
+	// Concurrent readers must never see torn events.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			for _, ev := range rec.Events() {
+				if ev.Trace == 0 || ev.Trace > writers {
+					t.Errorf("torn event: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if rec.Total() != writers*per {
+		t.Fatalf("total %d, want %d", rec.Total(), writers*per)
+	}
+}
+
+func TestDumpAndLoad(t *testing.T) {
+	rec := NewRecorder(16)
+	tr := New(rec, 7, 1.0)
+	for _, st := range []Stage{StageAgentEnqueue, StageTunnelWrite, StageDaemonRead} {
+		sp := tr.Start(0xabc, st)
+		sp.End()
+	}
+	var buf bytes.Buffer
+	if err := rec.DumpJSON(&buf, "test"); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	// The dump is valid JSON with the expected shape.
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("dump is not JSON: %v", err)
+	}
+	if raw["reason"] != "test" {
+		t.Fatalf("reason %v", raw["reason"])
+	}
+
+	d, err := LoadDump(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(d.Events) != 3 || d.Total != 3 || d.Dropped != 0 {
+		t.Fatalf("loaded %+v", d)
+	}
+	// Replaying into a fresh recorder preserves the trace.
+	rec2 := NewRecorder(16)
+	rec2.Load(d)
+	id, evs, ok := rec2.LastTrace()
+	if !ok || id != 0xabc || len(evs) != 3 {
+		t.Fatalf("replayed trace: ok=%v id=%v n=%d", ok, id, len(evs))
+	}
+	if evs[0].Stage != "agent.enqueue" || evs[2].Stage != "daemon.read" {
+		t.Fatalf("span order lost: %+v", evs)
+	}
+}
+
+func TestTraceDedupKeepsLatest(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.Record(Event{Trace: 5, Span: 1, Retries: 0})
+	rec.Record(Event{Trace: 5, Span: 2})
+	rec.Record(Event{Trace: 5, Span: 1, Retries: 3}) // re-delivery re-ships span 1
+	evs := rec.Trace(5)
+	if len(evs) != 2 {
+		t.Fatalf("got %d spans, want 2", len(evs))
+	}
+	if evs[0].Span != 1 || evs[0].Retries != 3 {
+		t.Fatalf("dedup kept stale span: %+v", evs[0])
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var rec *Recorder
+	rec.Record(Event{Trace: 1})
+	if rec.Events() != nil || rec.Total() != 0 || rec.Cap() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+	var buf bytes.Buffer
+	if err := rec.DumpJSON(&buf, "nil"); err != nil {
+		t.Fatalf("nil dump: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("nil dump not JSON")
+	}
+	rec.Load(&Dump{Events: []Event{{Trace: 1}}})
+	rec.RegisterMetrics(nil)
+}
+
+func TestTriggerRateLimit(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.Record(Event{Trace: 1, Span: 1})
+	var buf bytes.Buffer
+	tg := &Trigger{Rec: rec, W: &buf, MinInterval: time.Hour}
+	if !tg.Fire("first") {
+		t.Fatal("first fire suppressed")
+	}
+	if tg.Fire("second") {
+		t.Fatal("rate limit did not hold")
+	}
+	tg2 := &Trigger{Rec: rec, W: &buf, MinInterval: time.Nanosecond}
+	if !tg2.Fire("a") {
+		t.Fatal("fire a")
+	}
+	time.Sleep(2 * time.Millisecond)
+	if !tg2.Fire("b") {
+		t.Fatal("fire b after interval")
+	}
+	// Nil pieces never panic.
+	(&Trigger{}).Fire("x")
+	(*Trigger)(nil).Fire("x")
+}
+
+func TestRecordEventDownsamples(t *testing.T) {
+	rec := NewRecorder(16)
+	tr := New(rec, 1, 0.5)
+	tr.RecordEvent(Event{Trace: 1, Span: 1})         // tiny ID: sampled
+	tr.RecordEvent(Event{Trace: 1<<64 - 1, Span: 1}) // huge ID: dropped
+	tr.RecordEvent(Event{Trace: 0, Span: 1})         // untraced: dropped
+	if rec.Total() != 1 {
+		t.Fatalf("total %d, want 1", rec.Total())
+	}
+	var nilT *Tracer
+	nilT.RecordEvent(Event{Trace: 1})
+}

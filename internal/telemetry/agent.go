@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/trace"
 	"wlanscale/internal/rng"
 )
 
@@ -42,6 +43,23 @@ type Agent struct {
 	queue   [][]byte
 	dropped int
 	seq     uint64
+
+	// Tracing state (EnableTrace). meta parallels queue whenever tracing
+	// is on, carrying each queued report's trace ID, enqueue time, and
+	// delivery-attempt count so tunnel.write spans can report queue-dwell
+	// time and retries.
+	tracer   *trace.Tracer
+	traceIDs *trace.IDStream
+	meta     []queueMeta
+}
+
+// queueMeta is the per-queued-report trace bookkeeping.
+type queueMeta struct {
+	id       trace.ID
+	seq      uint64
+	enq      trace.Event // the report's agent.enqueue span, re-shipped with each batch
+	enqUS    int64       // wall-clock microseconds when the report was queued
+	attempts int         // times this report has been put on the wire
 }
 
 // NewAgent creates an agent for a device. The default 30s frame timeout
@@ -51,19 +69,56 @@ func NewAgent(serial string, key []byte) *Agent {
 	return &Agent{Serial: serial, Key: key, QueueLimit: 4096, Timeout: 30 * time.Second}
 }
 
+// EnableTrace attaches a tracer: every subsequent report gets a
+// deterministic trace ID drawn from the agent's private ID stream
+// (keyed by serial), sampled reports record agent.enqueue/tunnel.write
+// spans, and those spans ride each report batch to the backend.
+// Reports queued before EnableTrace stay untraced.
+func (a *Agent) EnableTrace(t *trace.Tracer) {
+	if t == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tracer = t
+	a.traceIDs = t.IDs("agent/" + a.Serial)
+	a.meta = make([]queueMeta, len(a.queue))
+}
+
 // Enqueue queues one report for upload, stamping its sequence number.
 func (a *Agent) Enqueue(r *Report) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.seq++
 	r.SeqNo = a.seq
+	var sp trace.Span
+	var m queueMeta
+	if a.traceIDs != nil {
+		id, sampled := a.traceIDs.Next()
+		r.TraceID = uint64(id)
+		m.id = id
+		m.seq = a.seq
+		if sampled {
+			sp = a.tracer.Start(id, trace.StageAgentEnqueue)
+			sp.SetSerial(a.Serial)
+			sp.SetSeq(a.seq)
+		}
+	}
 	a.queue = append(a.queue, r.Marshal())
+	if a.traceIDs != nil {
+		m.enq = sp.EndEvent()
+		m.enqUS = m.enq.StartUS + m.enq.DurUS
+		a.meta = append(a.meta, m)
+	}
 	a.Metrics.Enqueued.Inc()
 	if a.QueueLimit > 0 && len(a.queue) > a.QueueLimit {
 		over := len(a.queue) - a.QueueLimit
 		a.queue = a.queue[over:]
 		a.dropped += over
 		a.Metrics.Dropped.Add(int64(over))
+		if a.meta != nil {
+			a.meta = a.meta[over:]
+		}
 	}
 }
 
@@ -82,6 +137,17 @@ func (a *Agent) Dropped() int {
 }
 
 func (a *Agent) peek(max int) [][]byte {
+	out, _ := a.peekBatch(max, "")
+	return out
+}
+
+// peekBatch copies up to max queued reports and, when tracing, builds
+// their tunnel.write span events: one per sampled report, measuring
+// queue dwell (enqueue to wire) with the delivery-attempt count and the
+// connection's fault profile attached. Each call counts as one delivery
+// attempt, so a batch re-sent after a dropped session ships the same
+// spans with Retries incremented (the recorder keeps the latest).
+func (a *Agent) peekBatch(max int, fault string) ([][]byte, []trace.Event) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if max > len(a.queue) {
@@ -89,7 +155,42 @@ func (a *Agent) peek(max int) [][]byte {
 	}
 	out := make([][]byte, max)
 	copy(out, a.queue[:max])
-	return out
+	if a.traceIDs == nil {
+		return out, nil
+	}
+	var spans []trace.Event
+	var nowUS int64
+	for i := 0; i < max; i++ {
+		m := &a.meta[i]
+		if a.tracer.Sampled(m.id) {
+			if nowUS == 0 {
+				nowUS = time.Now().UnixMicro()
+			}
+			if m.enq.Trace != 0 {
+				// Re-ship the enqueue span too: the daemon only learns
+				// about agent-side spans from batches that land.
+				spans = append(spans, m.enq)
+			}
+			ev := trace.Event{
+				Trace:   m.id,
+				Span:    trace.StageTunnelWrite.SpanID(),
+				Parent:  trace.StageTunnelWrite.Parent(),
+				Stage:   trace.StageTunnelWrite.String(),
+				Serial:  a.Serial,
+				Seq:     m.seq,
+				StartUS: m.enqUS,
+				DurUS:   nowUS - m.enqUS,
+				Retries: m.attempts,
+				Fault:   fault,
+			}
+			spans = append(spans, ev)
+			// Mirror into the agent-side recorder so an agent process
+			// has its own view even if the batch never lands.
+			a.tracer.RecordEvent(ev)
+		}
+		m.attempts++
+	}
+	return out, spans
 }
 
 func (a *Agent) drop(n int) {
@@ -99,6 +200,9 @@ func (a *Agent) drop(n int) {
 		n = len(a.queue)
 	}
 	a.queue = a.queue[n:]
+	if a.meta != nil {
+		a.meta = a.meta[n:]
+	}
 }
 
 // queueSnapshot is the gob-persisted agent state — what a real device
@@ -139,6 +243,12 @@ func (a *Agent) LoadQueue(r io.Reader) error {
 	defer a.mu.Unlock()
 	a.queue = snap.Queue
 	a.dropped = snap.Dropped
+	if a.traceIDs != nil {
+		// Restored reports keep the trace IDs baked into their bytes, but
+		// the agent-side span bookkeeping did not survive the reboot;
+		// zero meta means no tunnel.write spans for them.
+		a.meta = make([]queueMeta, len(a.queue))
+	}
 	if snap.Seq > a.seq {
 		a.seq = snap.Seq
 	}
@@ -167,6 +277,7 @@ func (a *Agent) ServeConn(conn net.Conn) error {
 	}
 	defer t.Close()
 	t.SetTimeout(a.Timeout)
+	fault := connFaultProfile(conn)
 	if err := t.WriteFrame(EncodeMessage(&Message{Type: frameHello, Serial: a.Serial})); err != nil {
 		return err
 	}
@@ -181,9 +292,9 @@ func (a *Agent) ServeConn(conn net.Conn) error {
 		}
 		switch m.Type {
 		case framePoll:
-			batch := a.peek(int(m.Max))
+			batch, spans := a.peekBatch(int(m.Max), fault)
 			if err := t.WriteFrame(EncodeMessage(&Message{
-				Type: frameReports, Reports: batch, Dropped: uint32(a.Dropped()),
+				Type: frameReports, Reports: batch, Dropped: uint32(a.Dropped()), Spans: spans,
 			})); err != nil {
 				return err
 			}
@@ -296,6 +407,19 @@ type Poller struct {
 	// Metrics, when attached (NewHarvestMetrics), counts polls, frames,
 	// and reports. The zero value is a no-op.
 	Metrics HarvestMetrics
+	// Trace, when set, records a daemon.read span for every sampled
+	// report a poll delivers and folds the agent-side spans riding the
+	// batch into the daemon's flight recorder.
+	Trace *trace.Tracer
+}
+
+// connFaultProfile surfaces a faultnet connection's scheduled faults
+// for span annotation; non-fault connections report "".
+func connFaultProfile(conn net.Conn) string {
+	if fp, ok := conn.(interface{ FaultProfile() string }); ok {
+		return fp.FaultProfile()
+	}
+	return ""
 }
 
 // ErrNotHello is returned when the first frame is not a hello.
@@ -363,6 +487,10 @@ func (p *Poller) Poll(max int) ([]*Report, error) {
 }
 
 func (p *Poller) poll(max int) ([]*Report, error) {
+	var pollStart time.Time
+	if p.Trace != nil {
+		pollStart = time.Now()
+	}
 	if err := p.tunnel.WriteFrame(EncodeMessage(&Message{Type: framePoll, Max: uint32(max)})); err != nil {
 		return nil, err
 	}
@@ -389,6 +517,34 @@ func (p *Poller) poll(max int) ([]*Report, error) {
 			return nil, err
 		}
 		out = append(out, r)
+	}
+	if p.Trace != nil {
+		// Agent-side spans riding the batch land in the daemon's
+		// recorder (RecordEvent re-applies sampling, so a daemon at a
+		// lower rate down-samples consistently); each sampled report
+		// gets a daemon.read span covering this poll round trip.
+		for _, sp := range m.Spans {
+			p.Trace.RecordEvent(sp)
+		}
+		fault := connFaultProfile(p.tunnel.conn)
+		durUS := time.Since(pollStart).Microseconds()
+		for _, r := range out {
+			id := trace.ID(r.TraceID)
+			if !p.Trace.Sampled(id) {
+				continue
+			}
+			p.Trace.RecordEvent(trace.Event{
+				Trace:   id,
+				Span:    trace.StageDaemonRead.SpanID(),
+				Parent:  trace.StageDaemonRead.Parent(),
+				Stage:   trace.StageDaemonRead.String(),
+				Serial:  r.Serial,
+				Seq:     r.SeqNo,
+				StartUS: pollStart.UnixMicro(),
+				DurUS:   durUS,
+				Fault:   fault,
+			})
+		}
 	}
 	if err := p.tunnel.WriteFrame(EncodeMessage(&Message{Type: frameAck, Count: uint32(len(m.Reports))})); err != nil {
 		return nil, err

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeMessage fuzzes the tunnel protocol decoder — including the
+// optional trace-span block — for two properties: no panic on arbitrary
+// bytes, and re-encode/re-decode stability (decode(encode(decode(b)))
+// must equal decode(b)) so the wire evolution cannot silently drop or
+// mutate fields. The checked-in seed corpus (testdata/fuzz) covers
+// every frame type in both legacy (span-free) and traced form.
+func FuzzDecodeMessage(f *testing.F) {
+	// Legacy frames: the pre-tracing protocol, as PR 1 shipped it.
+	f.Add(EncodeMessage(&Message{Type: frameHello, Serial: "Q2XX-ABCD-1234"}))
+	f.Add(EncodeMessage(&Message{Type: framePoll, Max: 32}))
+	f.Add(EncodeMessage(&Message{Type: frameAck, Count: 3}))
+	f.Add(EncodeMessage(&Message{
+		Type: frameReports, Dropped: 7,
+		Reports: [][]byte{sampleReport().Marshal(), (&Report{Serial: "Q2"}).Marshal()},
+	}))
+	// Traced frames: span block present, reports stamped.
+	traced := sampleReport()
+	traced.TraceID = 0xdeadbeefcafe
+	f.Add(EncodeMessage(&Message{
+		Type: frameReports, Dropped: 1,
+		Reports: [][]byte{traced.Marshal()},
+		Spans:   sampleSpans(),
+	}))
+	f.Add(EncodeMessage(&Message{Type: frameReports, Spans: sampleSpans()[:1]}))
+	// Degenerate shapes the decoder must reject or tolerate.
+	f.Add([]byte{frameReports, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{frameReports, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0xff})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMessage(b)
+		if err != nil {
+			return
+		}
+		re, err := DecodeMessage(EncodeMessage(m))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, re) {
+			t.Fatalf("round trip unstable:\nfirst  %+v\nsecond %+v", m, re)
+		}
+		for _, rb := range m.Reports {
+			_, _ = UnmarshalReport(rb)
+		}
+	})
+}

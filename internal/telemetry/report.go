@@ -23,6 +23,12 @@ type Report struct {
 	Timestamp uint64
 	// SeqNo orders reports from one device.
 	SeqNo uint64
+	// TraceID is the report's end-to-end trace ID (see
+	// internal/obs/trace); zero means untraced. Encoded as an optional
+	// field, it is omitted from the wire when zero so untraced reports
+	// are byte-identical to the pre-tracing schema, and old readers skip
+	// it as an unknown field.
+	TraceID uint64
 
 	Radios      []RadioStats
 	Clients     []ClientRecord
@@ -119,6 +125,7 @@ const (
 	fLink   = 8
 	fScan   = 9
 	fCrash  = 10
+	fTrace  = 11
 )
 
 // Marshal encodes the report.
@@ -128,6 +135,7 @@ func (r *Report) Marshal() []byte {
 	e.Uint64(fMAC, r.MAC.Uint64())
 	e.Uint64(fTime, r.Timestamp)
 	e.Uint64(fSeq, r.SeqNo)
+	e.Uint64(fTrace, r.TraceID)
 	var sub pbwire.Encoder
 	for _, rs := range r.Radios {
 		sub.Reset()
@@ -234,6 +242,10 @@ func UnmarshalReport(b []byte) (*Report, error) {
 			}
 		case fSeq:
 			if r.SeqNo, err = d.Uint64(); err != nil {
+				return nil, err
+			}
+		case fTrace:
+			if r.TraceID, err = d.Uint64(); err != nil {
 				return nil, err
 			}
 		case fRadio:

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"wlanscale/internal/obs/trace"
+	"wlanscale/internal/telemetry/pbwire"
+)
+
+// Span events ride the tunnel inside the optional span block of a
+// frameReports payload, pbwire-encoded like everything else on the
+// wire. The Index field is deliberately not shipped: it is
+// recorder-local and reassigned on the receiving side.
+const (
+	fSpanTrace   = 1
+	fSpanSpan    = 2
+	fSpanParent  = 3
+	fSpanSerial  = 4
+	fSpanSeq     = 5
+	fSpanStartUS = 6
+	fSpanDurUS   = 7
+	fSpanRetries = 8
+	fSpanFault   = 9
+	fSpanErr     = 10
+)
+
+func encodeSpan(ev trace.Event) []byte {
+	var e pbwire.Encoder
+	e.Uint64(fSpanTrace, uint64(ev.Trace))
+	e.Uint64(fSpanSpan, uint64(ev.Span))
+	e.Uint64(fSpanParent, uint64(ev.Parent))
+	e.String(fSpanSerial, ev.Serial)
+	e.Uint64(fSpanSeq, ev.Seq)
+	e.Int64(fSpanStartUS, ev.StartUS)
+	e.Int64(fSpanDurUS, ev.DurUS)
+	e.Uint64(fSpanRetries, uint64(ev.Retries))
+	e.String(fSpanFault, ev.Fault)
+	e.String(fSpanErr, ev.Err)
+	return e.Bytes()
+}
+
+func decodeSpan(b []byte) (trace.Event, error) {
+	var ev trace.Event
+	d := pbwire.NewDecoder(b)
+	for !d.Done() {
+		f, wt, err := d.Field()
+		if err != nil {
+			return ev, err
+		}
+		switch f {
+		case fSpanTrace:
+			v, err := d.Uint64()
+			if err != nil {
+				return ev, err
+			}
+			ev.Trace = trace.ID(v)
+		case fSpanSpan:
+			v, err := d.Uint64()
+			if err != nil {
+				return ev, err
+			}
+			ev.Span = uint32(v)
+		case fSpanParent:
+			v, err := d.Uint64()
+			if err != nil {
+				return ev, err
+			}
+			ev.Parent = uint32(v)
+		case fSpanSerial:
+			if ev.Serial, err = d.String(); err != nil {
+				return ev, err
+			}
+		case fSpanSeq:
+			if ev.Seq, err = d.Uint64(); err != nil {
+				return ev, err
+			}
+		case fSpanStartUS:
+			if ev.StartUS, err = d.Int64(); err != nil {
+				return ev, err
+			}
+		case fSpanDurUS:
+			if ev.DurUS, err = d.Int64(); err != nil {
+				return ev, err
+			}
+		case fSpanRetries:
+			v, err := d.Uint64()
+			if err != nil {
+				return ev, err
+			}
+			ev.Retries = int(v)
+		case fSpanFault:
+			if ev.Fault, err = d.String(); err != nil {
+				return ev, err
+			}
+		case fSpanErr:
+			if ev.Err, err = d.String(); err != nil {
+				return ev, err
+			}
+		default:
+			if err := d.Skip(wt); err != nil {
+				return ev, err
+			}
+		}
+	}
+	// The stage name travels implicitly as the span ID.
+	ev.Stage = trace.Stage(ev.Span).String()
+	return ev, nil
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"wlanscale/internal/obs/trace"
+)
+
+func sampleSpans() []trace.Event {
+	return []trace.Event{
+		{
+			Trace: 0xdeadbeefcafe, Span: 1, Parent: 0, Stage: "agent.enqueue",
+			Serial: "Q2XX-ABCD-1234", Seq: 7, StartUS: 1700000000000000, DurUS: 42,
+		},
+		{
+			Trace: 0xdeadbeefcafe, Span: 2, Parent: 1, Stage: "tunnel.write",
+			Serial: "Q2XX-ABCD-1234", Seq: 7, StartUS: 1700000000000042, DurUS: 12000,
+			Retries: 3, Fault: "reset@3", Err: "faultnet: injected connection failure",
+		},
+	}
+}
+
+func TestMessageSpansRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	rep.TraceID = 0xdeadbeefcafe
+	m := &Message{
+		Type:    frameReports,
+		Dropped: 5,
+		Reports: [][]byte{rep.Marshal()},
+		Spans:   sampleSpans(),
+	}
+	got, err := DecodeMessage(EncodeMessage(m))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Dropped != 5 || len(got.Reports) != 1 {
+		t.Fatalf("reports lost: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Spans, m.Spans) {
+		t.Errorf("spans mismatch:\n got %+v\nwant %+v", got.Spans, m.Spans)
+	}
+	r, err := UnmarshalReport(got.Reports[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TraceID != 0xdeadbeefcafe {
+		t.Errorf("TraceID = %#x", r.TraceID)
+	}
+}
+
+func TestLegacyReportsFrameUnchanged(t *testing.T) {
+	// A batch with no spans must encode byte-identically to the
+	// pre-tracing format: Type | Dropped | [len | report]... with no
+	// marker, so old readers never see the span block.
+	reports := [][]byte{sampleReport().Marshal(), (&Report{Serial: "X"}).Marshal()}
+	m := &Message{Type: frameReports, Dropped: 2, Reports: reports}
+	got := EncodeMessage(m)
+
+	legacy := []byte{frameReports}
+	legacy = binary.BigEndian.AppendUint32(legacy, 2)
+	for _, r := range reports {
+		legacy = binary.BigEndian.AppendUint32(legacy, uint32(len(r)))
+		legacy = append(legacy, r...)
+	}
+	if !bytes.Equal(got, legacy) {
+		t.Error("span-free frame differs from legacy encoding")
+	}
+	dec, err := DecodeMessage(legacy)
+	if err != nil {
+		t.Fatalf("decode legacy: %v", err)
+	}
+	if dec.Spans != nil || len(dec.Reports) != 2 {
+		t.Fatalf("legacy decode: %+v", dec)
+	}
+}
+
+func TestUntracedReportBytesUnchanged(t *testing.T) {
+	// TraceID zero must leave the report encoding untouched — the
+	// observe-only contract at the schema level.
+	r := sampleReport()
+	r.TraceID = 0
+	plain := r.Marshal()
+	r.TraceID = 1
+	traced := r.Marshal()
+	if bytes.Equal(plain, traced) {
+		t.Fatal("trace field not encoded")
+	}
+	r.TraceID = 0
+	if !bytes.Equal(plain, r.Marshal()) {
+		t.Error("zero TraceID changed the encoding")
+	}
+}
+
+// TestHarvestCarriesSpans runs the real agent/poller protocol over a
+// pipe and checks the daemon-side recorder ends up with the
+// agent.enqueue, tunnel.write, and daemon.read spans of every report.
+func TestHarvestCarriesSpans(t *testing.T) {
+	agentRec := trace.NewRecorder(256)
+	agentTr := trace.New(agentRec, 2026, 1.0)
+	a := NewAgent("Q2TRACE-1", testKey)
+	a.EnableTrace(agentTr)
+	for i := 0; i < 3; i++ {
+		a.Enqueue(&Report{Serial: a.Serial, Timestamp: uint64(i)})
+	}
+
+	c1, c2 := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.ServeConn(c1)
+	}()
+
+	p, err := AcceptPollerWithTimeout(c2, testKey, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemonRec := trace.NewRecorder(256)
+	p.Trace = trace.New(daemonRec, 2026, 1.0)
+	reports, err := p.Poll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	p.Close()
+	<-done
+
+	for _, r := range reports {
+		if r.TraceID == 0 {
+			t.Fatalf("report seq %d untraced", r.SeqNo)
+		}
+		evs := daemonRec.Trace(trace.ID(r.TraceID))
+		stages := make([]string, len(evs))
+		for i, ev := range evs {
+			stages[i] = ev.Stage
+		}
+		want := []string{"agent.enqueue", "tunnel.write", "daemon.read"}
+		if !reflect.DeepEqual(stages, want) {
+			t.Errorf("trace %016x stages = %v, want %v", r.TraceID, stages, want)
+		}
+	}
+	// Agent-side recorder saw its own two stages.
+	if id, evs, ok := agentRec.LastTrace(); !ok || len(evs) != 2 {
+		t.Errorf("agent recorder: ok=%v id=%v n=%d", ok, id, len(evs))
+	}
+}
+
+// TestTraceIDsDeterministicAcrossAgents pins that trace IDs depend only
+// on (seed, serial, enqueue order), never on scheduling.
+func TestTraceIDsDeterministicAcrossAgents(t *testing.T) {
+	run := func() []uint64 {
+		tr := trace.New(trace.NewRecorder(16), 7, 1.0)
+		a := NewAgent("Q2DET-1", testKey)
+		a.EnableTrace(tr)
+		var ids []uint64
+		for i := 0; i < 5; i++ {
+			r := &Report{Serial: a.Serial}
+			a.Enqueue(r)
+			ids = append(ids, r.TraceID)
+		}
+		return ids
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Error("trace IDs differ across identical runs")
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"net"
 	"sync/atomic"
 	"time"
+
+	"wlanscale/internal/obs/trace"
 )
 
 // Tunnel framing errors.
@@ -165,7 +167,20 @@ type Message struct {
 	Count   uint32   // Ack
 	Dropped uint32   // Reports: device's cumulative queue-overflow drops
 	Reports [][]byte // Reports (encoded Report messages)
+	// Spans are agent-side trace span events riding along with a report
+	// batch (see internal/obs/trace). The block is optional on the wire:
+	// it is omitted when empty, so frames from untraced agents are
+	// byte-identical to the pre-tracing format, and a trace-aware reader
+	// accepts legacy frames unchanged.
+	Spans []trace.Event
 }
+
+// spanBlockMarker introduces the optional span block inside a
+// frameReports payload. It is read from the same position as a report
+// length, and no real report length can collide with it: report lengths
+// are bounded by the frame size, which the tunnel caps at MaxFrameBytes
+// (4 MiB), far below 0xFFFFFFFF.
+const spanBlockMarker = 0xFFFFFFFF
 
 // EncodeMessage serializes a protocol message.
 func EncodeMessage(m *Message) []byte {
@@ -182,6 +197,14 @@ func EncodeMessage(m *Message) []byte {
 		for _, r := range m.Reports {
 			out = binary.BigEndian.AppendUint32(out, uint32(len(r)))
 			out = append(out, r...)
+		}
+		if len(m.Spans) > 0 {
+			out = binary.BigEndian.AppendUint32(out, spanBlockMarker)
+			for _, sp := range m.Spans {
+				b := encodeSpan(sp)
+				out = binary.BigEndian.AppendUint32(out, uint32(len(b)))
+				out = append(out, b...)
+			}
 		}
 	}
 	return out
@@ -213,16 +236,30 @@ func DecodeMessage(b []byte) (*Message, error) {
 		}
 		m.Dropped = binary.BigEndian.Uint32(rest)
 		rest = rest[4:]
+		inSpans := false
 		for len(rest) > 0 {
 			if len(rest) < 4 {
 				return nil, io.ErrUnexpectedEOF
 			}
 			n := binary.BigEndian.Uint32(rest)
 			rest = rest[4:]
+			if n == spanBlockMarker && !inSpans {
+				// Everything after the marker is span records.
+				inSpans = true
+				continue
+			}
 			if uint32(len(rest)) < n {
 				return nil, io.ErrUnexpectedEOF
 			}
-			m.Reports = append(m.Reports, rest[:n])
+			if inSpans {
+				sp, err := decodeSpan(rest[:n])
+				if err != nil {
+					return nil, err
+				}
+				m.Spans = append(m.Spans, sp)
+			} else {
+				m.Reports = append(m.Reports, rest[:n])
+			}
 			rest = rest[n:]
 		}
 	default:

@@ -1,0 +1,72 @@
+// Command tracecheck validates a flight-recorder dump for the
+// trace-smoke CI gate: the file must parse as one JSON dump object,
+// and at least one trace in it must carry the complete five-stage span
+// chain (agent.enqueue → tunnel.write → daemon.read → store.ingest →
+// epoch.merge) with correct parent links. `make trace-smoke` runs a
+// fully sampled merakisim harvest and feeds the dump through here; a
+// broken trace pipeline fails the build instead of silently recording
+// partial chains.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"wlanscale/internal/obs/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck DUMP.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	dump, err := trace.LoadDump(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+	if len(dump.Events) == 0 {
+		fmt.Fprintln(os.Stderr, "tracecheck: dump holds no span events")
+		os.Exit(1)
+	}
+
+	// Replay the dump into a recorder large enough to hold all of it,
+	// then look for a trace with the full stage chain.
+	rec := trace.NewRecorder(len(dump.Events))
+	rec.Load(dump)
+	wantStages := []trace.Stage{
+		trace.StageAgentEnqueue, trace.StageTunnelWrite, trace.StageDaemonRead,
+		trace.StageStoreIngest, trace.StageEpochMerge,
+	}
+	complete := 0
+	for _, id := range rec.TraceIDs() {
+		evs := rec.Trace(id)
+		if len(evs) != len(wantStages) {
+			continue
+		}
+		ok := true
+		for i, ev := range evs {
+			st := wantStages[i]
+			if ev.Stage != st.String() || ev.Span != st.SpanID() || ev.Parent != st.Parent() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			complete++
+		}
+	}
+	if complete == 0 {
+		fmt.Fprintf(os.Stderr, "tracecheck: no complete %d-stage trace among %d traces\n",
+			len(wantStages), len(rec.TraceIDs()))
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %d complete traces, %d span events (reason %q)\n",
+		complete, len(dump.Events), dump.Reason)
+}
