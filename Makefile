@@ -4,7 +4,7 @@
 # stay green across the whole module, not just `test`. CI
 # (.github/workflows/ci.yml) runs build + vet + test + race.
 
-.PHONY: build test vet race bench docs trace-smoke verify
+.PHONY: build test vet race bench docs trace-smoke crash-smoke verify
 
 build:
 	go build ./...
@@ -34,4 +34,12 @@ trace-smoke:
 		-trace-out /tmp/trace-smoke.json -out /tmp/trace-smoke.gob
 	go run ./scripts/tracecheck /tmp/trace-smoke.json
 
-verify: build vet test race docs trace-smoke
+# crash-smoke is the kill-and-recover gate: harvest a live agent fleet
+# into a WAL-backed merakid, SIGKILL it mid-harvest (twice), restart it
+# over the same -wal-dir, and require the recovered store digest to
+# match a never-crashed control (see scripts/crashcheck). The
+# cmd/merakid crash tests run the same proof across 10 seeds in-tree.
+crash-smoke:
+	go run ./scripts/crashcheck -seed 1 -cycles 2
+
+verify: build vet test race docs trace-smoke crash-smoke

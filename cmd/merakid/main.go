@@ -4,18 +4,35 @@
 // line-based queries on -query (see cmd/apstat). The store can be
 // snapshotted to disk with -snapshot on shutdown (SIGINT) or via the
 // "save" query. Queries: status, clients, top-apps N, util, crashes,
-// anomalies, metrics, save PATH, quit; an unrecognized command gets an
-// "ERR unknown command" line back (every error line starts with "ERR").
-// The status response includes the harvest health counters (reconnects,
-// MAC failures, corrupt frames, timeouts, device queue drops, dedup
-// hits), and "metrics" dumps the full observability registry — harvest,
-// poll-pool, and store counters — in one round trip. With -debug ADDR
-// the same registry is served as expvar-style JSON at /debug/vars and
-// as Prometheus text at /debug/metrics, next to the net/http/pprof
-// handlers (see the README operator guide); the debug server carries
-// read/write timeouts so a stalled scraper cannot wedge shutdown. All
-// tunnel I/O runs under the -timeout deadline so a stalled or silent
-// peer can never pin a goroutine.
+// anomalies, metrics, digest, checkpoint, save PATH, quit; an
+// unrecognized command gets an "ERR unknown command" line back (every
+// error line starts with "ERR"). The status response includes the
+// harvest health counters (reconnects, MAC failures, corrupt frames,
+// timeouts, device queue drops, dedup hits), and "metrics" dumps the
+// full observability registry — harvest, poll-pool, and store counters
+// — in one round trip. With -debug ADDR the same registry is served as
+// expvar-style JSON at /debug/vars and as Prometheus text at
+// /debug/metrics, next to the net/http/pprof handlers (see the README
+// operator guide); the debug server carries read/write timeouts so a
+// stalled scraper cannot wedge shutdown. All tunnel I/O runs under the
+// -timeout deadline so a stalled or silent peer can never pin a
+// goroutine.
+//
+// With -wal-dir the daemon is crash-consistent (DESIGN.md §9): every
+// harvested report's wire bytes reach a write-ahead log before the
+// poller acks the device, checkpoints are written atomically every
+// -checkpoint interval (and on shutdown and the "checkpoint" query),
+// and boot recovers the latest valid checkpoint plus a WAL replay —
+// falling back one checkpoint generation on corruption and truncating
+// a torn WAL tail. SIGKILL at any instant loses no acked report and
+// double-counts none; kill -9 it and watch (see the README
+// walkthrough, and cmd/merakid's crash harness for the proof). If the
+// WAL write path fails, the daemon degrades to read-only — polls stop
+// acking so devices queue — and says so in status, /debug/vars, and
+// the health counters, instead of crashing or silently acking into a
+// black hole. The "digest" query returns a canonical SHA-256 of the
+// full store state, which is how the crash harness compares a
+// recovered daemon against a never-crashed control.
 //
 // Every ingested report's trace spans land in a bounded flight
 // recorder (-trace-buf events, sampled at -trace-sample); "trace
@@ -49,6 +66,7 @@ import (
 	"wlanscale/internal/obs"
 	"wlanscale/internal/obs/trace"
 	"wlanscale/internal/telemetry"
+	"wlanscale/internal/wal"
 )
 
 func main() {
@@ -59,6 +77,11 @@ func main() {
 	batch := flag.Int("batch", 64, "max reports per poll")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-frame tunnel I/O deadline (handshake and polls)")
 	snapshot := flag.String("snapshot", "", "snapshot file written on shutdown")
+	walDir := flag.String("wal-dir", "", "durability directory for the write-ahead log and checkpoints (empty = volatile store)")
+	walFsync := flag.String("wal-fsync", "interval", "WAL fsync policy: always, interval, or off")
+	walFsyncEvery := flag.Duration("wal-fsync-interval", 100*time.Millisecond, "flush window for -wal-fsync interval")
+	walSegment := flag.Int64("wal-segment", 4<<20, "WAL segment size in bytes before rotation")
+	checkpointEvery := flag.Duration("checkpoint", time.Minute, "checkpoint cadence (0 = only on shutdown and the checkpoint query)")
 	debug := flag.String("debug", "", "debug HTTP listen address serving /debug/vars, /debug/metrics and /debug/pprof (empty = off)")
 	traceSample := flag.Float64("trace-sample", 1.0, "fraction of trace IDs the flight recorder keeps (0 disables tracing)")
 	traceBuf := flag.Int("trace-buf", 4096, "flight-recorder capacity in span events (rounded up to a power of two)")
@@ -70,6 +93,23 @@ func main() {
 		log.Fatalf("merakid: %v", err)
 	}
 	d := newDaemon(key, *pollEvery, *batch, *timeout, *traceSample, *traceBuf)
+
+	if *walDir != "" {
+		policy, err := wal.ParsePolicy(*walFsync)
+		if err != nil {
+			log.Fatalf("merakid: %v", err)
+		}
+		stats, err := d.attachDurable(*walDir, backend.DurableOptions{
+			WAL: wal.Options{SegmentBytes: *walSegment, Policy: policy, Interval: *walFsyncEvery},
+		})
+		if err != nil {
+			log.Fatalf("merakid: durable store: %v", err)
+		}
+		log.Printf("merakid: durable store at %s recovered: %s", *walDir, stats)
+		if *checkpointEvery > 0 {
+			go d.checkpointLoop(*checkpointEvery, nil)
+		}
+	}
 
 	if *traceLoad != "" {
 		f, err := os.Open(*traceLoad)
@@ -140,6 +180,14 @@ func main() {
 			log.Printf("merakid: snapshot written to %s", *snapshot)
 		}
 	}
+	if d.durable != nil {
+		if err := d.durable.Checkpoint(); err != nil {
+			log.Printf("merakid: shutdown checkpoint: %v", err)
+		}
+		if err := d.durable.Close(); err != nil {
+			log.Printf("merakid: wal close: %v", err)
+		}
+	}
 }
 
 func parseKey(h string) ([]byte, error) {
@@ -154,7 +202,11 @@ func parseKey(h string) ([]byte, error) {
 }
 
 type daemon struct {
-	store     *backend.Store
+	store *backend.Store
+	// durable, when -wal-dir is set, wraps store with the write-ahead
+	// log and checkpointing; store aliases durable.Store so every query
+	// path reads the same data either way.
+	durable   *backend.DurableStore
 	key       []byte
 	pollEvery time.Duration
 	batch     int
@@ -219,6 +271,39 @@ func newDaemon(key []byte, pollEvery time.Duration, batch int, timeout time.Dura
 		return int64(len(d.seenEver))
 	})
 	return d
+}
+
+// attachDurable swaps the daemon's volatile store for a recovered
+// durable one. Must run before the daemon starts serving: observability
+// and tracing re-attach to the recovered store, and the harvest path
+// switches to WAL-before-ack ingestion (serveDevice checks d.durable).
+func (d *daemon) attachDurable(dir string, o backend.DurableOptions) (backend.RecoveryStats, error) {
+	ds, stats, err := backend.OpenDurable(dir, o)
+	if err != nil {
+		return stats, err
+	}
+	d.durable = ds
+	d.store = ds.Store
+	ds.EnableDurableObs(d.obs)
+	ds.Store.EnableTrace(d.tracer)
+	return stats, nil
+}
+
+// checkpointLoop checkpoints on a fixed cadence. stop is for tests;
+// the daemon runs it for the life of the process.
+func (d *daemon) checkpointLoop(every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		if err := d.durable.Checkpoint(); err != nil {
+			log.Printf("merakid: checkpoint: %v", err)
+		}
+	}
 }
 
 // debugMux builds the -debug HTTP handler: the metrics registry as one
@@ -308,6 +393,21 @@ func (d *daemon) serveDevice(conn net.Conn) {
 	p.Health = d.health
 	p.Metrics = d.harvest
 	p.Trace = d.tracer
+	if d.durable != nil {
+		// WAL-before-ack: the batch becomes durable and lands in the
+		// store before the ack frame goes out. On a WAL failure the poll
+		// errors without acking — the device keeps its queue — and the
+		// daemon flags itself degraded rather than crashing.
+		p.BeforeAck = func(reports []*telemetry.Report, raw [][]byte) error {
+			if err := d.durable.IngestBatch(reports, raw); err != nil {
+				d.health.AddWALFailure()
+				d.health.SetDegraded(true)
+				log.Printf("merakid: degraded (read-only): %v", err)
+				return err
+			}
+			return nil
+		}
+	}
 	d.mu.Lock()
 	if d.devices == nil {
 		d.devices = make(map[string]bool)
@@ -335,7 +435,10 @@ func (d *daemon) serveDevice(conn net.Conn) {
 			return
 		}
 		for _, r := range reports {
-			d.store.Ingest(r)
+			// Durable mode already ingested the batch in BeforeAck.
+			if d.durable == nil {
+				d.store.Ingest(r)
+			}
 			// A crash report is exactly the moment the recent span
 			// history is worth keeping: dump the recorder before the
 			// ring overwrites the lead-up.
@@ -381,6 +484,11 @@ func (d *daemon) serveQuery(conn net.Conn) {
 			fmt.Fprintf(w, "devices=%d ingested=%d duplicates=%d clients=%d\n",
 				nDev, ing, dup, d.store.NumClients())
 			fmt.Fprintf(w, "%s dedup_hits=%d\n", d.health.Snapshot(), dup)
+			if d.durable != nil {
+				fmt.Fprintf(w, "wal next_lsn=%d checkpoint_lsn=%d segments=%d degraded=%t\n",
+					d.durable.WAL().NextLSN(), d.durable.CheckpointLSN(),
+					d.durable.WAL().Segments(), d.durable.Degraded())
+			}
 		case "clients":
 			fmt.Fprintf(w, "%d\n", d.store.NumClients())
 		case "top-apps":
@@ -417,6 +525,16 @@ func (d *daemon) serveQuery(conn net.Conn) {
 			}
 		case "metrics":
 			d.obs.WriteText(w)
+		case "digest":
+			fmt.Fprintln(w, d.store.Digest())
+		case "checkpoint":
+			if d.durable == nil {
+				fmt.Fprintln(w, "ERR not running durable (-wal-dir)")
+			} else if err := d.durable.Checkpoint(); err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+			} else {
+				fmt.Fprintf(w, "checkpointed lsn=%d\n", d.durable.CheckpointLSN())
+			}
 		case "trace":
 			d.queryTrace(w, fields)
 		case "save":

@@ -1,0 +1,112 @@
+package backend
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"wlanscale/internal/dot11"
+)
+
+// Digest returns a SHA-256 over a canonical dump of everything the
+// store holds: client aggregates, dedup high-water marks, and every
+// device series. Two stores with the same contents digest identically
+// regardless of shard count, ingestion interleaving across serials, or
+// map iteration order — per-serial series order still matters, as it
+// does for analyses. The crash-recovery proof harness compares a
+// recovered daemon's digest against a never-crashed control run's;
+// merakid serves it as the "digest" query.
+//
+// Set-like fields (user agents, DHCP fingerprints, AP sets) are sorted
+// into the dump because their in-memory order depends on which AP's
+// report arrived first when several APs see one client.
+//
+// Digest takes every stripe lock, like Save; concurrent ingests stall
+// for the walk.
+func (s *Store) Digest() string {
+	defer s.lockAll()()
+	snap := s.collectLocked()
+	h := sha256.New()
+
+	macs := make([]dot11.MAC, 0, len(snap.Clients))
+	for mac := range snap.Clients {
+		macs = append(macs, mac)
+	}
+	sort.Slice(macs, func(i, j int) bool { return macs[i].Uint64() < macs[j].Uint64() })
+	for _, mac := range macs {
+		c := snap.Clients[mac]
+		fmt.Fprintf(h, "client %s band=%d rssi=%d caps=%x\n", mac, c.Band, c.RSSIdB, c.Caps.Marshal())
+		for _, name := range sortedKeys(c.Apps) {
+			a := c.Apps[name]
+			fmt.Fprintf(h, " app %s up=%d down=%d flows=%d\n", name, a.UpBytes, a.DownBytes, a.Flows)
+		}
+		uas := append([]string(nil), c.UserAgents...)
+		sort.Strings(uas)
+		for _, ua := range uas {
+			fmt.Fprintf(h, " ua %s\n", ua)
+		}
+		fps := make([]string, 0, len(c.DHCPFingerprints))
+		for _, fp := range c.DHCPFingerprints {
+			fps = append(fps, hex.EncodeToString(fp))
+		}
+		sort.Strings(fps)
+		for _, fp := range fps {
+			fmt.Fprintf(h, " fp %s\n", fp)
+		}
+		for _, serial := range sortedKeys(c.APs) {
+			fmt.Fprintf(h, " ap %s\n", serial)
+		}
+	}
+
+	for _, serial := range sortedKeys(snap.Seen) {
+		fmt.Fprintf(h, "seen %s %d\n", serial, snap.Seen[serial])
+	}
+	for _, serial := range sortedKeys(snap.Radio) {
+		fmt.Fprintf(h, "radio %s", serial)
+		for _, r := range snap.Radio[serial] {
+			fmt.Fprintf(h, " %d/%d/%d/%g/%g/%g", r.Timestamp, r.Band, r.Channel, r.Busy, r.Decodable, r.Tx)
+		}
+		io.WriteString(h, "\n")
+	}
+	for _, serial := range sortedKeys(snap.Scans) {
+		fmt.Fprintf(h, "scan %s", serial)
+		for _, p := range snap.Scans[serial] {
+			fmt.Fprintf(h, " %d/%d/%d/%g/%g", p.Timestamp, p.Band, p.Channel, p.Busy, p.Decodable)
+		}
+		io.WriteString(h, "\n")
+	}
+	for _, serial := range sortedKeys(snap.Crashes) {
+		fmt.Fprintf(h, "crash %s", serial)
+		for _, c := range snap.Crashes[serial] {
+			fmt.Fprintf(h, " %d/%d/%s/%x/%d/%d", c.Timestamp, c.Kind, c.Firmware, c.PC, c.FreeKB, c.NeighborCount)
+		}
+		io.WriteString(h, "\n")
+	}
+	for _, serial := range sortedKeys(snap.Neighbors) {
+		m := snap.Neighbors[serial]
+		bssids := make([]dot11.BSSID, 0, len(m))
+		for b := range m {
+			bssids = append(bssids, b)
+		}
+		sort.Slice(bssids, func(i, j int) bool { return bssids[i].Uint64() < bssids[j].Uint64() })
+		fmt.Fprintf(h, "neigh %s", serial)
+		for _, b := range bssids {
+			n := m[b]
+			fmt.Fprintf(h, " %s/%s/%d/%d/%d/%s", n.BSSID, n.SSID, n.Band, n.Channel, n.RSSIdB, n.Vendor)
+		}
+		io.WriteString(h, "\n")
+	}
+	links := make([]LinkKey, 0, len(snap.Links))
+	for k := range snap.Links {
+		links = append(links, k)
+	}
+	sort.Slice(links, func(i, j int) bool { return lessLinkKey(links[i], links[j]) })
+	for _, k := range links {
+		l := snap.Links[k]
+		fmt.Fprintf(h, "link %s->%s band=%d sent=%v del=%v\n", k.From, k.To, k.Band, l.Sent, l.Deliver)
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}

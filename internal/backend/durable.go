@@ -1,0 +1,333 @@
+package backend
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wlanscale/internal/obs"
+	"wlanscale/internal/telemetry"
+	"wlanscale/internal/wal"
+)
+
+// DurableOptions tunes OpenDurable. The zero value is usable:
+// DefaultShards stripes, default WAL options, two checkpoint
+// generations kept.
+type DurableOptions struct {
+	// Shards is the store stripe count; zero means DefaultShards.
+	Shards int
+	// WAL configures the write-ahead log (segment size, fsync policy,
+	// crash injection for tests).
+	WAL wal.Options
+	// KeepCheckpoints is how many checkpoint generations to retain;
+	// recovery falls back one generation when the newest is corrupt.
+	// Zero means 2.
+	KeepCheckpoints int
+}
+
+// RecoveryStats describes what OpenDurable found and rebuilt.
+type RecoveryStats struct {
+	// CheckpointLSN is the WAL position the restored checkpoint covers
+	// (0 when no checkpoint loaded).
+	CheckpointLSN wal.LSN
+	// CheckpointFile is the checkpoint restored, "" when none.
+	CheckpointFile string
+	// Fallbacks counts corrupt checkpoint generations skipped before one
+	// loaded (or all were exhausted).
+	Fallbacks int
+	// Replayed is how many WAL records were re-ingested; Skipped is how
+	// many the checkpoint already covered; TornBytes is the torn tail
+	// discarded from the final segment.
+	Replayed  int
+	Skipped   int
+	TornBytes int64
+	// BadRecords counts CRC-valid WAL payloads that failed report
+	// decoding (should be zero; nonzero means a writer bug, not disk
+	// damage).
+	BadRecords int
+}
+
+func (r RecoveryStats) String() string {
+	return fmt.Sprintf("checkpoint_lsn=%d fallbacks=%d replayed=%d skipped=%d torn_bytes=%d bad_records=%d",
+		r.CheckpointLSN, r.Fallbacks, r.Replayed, r.Skipped, r.TornBytes, r.BadRecords)
+}
+
+// DurableStore is a Store whose ingests survive process death: every
+// report's wire bytes are appended to a write-ahead log before the
+// harvest path acknowledges them, and periodic checkpoints bound
+// replay time. Recovery (OpenDurable) loads the newest valid
+// checkpoint — falling back one generation on corruption — and
+// replays the WAL above it through the ordinary Ingest path, so
+// (serial, seqno) dedup absorbs the overlap between a checkpoint and
+// the records that raced into it.
+//
+// When the WAL write path fails (disk full, I/O error) the store goes
+// degraded: IngestBatch refuses further writes, so pollers stop
+// acknowledging and devices queue — reports back up at the edge
+// instead of being acked into a black hole. Queries keep serving the
+// in-memory state.
+type DurableStore struct {
+	*Store
+
+	dir  string
+	log  *wal.Log
+	keep int
+
+	// flight serializes checkpoint LSN capture against in-flight
+	// batches: IngestBatch holds the read side across append+ingest, so
+	// when Checkpoint briefly takes the write side, every record below
+	// the captured LSN is already in the in-memory store (and therefore
+	// in the snapshot about to be written).
+	flight sync.RWMutex
+
+	mu       sync.Mutex // serializes Checkpoint; guards ckptLSN
+	ckptLSN  wal.LSN
+	degraded atomic.Bool
+
+	ckptDur          *obs.Histogram
+	ckpts, ckptFails *obs.Counter
+	walFails         *obs.Counter
+}
+
+// ErrDegraded is returned by IngestBatch once the WAL write path has
+// failed; the daemon is read-only until restarted with a healthy disk.
+var ErrDegraded = fmt.Errorf("backend: durable store is degraded (WAL write failed); refusing to ack")
+
+const checkpointGlob = "checkpoint-*.gob"
+
+func checkpointName(lsn wal.LSN) string { return fmt.Sprintf("checkpoint-%016x.gob", uint64(lsn)) }
+
+func parseCheckpointName(name string) (wal.LSN, bool) {
+	var v uint64
+	if n, err := fmt.Sscanf(name, "checkpoint-%016x.gob", &v); n != 1 || err != nil {
+		return 0, false
+	}
+	// Sscanf ignores trailing input, so reconstruct and compare: a
+	// SaveFile temp husk ("checkpoint-...gob.tmp-123") left by a crash
+	// mid-checkpoint must not be mistaken for a real generation.
+	if name != checkpointName(wal.LSN(v)) {
+		return 0, false
+	}
+	return wal.LSN(v), true
+}
+
+// listCheckpoints returns checkpoint LSNs in dir, descending (newest
+// first).
+func listCheckpoints(dir string) ([]wal.LSN, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var lsns []wal.LSN
+	for _, e := range ents {
+		if lsn, ok := parseCheckpointName(e.Name()); ok {
+			lsns = append(lsns, lsn)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	return lsns, nil
+}
+
+// OpenDurable opens (or creates) a durable store rooted at dir:
+// checkpoints and WAL segments live side by side in the one
+// directory. Recovery order: newest checkpoint that loads cleanly,
+// then WAL replay from its LSN, with the WAL's own torn-tail repair
+// running first. A corrupt newest checkpoint falls back one
+// generation — the WAL is only ever truncated below the oldest kept
+// checkpoint, so the fallback generation still has every record it
+// needs ahead of it.
+func OpenDurable(dir string, o DurableOptions) (*DurableStore, RecoveryStats, error) {
+	var stats RecoveryStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, stats, err
+	}
+	shards := o.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	keep := o.KeepCheckpoints
+	if keep <= 0 {
+		keep = 2
+	}
+	d := &DurableStore{Store: NewStoreShards(shards), dir: dir, keep: keep}
+
+	// A crash inside SaveFile leaves a temp file the rename never
+	// promoted; sweep such husks so they cannot accumulate.
+	if husks, err := filepath.Glob(filepath.Join(dir, checkpointGlob+".tmp-*")); err == nil {
+		for _, h := range husks {
+			os.Remove(h)
+		}
+	}
+	lsns, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, lsn := range lsns {
+		path := filepath.Join(dir, checkpointName(lsn))
+		if err := d.Store.LoadFile(path); err != nil {
+			// Corrupt or torn checkpoint: fall back a generation. The
+			// store may hold a partial load; reset by rebuilding.
+			log.Printf("backend: checkpoint %s unreadable (%v), falling back", filepath.Base(path), err)
+			stats.Fallbacks++
+			d.Store = NewStoreShards(shards)
+			continue
+		}
+		d.ckptLSN = lsn
+		stats.CheckpointLSN = lsn
+		stats.CheckpointFile = path
+		break
+	}
+
+	wlog, err := wal.Open(dir, o.WAL)
+	if err != nil {
+		return nil, stats, err
+	}
+	d.log = wlog
+	rstats, err := wlog.Replay(d.ckptLSN, func(_ wal.LSN, payload []byte) error {
+		r, err := telemetry.UnmarshalReport(payload)
+		if err != nil {
+			stats.BadRecords++
+			return nil
+		}
+		d.Store.Ingest(r)
+		return nil
+	})
+	if err != nil {
+		wlog.Close()
+		return nil, stats, err
+	}
+	stats.Replayed = rstats.Records
+	stats.Skipped = rstats.Skipped
+	stats.TornBytes = rstats.TornBytes + wlog.TornAtOpen()
+	return d, stats, nil
+}
+
+// WAL exposes the underlying log (metrics registration, tests).
+func (d *DurableStore) WAL() *wal.Log { return d.log }
+
+// Degraded reports whether the WAL write path has failed.
+func (d *DurableStore) Degraded() bool { return d.degraded.Load() }
+
+// CheckpointLSN returns the WAL position covered by the newest
+// on-disk checkpoint.
+func (d *DurableStore) CheckpointLSN() wal.LSN {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ckptLSN
+}
+
+// IngestBatch makes a batch of harvested reports durable and folds
+// them into the store, in that order: wire bytes reach the WAL (one
+// write syscall for the batch) before any in-memory state changes, so
+// the caller may acknowledge the batch to the device the moment
+// IngestBatch returns nil. raw[i] must be the pbwire encoding of
+// reports[i]; pass nil raw to have the batch re-marshaled (replay
+// produces identical bytes either way).
+//
+// On WAL failure the store flips to degraded and every future call
+// returns ErrDegraded without acking — the device keeps its queue.
+func (d *DurableStore) IngestBatch(reports []*telemetry.Report, raw [][]byte) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	if d.degraded.Load() {
+		return ErrDegraded
+	}
+	if raw == nil {
+		raw = make([][]byte, len(reports))
+		for i, r := range reports {
+			raw[i] = r.Marshal()
+		}
+	}
+	d.flight.RLock()
+	defer d.flight.RUnlock()
+	if _, err := d.log.AppendBatch(raw); err != nil {
+		d.degraded.Store(true)
+		d.walFails.Inc()
+		return fmt.Errorf("backend: wal append: %w", err)
+	}
+	for _, r := range reports {
+		d.Store.Ingest(r)
+	}
+	return nil
+}
+
+// Checkpoint writes an atomic snapshot covering every WAL record below
+// the captured LSN, prunes checkpoint generations beyond the retention
+// count, and truncates WAL segments wholly below the oldest kept
+// generation. Safe to call concurrently with ingestion; calls are
+// serialized. Harvested reports carry nonzero seqnos, so the records
+// that race into the snapshot from above the captured LSN are absorbed
+// by dedup when replayed.
+func (d *DurableStore) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sp := obs.StartSpan(d.ckptDur)
+	defer sp.End()
+
+	// With the flight write lock held, no batch sits between "in the
+	// WAL" and "in the store": everything below lsn is in memory.
+	d.flight.Lock()
+	lsn := d.log.NextLSN()
+	d.flight.Unlock()
+
+	path := filepath.Join(d.dir, checkpointName(lsn))
+	if err := d.Store.SaveFile(path); err != nil {
+		d.ckptFails.Inc()
+		return fmt.Errorf("backend: checkpoint: %w", err)
+	}
+	d.ckptLSN = lsn
+	d.ckpts.Inc()
+
+	// Prune old generations, then drop WAL segments no kept generation
+	// needs. Both are best-effort: leftovers cost disk, not correctness.
+	lsns, err := listCheckpoints(d.dir)
+	if err != nil {
+		return nil
+	}
+	oldestKept := lsn
+	for i, old := range lsns {
+		if i < d.keep {
+			if old < oldestKept {
+				oldestKept = old
+			}
+			continue
+		}
+		os.Remove(filepath.Join(d.dir, checkpointName(old)))
+	}
+	d.log.TruncateBelow(oldestKept)
+	return nil
+}
+
+// EnableDurableObs registers the durability metrics on reg —
+// checkpoint.duration_us, checkpoint.count, checkpoint.failures,
+// checkpoint.lsn, wal.write_failures, wal.degraded — alongside the
+// WAL's own wal.* metrics and the store's store.* set.
+func (d *DurableStore) EnableDurableObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.Store.EnableObs(reg)
+	d.log.EnableObs(reg)
+	d.ckptDur = reg.Histogram("checkpoint.duration_us", obs.DurationBuckets)
+	d.ckpts = reg.Counter("checkpoint.count")
+	d.ckptFails = reg.Counter("checkpoint.failures")
+	d.walFails = reg.Counter("wal.write_failures")
+	reg.RegisterFunc("checkpoint.lsn", func() int64 { return int64(d.CheckpointLSN()) })
+	reg.RegisterFunc("wal.degraded", func() int64 {
+		if d.Degraded() {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Close checkpoints nothing; it syncs and closes the WAL. Call
+// Checkpoint first for a fast next boot.
+func (d *DurableStore) Close() error {
+	return d.log.Close()
+}

@@ -1,0 +1,94 @@
+package backend
+
+import (
+	"testing"
+	"time"
+
+	"wlanscale/internal/telemetry"
+	"wlanscale/internal/wal"
+)
+
+// The durability tax: BenchmarkDurableIngest measures a poll-sized
+// batch (16 reports) through the volatile store and through the
+// durable store under each fsync policy. The wire bytes are pre-built,
+// as on the real harvest path, so the delta is pure WAL cost: frame
+// building, one write(2) per batch, and whatever fsync the policy
+// demands. EXPERIMENTS.md records the numbers; the budget for the
+// default interval policy is <10% over volatile.
+
+const (
+	benchBatches   = 512
+	benchBatchSize = 16
+	benchSerials   = 64
+)
+
+// buildEra materializes one era of distinct (serial, seqno) batches.
+// Re-running with era+1 continues every serial's seqno sequence, so
+// the watermark dedup never short-circuits the ingest being measured.
+func buildEra(era int) ([][]*telemetry.Report, [][][]byte) {
+	perSerial := benchBatches * benchBatchSize / benchSerials
+	reports := make([][]*telemetry.Report, benchBatches)
+	raws := make([][][]byte, benchBatches)
+	k := 0
+	for bi := range reports {
+		reports[bi] = make([]*telemetry.Report, benchBatchSize)
+		raws[bi] = make([][]byte, benchBatchSize)
+		for j := range reports[bi] {
+			r := fullReport(k%benchSerials, uint64(era*perSerial+k/benchSerials+1))
+			reports[bi][j] = r
+			raws[bi][j] = r.Marshal()
+			k++
+		}
+	}
+	return reports, raws
+}
+
+func BenchmarkDurableIngest(b *testing.B) {
+	b.Run("volatile", func(b *testing.B) {
+		s := NewStore()
+		era := 0
+		reports, _ := buildEra(era)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx := i % benchBatches
+			if idx == 0 && i > 0 {
+				b.StopTimer()
+				era++
+				reports, _ = buildEra(era)
+				b.StartTimer()
+			}
+			for _, r := range reports[idx] {
+				s.Ingest(r)
+			}
+		}
+	})
+
+	for _, pol := range []wal.Policy{wal.PolicyOff, wal.PolicyInterval, wal.PolicyAlways} {
+		b.Run("wal-"+pol.String(), func(b *testing.B) {
+			dir := b.TempDir()
+			d, _, err := OpenDurable(dir, DurableOptions{WAL: wal.Options{
+				Policy:   pol,
+				Interval: 100 * time.Millisecond,
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			era := 0
+			reports, raws := buildEra(era)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx := i % benchBatches
+				if idx == 0 && i > 0 {
+					b.StopTimer()
+					era++
+					reports, raws = buildEra(era)
+					b.StartTimer()
+				}
+				if err := d.IngestBatch(reports[idx], raws[idx]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

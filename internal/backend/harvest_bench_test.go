@@ -1,0 +1,76 @@
+package backend
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"wlanscale/internal/telemetry"
+	"wlanscale/internal/wal"
+)
+
+// runHarvestArm drives one poll-loop benchmark arm: an in-process
+// agent/poller pair over net.Pipe, batch-sized polls, with beforeAck
+// standing where cmd/merakid hangs its ingest (and, durable, its WAL).
+func runHarvestArm(b *testing.B, beforeAck func([]*telemetry.Report, [][]byte) error) {
+	const batch = 16
+	key := make([]byte, 32)
+	c1, c2 := net.Pipe()
+	agent := telemetry.NewAgent("Q2XX-BENCH", key)
+	go agent.ServeConn(c1)
+	p, err := telemetry.AcceptPoller(c2, key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.BeforeAck = beforeAck
+	r := fullReport(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			rr := *r
+			agent.Enqueue(&rr)
+		}
+		got, err := p.Poll(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != batch {
+			b.Fatalf("poll returned %d reports, want %d", len(got), batch)
+		}
+	}
+}
+
+// BenchmarkHarvestPipeline measures the WAL where the daemon pays for
+// it: one op is a full poll round — agent-side marshal and encrypt,
+// frame transport, daemon-side decrypt, unmarshal, ingest, and ack —
+// exactly cmd/merakid's serveDevice loop over an in-process pipe. The
+// volatile arm ingests into a bare store from BeforeAck; the wal arms
+// run DurableStore.IngestBatch there, as merakid does with -wal-dir.
+// BenchmarkDurableIngest isolates the store+WAL cost by itself; this
+// benchmark answers what fraction of a real harvest the log adds.
+func BenchmarkHarvestPipeline(b *testing.B) {
+	b.Run("volatile", func(b *testing.B) {
+		s := NewStore()
+		runHarvestArm(b, func(reports []*telemetry.Report, _ [][]byte) error {
+			for _, r := range reports {
+				s.Ingest(r)
+			}
+			return nil
+		})
+	})
+
+	for _, pol := range []wal.Policy{wal.PolicyOff, wal.PolicyInterval, wal.PolicyAlways} {
+		b.Run("wal-"+pol.String(), func(b *testing.B) {
+			d, _, err := OpenDurable(b.TempDir(), DurableOptions{WAL: wal.Options{
+				Policy:   pol,
+				Interval: 100 * time.Millisecond,
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			runHarvestArm(b, d.IngestBatch)
+		})
+	}
+}

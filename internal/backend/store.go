@@ -20,6 +20,7 @@ import (
 	"hash/maphash"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -690,21 +691,34 @@ type snapshot struct {
 func (s *Store) Save(w io.Writer) error {
 	sp := obs.StartSpan(s.saveDur)
 	defer sp.End()
+	defer s.lockAll()()
+	return gob.NewEncoder(w).Encode(s.collectLocked())
+}
+
+// lockAll acquires every stripe lock in index order (clients then
+// devices) and returns the matching unlock. No other path holds more
+// than one stripe at a time, so the ordering cannot deadlock.
+func (s *Store) lockAll() func() {
 	for _, cs := range s.clientShards {
 		cs.mu.Lock()
 	}
 	for _, ds := range s.deviceShards {
 		ds.mu.Lock()
 	}
-	defer func() {
+	return func() {
 		for _, ds := range s.deviceShards {
 			ds.mu.Unlock()
 		}
 		for _, cs := range s.clientShards {
 			cs.mu.Unlock()
 		}
-	}()
+	}
+}
 
+// collectLocked flattens the stripes into the persisted snapshot form.
+// The result references live aggregates and series, so the caller must
+// hold every stripe lock (lockAll) until it is done reading them.
+func (s *Store) collectLocked() snapshot {
 	snap := snapshot{
 		Seen:      make(map[string]uint64),
 		Clients:   make(map[dot11.MAC]*ClientAggregate),
@@ -739,7 +753,7 @@ func (s *Store) Save(w io.Writer) error {
 			snap.Crashes[k] = v
 		}
 	}
-	return gob.NewEncoder(w).Encode(snap)
+	return snap
 }
 
 // Load replaces the store contents from a gob snapshot. The shard
@@ -813,14 +827,50 @@ func (s *Store) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes the snapshot to a file path.
+// SaveFile writes the snapshot to a file path atomically: encode into
+// a temp file in the target directory, fsync it, then rename over the
+// destination. A crash at any point leaves either the old snapshot or
+// the new one — never a torn file — which is what lets merakid's
+// "save" query and -snapshot shutdown path run against a path that
+// already holds the previous generation.
 func (s *Store) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return s.Save(f)
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry
+// is durable. Best effort: some filesystems refuse directory fsync,
+// and the rename itself is already atomic.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // LoadFile reads a snapshot from a file path.

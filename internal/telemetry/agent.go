@@ -1,9 +1,12 @@
 package telemetry
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"net"
@@ -214,27 +217,86 @@ type queueSnapshot struct {
 	Queue   [][]byte
 }
 
+// queueMagic opens every queue snapshot; the trailing byte is the
+// format version. The fixed header that follows it — queued-report
+// count, then a CRC32-C of the gob payload — lets LoadQueue tell a
+// clean snapshot from flash corruption, and still account the lost
+// reports when the payload is unreadable.
+var queueMagic = [8]byte{'W', 'L', 'Q', 'S', 'N', 'P', 'v', '1'}
+
+const queueHeaderSize = 16 // magic(8) + count(4) + crc(4)
+
+var queueCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
 // SaveQueue persists the unacknowledged queue, the sequence counter,
-// and the overflow-drop counter. Acknowledged reports are already gone
-// from the queue, so a restore never re-delivers more than the
-// backend's (serial, seqno) dedup absorbs.
+// and the overflow-drop counter, framed by a versioned header and a
+// payload checksum. Acknowledged reports are already gone from the
+// queue, so a restore never re-delivers more than the backend's
+// (serial, seqno) dedup absorbs.
 func (a *Agent) SaveQueue(w io.Writer) error {
 	a.mu.Lock()
 	snap := queueSnapshot{Serial: a.Serial, Seq: a.seq, Dropped: a.dropped}
 	snap.Queue = make([][]byte, len(a.queue))
 	copy(snap.Queue, a.queue)
 	a.mu.Unlock()
-	return gob.NewEncoder(w).Encode(snap)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return err
+	}
+	hdr := make([]byte, queueHeaderSize)
+	copy(hdr, queueMagic[:])
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(snap.Queue)))
+	binary.BigEndian.PutUint32(hdr[12:], crc32.Checksum(payload.Bytes(), queueCRCTable))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
 }
 
 // LoadQueue restores a saved queue after a reboot, replacing the
-// current queue. The sequence counter only moves forward: restoring a
-// stale snapshot must not re-issue sequence numbers that newer reports
-// may already have used, or the backend would dedup fresh data away.
+// current queue. A corrupt or truncated snapshot — bad magic, short
+// file, checksum mismatch, undecodable gob — does not error the agent
+// out of its durable-queue semantics: the agent starts with an empty
+// queue and the header's report count (when readable) is added to
+// Dropped, so the loss is accounted like any other queue drop. Only a
+// snapshot that decodes cleanly but belongs to another device is
+// rejected with an error. The sequence counter only moves forward:
+// restoring a stale snapshot must not re-issue sequence numbers that
+// newer reports may already have used, or the backend would dedup
+// fresh data away.
 func (a *Agent) LoadQueue(r io.Reader) error {
+	hdr := make([]byte, queueHeaderSize)
+	lostCount := 0
+	corrupt := func() error {
+		a.mu.Lock()
+		a.queue = nil
+		a.dropped += lostCount
+		if a.meta != nil {
+			a.meta = nil
+		}
+		a.mu.Unlock()
+		a.Metrics.Dropped.Add(int64(lostCount))
+		return nil
+	}
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return corrupt()
+	}
+	if [8]byte(hdr[:8]) != queueMagic {
+		return corrupt()
+	}
+	lostCount = int(binary.BigEndian.Uint32(hdr[8:]))
+	wantCRC := binary.BigEndian.Uint32(hdr[12:])
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return corrupt()
+	}
+	if crc32.Checksum(payload, queueCRCTable) != wantCRC {
+		return corrupt()
+	}
 	var snap queueSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("telemetry: load queue: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return corrupt()
 	}
 	if snap.Serial != "" && snap.Serial != a.Serial {
 		return fmt.Errorf("telemetry: queue snapshot is for %q, agent is %q", snap.Serial, a.Serial)
@@ -411,6 +473,14 @@ type Poller struct {
 	// report a poll delivers and folds the agent-side spans riding the
 	// batch into the daemon's flight recorder.
 	Trace *trace.Tracer
+	// BeforeAck, when set, runs after a poll's reports are decoded and
+	// before the ack frame is sent, with the decoded reports and their
+	// raw wire bytes. An error aborts the poll without acking, so the
+	// device keeps the batch queued and re-delivers it — the hook is
+	// where a durable backend appends to its write-ahead log (and
+	// ingests), making "acked" imply "recoverable" across process
+	// death.
+	BeforeAck func(reports []*Report, raw [][]byte) error
 }
 
 // connFaultProfile surfaces a faultnet connection's scheduled faults
@@ -544,6 +614,11 @@ func (p *Poller) poll(max int) ([]*Report, error) {
 				DurUS:   durUS,
 				Fault:   fault,
 			})
+		}
+	}
+	if p.BeforeAck != nil {
+		if err := p.BeforeAck(out, m.Reports); err != nil {
+			return nil, err
 		}
 	}
 	if err := p.tunnel.WriteFrame(EncodeMessage(&Message{Type: frameAck, Count: uint32(len(m.Reports))})); err != nil {

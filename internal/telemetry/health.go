@@ -21,6 +21,8 @@ type HarvestHealth struct {
 	macFailures   int
 	corruptFrames int
 	timeouts      int
+	walFailures   int
+	degraded      bool
 	queueDrops    map[string]int
 }
 
@@ -39,18 +41,38 @@ type HealthSnapshot struct {
 	// QueueDrops is the fleet-wide total of device-reported queue
 	// overflow drops (latest cumulative value per serial, summed).
 	QueueDrops int
+	// WALFailures counts write-ahead-log appends the durable backend
+	// could not complete; Degraded is set while the backend refuses to
+	// ack because its disk write path is down (see backend.DurableStore).
+	WALFailures int
+	Degraded    bool
 }
 
 // String renders the snapshot as the status line merakid prints.
 func (s HealthSnapshot) String() string {
-	return fmt.Sprintf("reconnects=%d mac_failures=%d corrupt_frames=%d timeouts=%d queue_drops=%d",
-		s.Reconnects, s.MACFailures, s.CorruptFrames, s.Timeouts, s.QueueDrops)
+	return fmt.Sprintf("reconnects=%d mac_failures=%d corrupt_frames=%d timeouts=%d queue_drops=%d wal_failures=%d degraded=%t",
+		s.Reconnects, s.MACFailures, s.CorruptFrames, s.Timeouts, s.QueueDrops, s.WALFailures, s.Degraded)
 }
 
 // AddReconnect records one re-established session.
 func (h *HarvestHealth) AddReconnect() {
 	h.mu.Lock()
 	h.reconnects++
+	h.mu.Unlock()
+}
+
+// AddWALFailure records one failed write-ahead-log append.
+func (h *HarvestHealth) AddWALFailure() {
+	h.mu.Lock()
+	h.walFailures++
+	h.mu.Unlock()
+}
+
+// SetDegraded flips the degraded read-only flag the durable backend
+// raises when its disk write path fails.
+func (h *HarvestHealth) SetDegraded(v bool) {
+	h.mu.Lock()
+	h.degraded = v
 	h.mu.Unlock()
 }
 
@@ -99,6 +121,8 @@ func (h *HarvestHealth) Snapshot() HealthSnapshot {
 		MACFailures:   h.macFailures,
 		CorruptFrames: h.corruptFrames,
 		Timeouts:      h.timeouts,
+		WALFailures:   h.walFailures,
+		Degraded:      h.degraded,
 	}
 	for _, n := range h.queueDrops {
 		s.QueueDrops += n

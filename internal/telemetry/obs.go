@@ -82,4 +82,11 @@ func RegisterHealth(reg *obs.Registry, h *HarvestHealth) {
 	reg.RegisterFunc("harvest.corrupt_frames", func() int64 { return int64(h.Snapshot().CorruptFrames) })
 	reg.RegisterFunc("harvest.timeouts", func() int64 { return int64(h.Snapshot().Timeouts) })
 	reg.RegisterFunc("harvest.queue_drops", func() int64 { return int64(h.Snapshot().QueueDrops) })
+	reg.RegisterFunc("harvest.wal_failures", func() int64 { return int64(h.Snapshot().WALFailures) })
+	reg.RegisterFunc("harvest.degraded", func() int64 {
+		if h.Snapshot().Degraded {
+			return 1
+		}
+		return 0
+	})
 }

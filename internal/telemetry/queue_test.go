@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+)
+
+// savedQueue returns a valid queue snapshot for an agent holding n
+// reports.
+func savedQueue(t *testing.T, serial string, n int) []byte {
+	t.Helper()
+	a := NewAgent(serial, testKey)
+	for i := 0; i < n; i++ {
+		a.Enqueue(&Report{Serial: serial, Timestamp: uint64(i)})
+	}
+	var buf bytes.Buffer
+	if err := a.SaveQueue(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// loadCorrupt runs LoadQueue over a damaged snapshot and asserts the
+// contract: no error, empty queue, and wantLost added to Dropped.
+func loadCorrupt(t *testing.T, name string, snap []byte, wantLost int) {
+	t.Helper()
+	a := NewAgent("Q2XX-CRPT", testKey)
+	a.Enqueue(&Report{Serial: a.Serial}) // pre-existing queue must be replaced, not kept
+	if err := a.LoadQueue(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("%s: corrupt snapshot errored the agent out: %v", name, err)
+	}
+	if a.QueueLen() != 0 {
+		t.Errorf("%s: queue = %d after corrupt restore, want empty", name, a.QueueLen())
+	}
+	if a.Dropped() != wantLost {
+		t.Errorf("%s: dropped = %d, want %d", name, a.Dropped(), wantLost)
+	}
+	// The agent keeps working: enqueue succeeds and seq keeps moving.
+	a.Enqueue(&Report{Serial: a.Serial})
+	if a.QueueLen() != 1 {
+		t.Errorf("%s: agent unusable after corrupt restore", name)
+	}
+}
+
+func TestLoadQueueCorruption(t *testing.T) {
+	const n = 7
+	valid := savedQueue(t, "Q2XX-CRPT", n)
+
+	t.Run("empty file", func(t *testing.T) {
+		loadCorrupt(t, "empty", nil, 0) // header unreadable: loss size unknown
+	})
+	t.Run("short header", func(t *testing.T) {
+		loadCorrupt(t, "short header", valid[:queueHeaderSize-3], 0)
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := bytes.Clone(valid)
+		bad[0] = 'X'
+		loadCorrupt(t, "bad magic", bad, 0) // header untrusted once magic fails
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		loadCorrupt(t, "truncated", valid[:len(valid)-4], n)
+	})
+	t.Run("bit flip", func(t *testing.T) {
+		bad := bytes.Clone(valid)
+		bad[queueHeaderSize+len(bad)/2] ^= 0x40
+		loadCorrupt(t, "bit flip", bad, n)
+	})
+	t.Run("crc header flip", func(t *testing.T) {
+		bad := bytes.Clone(valid)
+		bad[queueHeaderSize-1] ^= 0x01 // stored CRC itself damaged
+		loadCorrupt(t, "crc flip", bad, n)
+	})
+	t.Run("garbage after header", func(t *testing.T) {
+		bad := append(bytes.Clone(valid[:queueHeaderSize]), []byte("flash sector noise")...)
+		loadCorrupt(t, "garbage payload", bad, n)
+	})
+
+	// And the valid snapshot still restores — the hardening did not
+	// break the happy path.
+	a := NewAgent("Q2XX-CRPT", testKey)
+	if err := a.LoadQueue(bytes.NewReader(valid)); err != nil {
+		t.Fatal(err)
+	}
+	if a.QueueLen() != n {
+		t.Fatalf("valid restore queue = %d, want %d", a.QueueLen(), n)
+	}
+}
+
+// TestLoadQueueCorruptBeyondFlip: flipping a payload byte such that
+// the gob still has the right CRC is impossible from outside, but a
+// snapshot written by a buggy tool could carry a matching CRC over an
+// undecodable payload. Forge one and confirm it lands in the same
+// start-empty path.
+func TestLoadQueueUndecodablePayloadValidCRC(t *testing.T) {
+	payload := []byte("crc-valid but not gob")
+	hdr := make([]byte, queueHeaderSize)
+	copy(hdr, queueMagic[:])
+	hdr[8], hdr[9], hdr[10], hdr[11] = 0, 0, 0, 3 // claims 3 reports
+	crc := crc32.Checksum(payload, queueCRCTable)
+	hdr[12] = byte(crc >> 24)
+	hdr[13] = byte(crc >> 16)
+	hdr[14] = byte(crc >> 8)
+	hdr[15] = byte(crc)
+	loadCorrupt(t, "forged", append(hdr, payload...), 3)
+}

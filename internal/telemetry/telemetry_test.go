@@ -483,9 +483,9 @@ func TestTunnelStalledPeerTimesOut(t *testing.T) {
 
 func TestDecodeMessageMalformedReportsBatches(t *testing.T) {
 	cases := [][]byte{
-		{frameReports},                          // missing dropped counter
-		{frameReports, 0, 0},                    // short dropped counter
-		{frameReports, 0, 0, 0, 0, 0, 0},        // short length prefix
+		{frameReports},                   // missing dropped counter
+		{frameReports, 0, 0},             // short dropped counter
+		{frameReports, 0, 0, 0, 0, 0, 0}, // short length prefix
 		{frameReports, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 1, 2, 3}, // huge report length
 	}
 	for i, b := range cases {

@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"sync"
+
+	"wlanscale/internal/rng"
+)
+
+// CrashPlan is deterministic crash injection for the append path,
+// faultnet-style: one seed fully determines which append dies and how
+// much of its frame reaches the file, so a failing seed replays
+// exactly. The plan picks a victim append index in [0, horizon) and a
+// tear fraction; when that append runs, a prefix of its batch frame is
+// written and synced, the log goes sticky-failed with ErrCrashed, and
+// everything after the last whole record is a torn tail for recovery
+// to repair — the on-disk state of a process SIGKILLed inside
+// write(2), produced without a subprocess.
+type CrashPlan struct {
+	mu sync.Mutex
+	// victim is the 0-based append (record, not batch) index that dies.
+	victim int
+	// frac is how far into the frame bytes the tear lands, in (0,1).
+	frac float64
+	// fired reports whether the plan has torn yet; tornAt records the
+	// victim index for tests building their expected prefix.
+	fired  bool
+	tornAt int
+}
+
+// NewCrashPlan derives a plan from seed: the victim append index is
+// uniform in [0, horizon) and the tear offset uniform across the
+// victim's frame. The same (seed, horizon) always yields the same
+// crash.
+func NewCrashPlan(seed uint64, horizon int) *CrashPlan {
+	if horizon < 1 {
+		horizon = 1
+	}
+	src := rng.New(seed).Split("wal-crash")
+	return &CrashPlan{
+		victim: src.IntN(horizon),
+		frac:   src.Float64(),
+	}
+}
+
+// Fired reports whether the crash point has gone off, and at which
+// append index.
+func (p *CrashPlan) Fired() (bool, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired, p.tornAt
+}
+
+// Victim returns the append index the plan will tear.
+func (p *CrashPlan) Victim() int { return p.victim }
+
+// tearAt decides whether a batch starting at append index start
+// contains the victim, and if so where in the batch's frame bytes to
+// tear. bounds[i] is the byte offset where record i's frame begins
+// (with a final element marking the batch end). The tear lands
+// strictly inside the victim's own frame — records before it in the
+// batch survive whole, the victim is genuinely torn, nothing after it
+// is written — so a recovered log holds exactly the records below the
+// victim index.
+func (p *CrashPlan) tearAt(start int, bounds []int) (bool, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	batchLen := len(bounds) - 1
+	if p.fired || p.victim < start || p.victim >= start+batchLen {
+		return false, 0
+	}
+	p.fired = true
+	p.tornAt = p.victim
+	lo, hi := bounds[p.victim-start], bounds[p.victim-start+1]
+	at := lo + int(p.frac*float64(hi-lo))
+	if at <= lo {
+		at = lo + 1
+	}
+	if at >= hi {
+		at = hi - 1
+	}
+	return true, at
+}

@@ -1,0 +1,21 @@
+//go:build !unix
+
+package wal
+
+import (
+	"errors"
+	"os"
+)
+
+// Non-unix builds have no segment mapping; the error makes mapActive
+// fall back to the plain write(2) append path.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("wal: mmap unsupported on this platform")
+}
+
+func munmapFile(b []byte) {}
+
+// dupFile failing keeps interval fsync synchronous on this platform.
+func dupFile(f *os.File) (*os.File, error) {
+	return nil, errors.New("wal: dup unsupported on this platform")
+}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-write and shared: stores land in
+// the page cache exactly as write(2) would put them there, so they
+// survive process death and are flushed by File.Sync. The caller
+// pre-sizes the file; mapping beyond EOF would SIGBUS on access.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) {
+	syscall.Munmap(b)
+}
+
+// dupFile duplicates f's descriptor so a background fsync can outlive
+// a rotation that closes the original; fsync on the dup flushes the
+// same inode's dirty pages.
+func dupFile(f *os.File) (*os.File, error) {
+	fd, err := syscall.Dup(int(f.Fd()))
+	if err != nil {
+		return nil, err
+	}
+	return os.NewFile(uintptr(fd), f.Name()), nil
+}

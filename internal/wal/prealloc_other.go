@@ -1,0 +1,19 @@
+//go:build !linux
+
+package wal
+
+import (
+	"errors"
+	"os"
+)
+
+// zerofill is linux-only; other platforms fall back to ftruncate
+// pre-sizing in mapActive (sparse, but correct: holes read as zeros).
+func zerofill(f *os.File, size int64) error {
+	return errors.New("wal: zerofill unsupported on this platform")
+}
+
+// flushRange falls back to a full fsync without sync_file_range.
+func flushRange(f *os.File, n int64) error {
+	return f.Sync()
+}

@@ -1,0 +1,325 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("record-%04d-%s", i, string(make([]byte, i%32))))
+	}
+	return out
+}
+
+func replayAll(t *testing.T, l *Log, from LSN) (map[LSN]string, ReplayStats) {
+	t.Helper()
+	got := make(map[LSN]string)
+	stats, err := l.Replay(from, func(lsn LSN, p []byte) error {
+		got[lsn] = string(p)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, stats
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := payloads(100)
+	for i, p := range recs {
+		lsn, err := l.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != LSN(i+1) {
+			t.Fatalf("append %d got LSN %d, want %d", i, lsn, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{Policy: PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextLSN() != LSN(len(recs)+1) {
+		t.Fatalf("reopened NextLSN = %d, want %d", l2.NextLSN(), len(recs)+1)
+	}
+	got, stats := replayAll(t, l2, 0)
+	if stats.Records != len(recs) || stats.TornBytes != 0 {
+		t.Fatalf("stats = %+v, want %d records, clean tail", stats, len(recs))
+	}
+	for i, p := range recs {
+		if got[LSN(i+1)] != string(p) {
+			t.Fatalf("record %d mismatch", i+1)
+		}
+	}
+
+	// Replay from the middle skips the low records.
+	got, stats = replayAll(t, l2, 51)
+	if stats.Records != 50 || stats.Skipped != 50 {
+		t.Fatalf("partial replay stats = %+v, want 50/50", stats)
+	}
+	if _, ok := got[50]; ok {
+		t.Fatal("replay from 51 delivered LSN 50")
+	}
+}
+
+func TestRotationAndTruncateBelow(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyOff, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := payloads(64)
+	for _, p := range recs {
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("tiny segments should have rotated, got %d segment(s)", l.Segments())
+	}
+	got, _ := replayAll(t, l, 0)
+	if len(got) != len(recs) {
+		t.Fatalf("replay across segments got %d records, want %d", len(got), len(recs))
+	}
+
+	// Truncation below LSN 33 must keep every record >= 33 and remove at
+	// least one whole segment.
+	removed, err := l.TruncateBelow(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("expected at least one segment removed")
+	}
+	got, _ = replayAll(t, l, 33)
+	for lsn := LSN(33); lsn <= LSN(len(recs)); lsn++ {
+		if got[lsn] != string(recs[lsn-1]) {
+			t.Fatalf("record %d lost by truncation", lsn)
+		}
+	}
+	l.Close()
+}
+
+func TestOpenRepairsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads(10) {
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Tear the tail by hand: chop 3 bytes off the last record.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	fi, _ := os.Stat(segs[0])
+	if err := os.Truncate(segs[0], fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{Policy: PolicyOff})
+	if err != nil {
+		t.Fatalf("open over torn tail: %v", err)
+	}
+	defer l2.Close()
+	if l2.NextLSN() != 10 {
+		t.Fatalf("NextLSN after torn-tail repair = %d, want 10 (record 10 torn away)", l2.NextLSN())
+	}
+	got, stats := replayAll(t, l2, 0)
+	if len(got) != 9 || stats.Records != 9 {
+		t.Fatalf("replay after repair got %d records, want 9", len(got))
+	}
+	// The next append reuses LSN 10 and the log is whole again.
+	lsn, err := l2.Append([]byte("replacement"))
+	if err != nil || lsn != 10 {
+		t.Fatalf("append after repair: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestOpenDropsHeaderlessTrailingSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads(5) {
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// A crash mid-rotation leaves a next segment too short for its
+	// header.
+	husk := filepath.Join(dir, segName(6))
+	if err := os.WriteFile(husk, []byte{'W', 'L'}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{Policy: PolicyOff})
+	if err != nil {
+		t.Fatalf("open over rotation husk: %v", err)
+	}
+	defer l2.Close()
+	if l2.NextLSN() != 6 {
+		t.Fatalf("NextLSN = %d, want 6", l2.NextLSN())
+	}
+	if _, err := os.Stat(husk); !os.IsNotExist(err) {
+		t.Fatal("husk segment not removed")
+	}
+}
+
+func TestCorruptionMidLogIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyOff, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads(40) {
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 2 {
+		t.Fatal("need multiple segments")
+	}
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	// Flip a payload byte in the FIRST segment (not the tail).
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerSize+frameOverhead+2] ^= 0xff
+	if err := os.WriteFile(segs[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{Policy: PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, err := l2.Replay(0, func(LSN, []byte) error { return nil }); err == nil {
+		t.Fatal("mid-log corruption replayed without error")
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []Policy{PolicyAlways, PolicyInterval, PolicyOff} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Policy: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range payloads(20) {
+				if _, err := l.Append(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if _, err := ParsePolicy("nonsense"); err == nil {
+		t.Fatal("ParsePolicy accepted nonsense")
+	}
+}
+
+// TestCrashPlanSeeds proves the deterministic crash injection: for
+// every seed, the log tears exactly at the planned append, recovery
+// keeps precisely the records below the victim index, and the victim
+// itself is gone — a genuinely torn record, repaired at open.
+func TestCrashPlanSeeds(t *testing.T) {
+	const horizon = 50
+	for seed := uint64(1); seed <= 25; seed++ {
+		plan := NewCrashPlan(seed, horizon)
+		dir := t.TempDir()
+		l, err := Open(dir, Options{Policy: PolicyOff, SegmentBytes: 512, Crash: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := payloads(horizon)
+		var crashedAt = -1
+		for i, p := range recs {
+			if _, err := l.Append(p); err != nil {
+				if err != ErrCrashed {
+					t.Fatalf("seed %d: append %d: %v", seed, i, err)
+				}
+				crashedAt = i
+				break
+			}
+		}
+		if crashedAt != plan.Victim() {
+			t.Fatalf("seed %d: crashed at append %d, plan said %d", seed, crashedAt, plan.Victim())
+		}
+		if fired, at := plan.Fired(); !fired || at != crashedAt {
+			t.Fatalf("seed %d: plan state fired=%t at=%d", seed, fired, at)
+		}
+		// The dead log refuses further use, like a killed process.
+		if _, err := l.Append([]byte("x")); err == nil {
+			t.Fatalf("seed %d: append after crash succeeded", seed)
+		}
+
+		l2, err := Open(dir, Options{Policy: PolicyOff})
+		if err != nil {
+			t.Fatalf("seed %d: recovery open: %v", seed, err)
+		}
+		got, stats := replayAll(t, l2, 0)
+		if len(got) != crashedAt {
+			t.Fatalf("seed %d: recovered %d records, want %d (stats %+v)", seed, len(got), crashedAt, stats)
+		}
+		for i := 0; i < crashedAt; i++ {
+			if got[LSN(i+1)] != string(recs[i]) {
+				t.Fatalf("seed %d: surviving record %d corrupted", seed, i+1)
+			}
+		}
+		l2.Close()
+	}
+}
+
+// TestCrashPlanMidBatch tears inside a multi-record batch: records
+// before the victim in the same write survive whole.
+func TestCrashPlanMidBatch(t *testing.T) {
+	plan := &CrashPlan{victim: 5, frac: 0.5}
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyOff, Crash: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := payloads(8) // victim is record index 5, mid-batch
+	if _, err := l.AppendBatch(batch); err != ErrCrashed {
+		t.Fatalf("batch append err = %v, want ErrCrashed", err)
+	}
+	l2, err := Open(dir, Options{Policy: PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got, _ := replayAll(t, l2, 0)
+	if len(got) != 5 {
+		t.Fatalf("recovered %d records from torn batch, want 5", len(got))
+	}
+}
