@@ -4,7 +4,14 @@
 # stay green across the whole module, not just `test`. CI
 # (.github/workflows/ci.yml) runs build + vet + test + race.
 
-.PHONY: build test vet race bench docs trace-smoke crash-smoke verify
+.PHONY: build test vet race bench bench-gate bench-baseline wire-compat docs trace-smoke crash-smoke verify
+
+# GATE_BENCH is the benchmark set the regression gate measures: the
+# wire codecs (bytes/report is the headline EXPERIMENTS.md number) and
+# the in-memory harvest pipeline for both wire versions. Fixed -50x
+# iteration counts keep the run fast and the allocation counts exact;
+# WAL arms are excluded because fsync timing is the disk's, not ours.
+GATE_BENCH = BenchmarkWireEncode|BenchmarkHarvestPipeline/wire-v./volatile
 
 build:
 	go build ./...
@@ -20,6 +27,28 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# bench-gate fails if any gated benchmark regressed past tolerance
+# versus the checked-in BENCH_baseline.json (±20% for deterministic
+# size/alloc metrics, wider for wall-clock; see scripts/benchgate).
+bench-gate:
+	go test ./internal/backend -run xxx -bench '$(GATE_BENCH)' \
+		-benchmem -benchtime 50x | go run ./scripts/benchgate -baseline BENCH_baseline.json
+
+# bench-baseline reruns the gated benchmarks and rewrites the baseline;
+# use after an intentional perf or wire-format change.
+bench-baseline:
+	go test ./internal/backend -run xxx -bench '$(GATE_BENCH)' \
+		-benchmem -benchtime 50x | go run ./scripts/benchgate -baseline BENCH_baseline.json -update
+
+# wire-compat is the digest-equivalence gate: 10 seeds of v1, v2, and
+# mixed-fallback harvests must agree byte-for-byte on the store digest,
+# plus a fuzz pass over the batch decoder and the frame demultiplexer.
+wire-compat:
+	go test ./internal/backend -run 'TestWireDigestEquivalence' -count=1 -v
+	go test ./internal/core -run 'TestUsageEpochWireEquivalence' -count=1
+	go test ./internal/telemetry -run xxx -fuzz FuzzDecodeBatchFrame -fuzztime 30s
+	go test ./internal/telemetry -run xxx -fuzz FuzzDecodeMessage -fuzztime 30s
 
 # docs fails if any package under internal/ or cmd/ is missing a
 # package comment (or carries a duplicated one).

@@ -151,6 +151,26 @@ func startDaemon(t *testing.T, bin, listen, query, walDir string) *exec.Cmd {
 	return nil
 }
 
+// drainDeadline derives the fleet-drain budget from the test binary's
+// own -timeout instead of a hard-coded constant. A fixed 30 s guess
+// flaked under -race on loaded runners — the race detector slows the
+// harvest several-fold while the budget stayed fixed — whereas
+// t.Deadline minus a teardown margin spends every second the run
+// actually has. Without a deadline (-timeout 0) the old 30 s stands,
+// and a floor keeps the loop from failing before its first poll when
+// the remaining budget is nearly gone.
+func drainDeadline(t *testing.T) time.Time {
+	t.Helper()
+	floor := time.Now().Add(5 * time.Second)
+	if d, ok := t.Deadline(); ok {
+		if d = d.Add(-10 * time.Second); d.After(floor) {
+			return d
+		}
+		return floor
+	}
+	return time.Now().Add(30 * time.Second)
+}
+
 // queryDaemon sends one query command over TCP.
 func queryDaemon(t *testing.T, addr, command string) []string {
 	t.Helper()
@@ -218,6 +238,12 @@ func TestCrashRecoveryDigest(t *testing.T) {
 			}
 			for ai := 0; ai < crashAgents; ai++ {
 				a := telemetry.NewAgent(fmt.Sprintf("Q2XX-CRASH-%d", ai), key)
+				// Alternate wire versions so every recovery replays a WAL
+				// holding both record shapes: per-report v1 records and
+				// whole-batch v2 frame records.
+				if ai%2 == 0 {
+					a.Wire = telemetry.WireV2
+				}
 				a.Timeout = 2 * time.Second
 				a.BackoffBase = 20 * time.Millisecond
 				a.BackoffMax = 200 * time.Millisecond
@@ -251,7 +277,7 @@ func TestCrashRecoveryDigest(t *testing.T) {
 
 			// Drained queues mean every report was acked — and merakid
 			// only acks after the WAL append and in-memory ingest.
-			deadline := time.Now().Add(30 * time.Second)
+			deadline := drainDeadline(t)
 			for {
 				left := 0
 				for _, a := range agents {
@@ -301,6 +327,9 @@ func TestCrashRecoveryDoubleKill(t *testing.T) {
 	agents := make([]*telemetry.Agent, crashAgents)
 	for ai := 0; ai < crashAgents; ai++ {
 		a := telemetry.NewAgent(fmt.Sprintf("Q2XX-CRASH-%d", ai), key)
+		if ai%2 == 0 {
+			a.Wire = telemetry.WireV2
+		}
 		a.Timeout = 2 * time.Second
 		a.BackoffBase = 20 * time.Millisecond
 		a.BackoffMax = 200 * time.Millisecond
@@ -325,7 +354,7 @@ func TestCrashRecoveryDoubleKill(t *testing.T) {
 		d.Wait()
 	}()
 
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := drainDeadline(t)
 	for {
 		left := 0
 		for _, a := range agents {

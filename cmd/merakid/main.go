@@ -75,6 +75,7 @@ func main() {
 	keyHex := flag.String("key", strings.Repeat("42", 32), "64-hex-char pre-shared tunnel key")
 	pollEvery := flag.Duration("poll", 2*time.Second, "poll cadence per device")
 	batch := flag.Int("batch", 64, "max reports per poll")
+	wire := flag.String("wire", "v2", "max harvest wire version to negotiate: v1 (per-report frames) or v2 (delta-coded batches)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-frame tunnel I/O deadline (handshake and polls)")
 	snapshot := flag.String("snapshot", "", "snapshot file written on shutdown")
 	walDir := flag.String("wal-dir", "", "durability directory for the write-ahead log and checkpoints (empty = volatile store)")
@@ -92,7 +93,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("merakid: %v", err)
 	}
+	wireVer, err := telemetry.ParseWire(*wire)
+	if err != nil {
+		log.Fatalf("merakid: %v", err)
+	}
 	d := newDaemon(key, *pollEvery, *batch, *timeout, *traceSample, *traceBuf)
+	d.wire = wireVer
 
 	if *walDir != "" {
 		policy, err := wal.ParsePolicy(*walFsync)
@@ -210,8 +216,12 @@ type daemon struct {
 	key       []byte
 	pollEvery time.Duration
 	batch     int
-	timeout   time.Duration
-	health    *telemetry.HarvestHealth
+	// wire is the maximum harvest wire version the daemon negotiates
+	// per device session (-wire); devices that only announce v1 clamp
+	// the session to v1 regardless.
+	wire    byte
+	timeout time.Duration
+	health  *telemetry.HarvestHealth
 
 	// obs is the daemon's metrics registry: harvest.* (health counters
 	// and poll-loop counts), pool.* (connected-device pool), trace.*
@@ -244,6 +254,7 @@ func newDaemon(key []byte, pollEvery time.Duration, batch int, timeout time.Dura
 		key:       key,
 		pollEvery: pollEvery,
 		batch:     batch,
+		wire:      telemetry.WireV2,
 		timeout:   timeout,
 		health:    &telemetry.HarvestHealth{},
 		obs:       obs.NewRegistry(),
@@ -393,17 +404,28 @@ func (d *daemon) serveDevice(conn net.Conn) {
 	p.Health = d.health
 	p.Metrics = d.harvest
 	p.Trace = d.tracer
+	p.NegotiateWire(d.wire)
 	if d.durable != nil {
 		// WAL-before-ack: the batch becomes durable and lands in the
 		// store before the ack frame goes out. On a WAL failure the poll
 		// errors without acking — the device keeps its queue — and the
 		// daemon flags itself degraded rather than crashing.
+		degrade := func(err error) error {
+			d.health.AddWALFailure()
+			d.health.SetDegraded(true)
+			log.Printf("merakid: degraded (read-only): %v", err)
+			return err
+		}
 		p.BeforeAck = func(reports []*telemetry.Report, raw [][]byte) error {
 			if err := d.durable.IngestBatch(reports, raw); err != nil {
-				d.health.AddWALFailure()
-				d.health.SetDegraded(true)
-				log.Printf("merakid: degraded (read-only): %v", err)
-				return err
+				return degrade(err)
+			}
+			return nil
+		}
+		// v2 sessions log each whole batch frame as one WAL record.
+		p.BeforeAckFrame = func(reports []*telemetry.Report, payload []byte) error {
+			if err := d.durable.IngestBatchFrame(reports, payload); err != nil {
+				return degrade(err)
 			}
 			return nil
 		}
@@ -429,7 +451,7 @@ func (d *daemon) serveDevice(conn net.Conn) {
 	}()
 	ticker := time.NewTicker(d.pollEvery)
 	defer ticker.Stop()
-	for range ticker.C {
+	for {
 		reports, err := p.Poll(d.batch)
 		if err != nil {
 			return
@@ -446,6 +468,14 @@ func (d *daemon) serveDevice(conn net.Conn) {
 				d.dump.Fire("crash-report " + r.Serial)
 			}
 		}
+		// Drain mode: a v2 batch carries the device's remaining queue
+		// depth, and a backlogged device (reboot, long partition) is
+		// polled again immediately instead of trickling out one batch
+		// per tick — the backpressure leg of the adaptive batcher.
+		if p.QueueDepth() > 0 {
+			continue
+		}
+		<-ticker.C
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"wlanscale/internal/meshprobe"
 	"wlanscale/internal/obs"
 	"wlanscale/internal/obs/trace"
+	"wlanscale/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	scale := flag.String("scale", "small", "simulation scale: small, medium, or full")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel usage-epoch workers; results are identical for any value")
+	wire := flag.String("wire", "v1", "harvest wire version the usage pipeline round-trips reports through: v1 or v2 (tables are identical)")
 	timings := flag.Bool("timings", false, "print an end-of-run stage-timing summary to stderr")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of usage-epoch reports to trace end to end (0 = off)")
 	traceOut := flag.String("trace-out", "", "flight-recorder dump path (default stderr when tracing)")
@@ -54,6 +56,12 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	wireVer, err := telemetry.ParseWire(*wire)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "merakireport: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.WireVersion = int(wireVer)
 	switch *scale {
 	case "small":
 	case "medium":

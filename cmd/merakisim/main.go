@@ -53,6 +53,7 @@ func main() {
 	aps := flag.Int("aps", 10, "number of live agents (serve mode)")
 	duration := flag.Duration("duration", 30*time.Second, "how long live agents run")
 	every := flag.Duration("every", 2*time.Second, "report period per live agent")
+	wire := flag.String("wire", "v2", "max harvest wire version agents announce (serve mode) and the offline harvest round-trip uses: v1 or v2")
 	keyHex := flag.String("key", strings.Repeat("42", 32), "64-hex-char pre-shared tunnel key")
 	timings := flag.Bool("timings", false, "print an end-of-run stage-timing summary to stderr")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of reports to trace end to end (0 = off)")
@@ -71,11 +72,15 @@ func main() {
 	if *traceSample > 0 {
 		tracer = trace.New(trace.NewRecorder(1<<16), *seed, *traceSample)
 	}
+	wireVer, err := telemetry.ParseWire(*wire)
+	if err != nil {
+		log.Fatalf("merakisim: %v", err)
+	}
 	if *serve != "" {
-		if err := runAgents(*serve, *aps, *seed, *duration, *every, *keyHex, timer, tracer); err != nil {
+		if err := runAgents(*serve, *aps, *seed, *duration, *every, wireVer, *keyHex, timer, tracer); err != nil {
 			log.Fatalf("merakisim: %v", err)
 		}
-	} else if err := runOffline(*seed, *networks, *clientCap, *workers, *out, timer, tracer); err != nil {
+	} else if err := runOffline(*seed, *networks, *clientCap, *workers, int(wireVer), *out, timer, tracer); err != nil {
 		log.Fatalf("merakisim: %v", err)
 	}
 	if s := timer.Summary(); s != "" {
@@ -110,12 +115,13 @@ func writeTraceDump(rec *trace.Recorder, path string) error {
 	return nil
 }
 
-func runOffline(seed uint64, networks, clientCap, workers int, out string, timer *obs.Timer, tracer *trace.Tracer) error {
+func runOffline(seed uint64, networks, clientCap, workers, wireVersion int, out string, timer *obs.Timer, tracer *trace.Tracer) error {
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
 	cfg.UsageNetworks = networks
 	cfg.ClientCap = clientCap
 	cfg.Workers = workers
+	cfg.WireVersion = wireVersion
 	cfg.Trace = tracer
 	if timer != nil {
 		cfg.Obs = obs.NewRegistry()
@@ -151,7 +157,7 @@ func runOffline(seed uint64, networks, clientCap, workers int, out string, timer
 
 // runAgents spins up live AP agents that measure their simulated
 // environments and stream reports to a merakid over encrypted tunnels.
-func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration, keyHex string, timer *obs.Timer, tracer *trace.Tracer) error {
+func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration, wire byte, keyHex string, timer *obs.Timer, tracer *trace.Tracer) error {
 	if len(keyHex) != 64 {
 		return fmt.Errorf("key must be 64 hex chars")
 	}
@@ -180,6 +186,7 @@ func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration
 				break
 			}
 			ag := telemetry.NewAgent(n.APs[i].Serial, key)
+			ag.Wire = wire
 			if tracer != nil {
 				ag.EnableTrace(tracer)
 			}

@@ -188,6 +188,23 @@ func OpenDurable(dir string, o DurableOptions) (*DurableStore, RecoveryStats, er
 	}
 	d.log = wlog
 	rstats, err := wlog.Replay(d.ckptLSN, func(_ wal.LSN, payload []byte) error {
+		// Two record shapes share the log: a v1 per-report record is one
+		// pbwire-encoded report, a v2 record is a whole batch payload
+		// (IngestBatchFrame). The leading byte discriminates — a batch
+		// opens with its version byte (2), while a pbwire tag is always
+		// field<<3|type with field >= 1, so a report record can never
+		// start below 0x08.
+		if len(payload) > 0 && payload[0] == telemetry.WireV2 {
+			f, err := telemetry.DecodeBatchFrame(payload)
+			if err != nil {
+				stats.BadRecords++
+				return nil
+			}
+			for _, r := range f.Reports {
+				d.Store.Ingest(r)
+			}
+			return nil
+		}
 		r, err := telemetry.UnmarshalReport(payload)
 		if err != nil {
 			stats.BadRecords++
@@ -246,6 +263,32 @@ func (d *DurableStore) IngestBatch(reports []*telemetry.Report, raw [][]byte) er
 	d.flight.RLock()
 	defer d.flight.RUnlock()
 	if _, err := d.log.AppendBatch(raw); err != nil {
+		d.degraded.Store(true)
+		d.walFails.Inc()
+		return fmt.Errorf("backend: wal append: %w", err)
+	}
+	for _, r := range reports {
+		d.Store.Ingest(r)
+	}
+	return nil
+}
+
+// IngestBatchFrame is the v2-harvest counterpart of IngestBatch: the
+// whole delta-coded batch payload becomes a single WAL record — one
+// append, one CRC frame, no per-report re-marshal — before the decoded
+// reports fold into the store. Replay tells the two record shapes
+// apart by the leading byte (see OpenDurable). reports must be the
+// decoded contents of payload; the ack contract is IngestBatch's.
+func (d *DurableStore) IngestBatchFrame(reports []*telemetry.Report, payload []byte) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	if d.degraded.Load() {
+		return ErrDegraded
+	}
+	d.flight.RLock()
+	defer d.flight.RUnlock()
+	if _, err := d.log.AppendBatch([][]byte{payload}); err != nil {
 		d.degraded.Store(true)
 		d.walFails.Inc()
 		return fmt.Errorf("backend: wal append: %w", err)

@@ -43,6 +43,13 @@ type Config struct {
 	// Workers is the usage-epoch worker-pool size; 0 means GOMAXPROCS.
 	// Results are identical for every value (see epochpool.go).
 	Workers int
+	// WireVersion selects the harvest wire format the offline pipeline
+	// round-trips every report through: 0 or 1 is the per-report v1
+	// protocol, 2 the delta-coded batch frames (one batch per network).
+	// The ingested fleet — and so every table, figure, and digest — is
+	// identical for either version (pinned by the wire-equivalence
+	// tests).
+	WireVersion int
 	// Obs, when set, receives the pipeline's stage metrics (per-worker
 	// network counts, simulate/merge timing — the "epoch.*" names in
 	// DESIGN.md §8). Metrics are observe-only: a nil and a non-nil

@@ -96,6 +96,9 @@ func (s *Study) harvestNetworkUsage(f *synth.Fleet, n *synth.Network, label stri
 	if tr != nil {
 		ids = tr.IDs(fmt.Sprintf("net/%d", n.ID))
 	}
+	if s.Config.WireVersion >= int(telemetry.WireV2) {
+		return s.harvestNetworkUsageV2(n, e, tr, ids, store)
+	}
 	var traced []tracedReport
 	for _, a := range n.APs {
 		var id trace.ID
@@ -127,6 +130,60 @@ func (s *Study) harvestNetworkUsage(f *synth.Fleet, n *synth.Network, label stri
 		store.Ingest(decoded)
 		if sampled {
 			traced = append(traced, tracedReport{id: id, serial: a.Serial, seq: decoded.SeqNo})
+		}
+	}
+	return traced, nil
+}
+
+// harvestNetworkUsageV2 is the wire-v2 leg of harvestNetworkUsage: the
+// network's AP reports coalesce into one delta-coded batch frame that
+// crosses the (in-process) wire whole, exactly as a live v2 poll would
+// carry them. The decoded fleet must be indistinguishable from the v1
+// leg — the digest-equivalence tests compare the two store states
+// byte for byte.
+func (s *Study) harvestNetworkUsageV2(n *synth.Network, e epoch.Epoch, tr *trace.Tracer, ids *trace.IDStream, store *backend.Store) ([]tracedReport, error) {
+	type pendingTrace struct {
+		id      trace.ID
+		sampled bool
+		serial  string
+	}
+	var pend []pendingTrace
+	be := telemetry.NewBatchEncoder(0)
+	for _, a := range n.APs {
+		var id trace.ID
+		var sampled bool
+		if ids != nil {
+			id, sampled = ids.Next()
+		}
+		esp := tr.Start(id, trace.StageAgentEnqueue)
+		esp.SetSerial(a.Serial)
+		rep := a.BuildReport(uint64(e)*1e6, nil, nil, nil)
+		rep.TraceID = uint64(id)
+		esp.SetSeq(rep.SeqNo)
+		esp.End()
+		wsp := tr.Start(id, trace.StageTunnelWrite)
+		wsp.SetSerial(a.Serial)
+		wsp.SetSeq(rep.SeqNo)
+		be.Add(rep) // unbounded encoder: Add never declines
+		wsp.End()
+		pend = append(pend, pendingTrace{id: id, sampled: sampled, serial: a.Serial})
+	}
+	frame, err := telemetry.DecodeBatchFrame(be.Finish(0, 0, nil))
+	if err != nil {
+		return nil, fmt.Errorf("core: harvest net %d batch: %w", n.ID, err)
+	}
+	if len(frame.Reports) != len(n.APs) {
+		return nil, fmt.Errorf("core: harvest net %d: batch carried %d reports for %d APs", n.ID, len(frame.Reports), len(n.APs))
+	}
+	var traced []tracedReport
+	for i, decoded := range frame.Reports {
+		rsp := tr.Start(pend[i].id, trace.StageDaemonRead)
+		rsp.SetSerial(pend[i].serial)
+		rsp.SetSeq(decoded.SeqNo)
+		rsp.End()
+		store.Ingest(decoded)
+		if pend[i].sampled {
+			traced = append(traced, tracedReport{id: pend[i].id, serial: pend[i].serial, seq: decoded.SeqNo})
 		}
 	}
 	return traced, nil

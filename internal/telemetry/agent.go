@@ -11,6 +11,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wlanscale/internal/obs"
@@ -41,11 +42,30 @@ type Agent struct {
 	// Metrics, when attached (NewAgentMetrics), counts dials, retries,
 	// backoff waits, and queue pressure. The zero value is a no-op.
 	Metrics AgentMetrics
+	// Wire is the maximum wire version the agent announces (WireV2 opts
+	// into delta-coded batch frames); zero or WireV1 keeps the legacy
+	// per-report protocol byte-identical. A v2 hello rejected by a
+	// legacy backend triggers a sticky per-process fallback to v1 on the
+	// next session.
+	Wire byte
+	// BatchBytes is the v2 batch payload budget: the adaptive batcher
+	// flushes a batch rather than grow past it. Zero defaults to 64 KiB.
+	BatchBytes int
+	// BatchMaxAge is the queue-age override: when the oldest queued
+	// report has waited longer than this, the size budget is waived so a
+	// backlog drains at full poll width instead of trickling out in
+	// budget-sized batches. Zero defaults to 30s.
+	BatchMaxAge time.Duration
 
 	mu      sync.Mutex
 	queue   [][]byte
+	enqUS   []int64   // wall-clock enqueue micros, parallel to queue
+	reps    []*Report // decoded-report cache, parallel to queue; nil entries decode lazily
 	dropped int
 	seq     uint64
+	// wireFallback latches when a v2 session died before its first poll
+	// — the legacy-backend signature — and pins later sessions to v1.
+	wireFallback bool
 
 	// Tracing state (EnableTrace). meta parallels queue whenever tracing
 	// is on, carrying each queued report's trace ID, enqueue time, and
@@ -89,6 +109,9 @@ func (a *Agent) EnableTrace(t *trace.Tracer) {
 }
 
 // Enqueue queues one report for upload, stamping its sequence number.
+// The agent retains r until it is acked or dropped (the v2 batcher
+// encodes from it directly, skipping a marshal round-trip), so the
+// caller must not modify the report after Enqueue returns.
 func (a *Agent) Enqueue(r *Report) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -108,6 +131,8 @@ func (a *Agent) Enqueue(r *Report) {
 		}
 	}
 	a.queue = append(a.queue, r.Marshal())
+	a.enqUS = append(a.enqUS, time.Now().UnixMicro())
+	a.reps = append(a.reps, r)
 	if a.traceIDs != nil {
 		m.enq = sp.EndEvent()
 		m.enqUS = m.enq.StartUS + m.enq.DurUS
@@ -117,6 +142,8 @@ func (a *Agent) Enqueue(r *Report) {
 	if a.QueueLimit > 0 && len(a.queue) > a.QueueLimit {
 		over := len(a.queue) - a.QueueLimit
 		a.queue = a.queue[over:]
+		a.enqUS = a.enqUS[over:]
+		a.reps = a.reps[over:]
 		a.dropped += over
 		a.Metrics.Dropped.Add(int64(over))
 		if a.meta != nil {
@@ -158,12 +185,19 @@ func (a *Agent) peekBatch(max int, fault string) ([][]byte, []trace.Event) {
 	}
 	out := make([][]byte, max)
 	copy(out, a.queue[:max])
+	return out, a.spanEventsLocked(max, fault)
+}
+
+// spanEventsLocked builds the tunnel.write span events for the first n
+// queued reports (those about to ship), counting one delivery attempt
+// each. Caller holds a.mu.
+func (a *Agent) spanEventsLocked(n int, fault string) []trace.Event {
 	if a.traceIDs == nil {
-		return out, nil
+		return nil
 	}
 	var spans []trace.Event
 	var nowUS int64
-	for i := 0; i < max; i++ {
+	for i := 0; i < n; i++ {
 		m := &a.meta[i]
 		if a.tracer.Sampled(m.id) {
 			if nowUS == 0 {
@@ -193,7 +227,7 @@ func (a *Agent) peekBatch(max int, fault string) ([][]byte, []trace.Event) {
 		}
 		m.attempts++
 	}
-	return out, spans
+	return spans
 }
 
 func (a *Agent) drop(n int) {
@@ -203,6 +237,8 @@ func (a *Agent) drop(n int) {
 		n = len(a.queue)
 	}
 	a.queue = a.queue[n:]
+	a.enqUS = a.enqUS[n:]
+	a.reps = a.reps[n:]
 	if a.meta != nil {
 		a.meta = a.meta[n:]
 	}
@@ -271,6 +307,8 @@ func (a *Agent) LoadQueue(r io.Reader) error {
 	corrupt := func() error {
 		a.mu.Lock()
 		a.queue = nil
+		a.enqUS = nil
+		a.reps = nil
 		a.dropped += lostCount
 		if a.meta != nil {
 			a.meta = nil
@@ -304,6 +342,11 @@ func (a *Agent) LoadQueue(r io.Reader) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.queue = snap.Queue
+	// Zero enqueue times read as ancient, so a restored backlog trips
+	// the batch-age override and drains at full poll width. Restored
+	// entries have no decoded-report cache; buildBatch decodes lazily.
+	a.enqUS = make([]int64, len(a.queue))
+	a.reps = make([]*Report, len(a.queue))
 	a.dropped = snap.Dropped
 	if a.traceIDs != nil {
 		// Restored reports keep the trace IDs baked into their bytes, but
@@ -328,9 +371,41 @@ func (a *Agent) Serve(addr string) error {
 	return a.ServeConn(conn)
 }
 
+// wireVersion returns the wire version the next session should
+// announce: the configured maximum, demoted to v1 once the fallback
+// latch has tripped.
+func (a *Agent) wireVersion() byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.Wire >= WireV2 && !a.wireFallback {
+		return WireV2
+	}
+	return WireV1
+}
+
+// noteFallback latches the sticky v1 fallback after a v2 hello was
+// rejected: the session died before the backend ever polled, which is
+// what a legacy backend's handshake rejection looks like from here.
+func (a *Agent) noteFallback() {
+	a.mu.Lock()
+	latched := !a.wireFallback
+	a.wireFallback = true
+	a.mu.Unlock()
+	if latched {
+		a.Metrics.WireFallbacks.Inc()
+	}
+}
+
 // ServeConn runs the agent protocol over an established connection.
 // Every frame op is bounded by a.Timeout, so a stalled backend costs at
 // most one timeout, never a hung goroutine.
+//
+// A WireV2 agent opens with frameHelloV2 and answers each poll in the
+// format the poll requests: framePoll gets a legacy frameReports (the
+// backend negotiated v1), framePollV2 gets a delta-coded frameBatch. If
+// a v2 session dies before the first poll, the agent assumes a legacy
+// backend rejected the hello and falls back to v1 for subsequent
+// sessions (sticky for the process lifetime).
 func (a *Agent) ServeConn(conn net.Conn) error {
 	t, err := NewTunnel(conn, a.Key)
 	if err != nil {
@@ -340,32 +415,119 @@ func (a *Agent) ServeConn(conn net.Conn) error {
 	defer t.Close()
 	t.SetTimeout(a.Timeout)
 	fault := connFaultProfile(conn)
-	if err := t.WriteFrame(EncodeMessage(&Message{Type: frameHello, Serial: a.Serial})); err != nil {
+	wire := a.wireVersion()
+	hello := &Message{Type: frameHello, Serial: a.Serial}
+	if wire >= WireV2 {
+		hello = &Message{Type: frameHelloV2, Wire: wire, Serial: a.Serial}
+	}
+	polled := false
+	sessionErr := func(err error) error {
+		if wire >= WireV2 && !polled {
+			a.noteFallback()
+		}
 		return err
+	}
+	if err := t.WriteFrame(EncodeMessage(hello)); err != nil {
+		return sessionErr(err)
 	}
 	for {
 		raw, err := t.ReadFrame()
 		if err != nil {
-			return err
+			return sessionErr(err)
 		}
 		m, err := DecodeMessage(raw)
 		if err != nil {
-			return err
+			return sessionErr(err)
 		}
 		switch m.Type {
 		case framePoll:
+			polled = true
 			batch, spans := a.peekBatch(int(m.Max), fault)
 			if err := t.WriteFrame(EncodeMessage(&Message{
 				Type: frameReports, Reports: batch, Dropped: uint32(a.Dropped()), Spans: spans,
 			})); err != nil {
 				return err
 			}
+		case framePollV2:
+			polled = true
+			payload, err := a.buildBatch(int(m.Max), fault)
+			if err != nil {
+				return err
+			}
+			if err := t.WriteFrame(append([]byte{frameBatch}, payload...)); err != nil {
+				return err
+			}
+			a.Metrics.BatchesSent.Inc()
 		case frameAck:
 			a.drop(int(m.Count))
 		default:
-			return ErrBadFrameType
+			return sessionErr(ErrBadFrameType)
 		}
 	}
+}
+
+// buildBatch assembles one v2 batch payload from the head of the queue:
+// up to max reports, delta-coded under the BatchBytes budget unless the
+// oldest report's age trips the BatchMaxAge override. The remaining
+// queue depth rides the frame as the backpressure hint.
+func (a *Agent) buildBatch(max int, fault string) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if max > len(a.queue) {
+		max = len(a.queue)
+	}
+	budget := a.BatchBytes
+	if budget == 0 {
+		budget = 64 << 10
+	}
+	maxAge := a.BatchMaxAge
+	if maxAge == 0 {
+		maxAge = 30 * time.Second
+	}
+	aged := false
+	if max > 0 && time.Now().UnixMicro()-a.enqUS[0] > maxAge.Microseconds() {
+		aged = true
+		budget = 0 // age override: drain at full poll width
+	}
+	be := NewBatchEncoder(budget)
+	sized := false
+	for i := 0; i < max; i++ {
+		r := a.reps[i]
+		if r == nil {
+			var err error
+			if r, err = UnmarshalReport(a.queue[i]); err != nil {
+				// A queue entry that no longer decodes cannot ever ship;
+				// if it heads the queue it would wedge the agent, so drop
+				// and account it. Mid-batch, just stop — the next poll
+				// retries.
+				if i == 0 {
+					a.queue = a.queue[1:]
+					a.enqUS = a.enqUS[1:]
+					a.reps = a.reps[1:]
+					if a.meta != nil {
+						a.meta = a.meta[1:]
+					}
+					a.dropped++
+					a.Metrics.Dropped.Inc()
+				}
+				break
+			}
+			a.reps[i] = r
+		}
+		if !be.Add(r) {
+			sized = true
+			break
+		}
+	}
+	if sized {
+		a.Metrics.BatchSizeFlushes.Inc()
+	}
+	if aged && be.Len() > 0 {
+		a.Metrics.BatchAgeFlushes.Inc()
+	}
+	spans := a.spanEventsLocked(be.Len(), fault)
+	depth := len(a.queue) - be.Len()
+	return be.Finish(uint32(a.dropped), uint32(depth), spans), nil
 }
 
 // RunWithReconnect keeps the agent connected to addr, retrying with
@@ -463,6 +625,13 @@ type Poller struct {
 	tunnel *Tunnel
 	// Serial is the device's announced serial.
 	Serial string
+	// agentWire is the maximum wire version the device announced in its
+	// hello; wire is the session's negotiated version (NegotiateWire),
+	// defaulting to v1.
+	agentWire, wire byte
+	// queueDepth is the device's remaining queue depth from the last v2
+	// batch — the backpressure hint merakid's drain mode reads.
+	queueDepth atomic.Uint32
 	// Health, when set, receives the poller's error counters and the
 	// device's piggybacked queue-drop totals.
 	Health *HarvestHealth
@@ -481,6 +650,12 @@ type Poller struct {
 	// ingests), making "acked" imply "recoverable" across process
 	// death.
 	BeforeAck func(reports []*Report, raw [][]byte) error
+	// BeforeAckFrame, when set, replaces BeforeAck on v2 polls: it runs
+	// with the decoded batch and the raw batch payload so a durable
+	// backend can append the whole frame to its write-ahead log as one
+	// record instead of re-marshaling per report. When nil, v2 polls
+	// fall back to BeforeAck with nil raw.
+	BeforeAckFrame func(reports []*Report, payload []byte) error
 }
 
 // connFaultProfile surfaces a faultnet connection's scheduled faults
@@ -520,15 +695,49 @@ func AcceptPollerWithTimeout(conn net.Conn, key []byte, timeout time.Duration) (
 		return nil, err
 	}
 	m, err := DecodeMessage(raw)
-	if err != nil || m.Type != frameHello {
+	if err != nil || (m.Type != frameHello && m.Type != frameHelloV2) {
 		t.Close()
 		if err == nil {
 			err = ErrNotHello
 		}
 		return nil, err
 	}
-	return &Poller{tunnel: t, Serial: m.Serial}, nil
+	p := &Poller{tunnel: t, Serial: m.Serial, agentWire: WireV1, wire: WireV1}
+	if m.Type == frameHelloV2 {
+		p.agentWire = m.Wire
+		if p.agentWire > WireV2 {
+			// A future agent announces higher; this backend tops out at
+			// v2 and the poll's version byte tells the agent so.
+			p.agentWire = WireV2
+		}
+	}
+	return p, nil
 }
+
+// AgentWire returns the highest wire version the device announced.
+func (p *Poller) AgentWire() byte { return p.agentWire }
+
+// NegotiateWire picks the session's wire version: the minimum of what
+// the backend wants and what the device announced. It returns the
+// version that subsequent Polls will use.
+func (p *Poller) NegotiateWire(want byte) byte {
+	if want < WireV1 {
+		want = WireV1
+	}
+	p.wire = want
+	if p.wire > p.agentWire {
+		p.wire = p.agentWire
+	}
+	return p.wire
+}
+
+// Wire returns the session's negotiated wire version.
+func (p *Poller) Wire() byte { return p.wire }
+
+// QueueDepth returns the device's remaining queue depth as of the last
+// v2 batch — the agent's backpressure hint. Always zero on v1
+// sessions, which don't carry the hint.
+func (p *Poller) QueueDepth() int { return int(p.queueDepth.Load()) }
 
 // SetTimeout bounds every subsequent frame op of the poller's tunnel.
 func (p *Poller) SetTimeout(d time.Duration) { p.tunnel.SetTimeout(d) }
@@ -557,6 +766,9 @@ func (p *Poller) Poll(max int) ([]*Report, error) {
 }
 
 func (p *Poller) poll(max int) ([]*Report, error) {
+	if p.wire >= WireV2 {
+		return p.pollV2(max)
+	}
 	var pollStart time.Time
 	if p.Trace != nil {
 		pollStart = time.Now()
@@ -622,6 +834,79 @@ func (p *Poller) poll(max int) ([]*Report, error) {
 		}
 	}
 	if err := p.tunnel.WriteFrame(EncodeMessage(&Message{Type: frameAck, Count: uint32(len(m.Reports))})); err != nil {
+		return nil, err
+	}
+	p.Metrics.FramesOut.Inc()
+	return out, nil
+}
+
+// pollV2 is the negotiated-v2 poll: one framePollV2 out, one
+// delta-coded frameBatch back, one WAL append and one ack for the whole
+// batch. BeforeAckFrame gets the raw batch payload (the durable store
+// logs it as a single WAL record); without it BeforeAck runs with nil
+// raw and the durable store re-marshals per report.
+func (p *Poller) pollV2(max int) ([]*Report, error) {
+	var pollStart time.Time
+	if p.Trace != nil {
+		pollStart = time.Now()
+	}
+	if err := p.tunnel.WriteFrame(EncodeMessage(&Message{Type: framePollV2, Wire: p.wire, Max: uint32(max)})); err != nil {
+		return nil, err
+	}
+	p.Metrics.FramesOut.Inc()
+	raw, err := p.tunnel.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	p.Metrics.FramesIn.Inc()
+	m, err := DecodeMessage(raw)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != frameBatch {
+		return nil, ErrBadFrameType
+	}
+	p.Metrics.BatchFrames.Inc()
+	p.Metrics.BatchBytes.Add(int64(len(raw) - 1))
+	p.queueDepth.Store(m.Batch.QueueDepth)
+	if p.Health != nil && m.Batch.Dropped > 0 {
+		p.Health.SetQueueDrops(p.Serial, int(m.Batch.Dropped))
+	}
+	out := m.Batch.Reports
+	if p.Trace != nil {
+		for _, sp := range m.Batch.Spans {
+			p.Trace.RecordEvent(sp)
+		}
+		fault := connFaultProfile(p.tunnel.conn)
+		durUS := time.Since(pollStart).Microseconds()
+		for _, r := range out {
+			id := trace.ID(r.TraceID)
+			if !p.Trace.Sampled(id) {
+				continue
+			}
+			p.Trace.RecordEvent(trace.Event{
+				Trace:   id,
+				Span:    trace.StageDaemonRead.SpanID(),
+				Parent:  trace.StageDaemonRead.Parent(),
+				Stage:   trace.StageDaemonRead.String(),
+				Serial:  r.Serial,
+				Seq:     r.SeqNo,
+				StartUS: pollStart.UnixMicro(),
+				DurUS:   durUS,
+				Fault:   fault,
+			})
+		}
+	}
+	if p.BeforeAckFrame != nil {
+		if err := p.BeforeAckFrame(out, raw[1:]); err != nil {
+			return nil, err
+		}
+	} else if p.BeforeAck != nil {
+		if err := p.BeforeAck(out, nil); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.tunnel.WriteFrame(EncodeMessage(&Message{Type: frameAck, Count: uint32(len(out))})); err != nil {
 		return nil, err
 	}
 	p.Metrics.FramesOut.Inc()

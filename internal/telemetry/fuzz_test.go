@@ -34,6 +34,15 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add([]byte{frameReports, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{0xff})
 
+	// Wire v2 frames: the negotiation pair and a delta-coded batch,
+	// routed through the same decoder.
+	f.Add(EncodeMessage(&Message{Type: frameHelloV2, Wire: WireV2, Serial: "Q2XX-ABCD-1234"}))
+	f.Add(EncodeMessage(&Message{Type: framePollV2, Wire: WireV2, Max: 64}))
+	f.Add(EncodeMessage(&Message{Type: frameBatch, Batch: &BatchFrame{
+		Version: WireV2, Dropped: 2, QueueDepth: 11,
+		Reports: []*Report{mustV1RoundTrip(sampleReport())},
+	}}))
+
 	f.Fuzz(func(t *testing.T, b []byte) {
 		m, err := DecodeMessage(b)
 		if err != nil {
@@ -48,6 +57,67 @@ func FuzzDecodeMessage(f *testing.F) {
 		}
 		for _, rb := range m.Reports {
 			_, _ = UnmarshalReport(rb)
+		}
+	})
+}
+
+// mustV1RoundTrip normalizes a report through the v1 codec, so fuzz
+// seeds compare against proto3 presence semantics (nil-vs-empty).
+func mustV1RoundTrip(r *Report) *Report {
+	out, err := UnmarshalReport(r.Marshal())
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// FuzzDecodeBatchFrame fuzzes the v2 batch decoder directly — the
+// densest new attack surface: every count, dictionary reference, and
+// delta comes off the wire. Properties: no panic, no unbounded
+// allocation (dictionary overflow must be rejected before any
+// proportional allocation), and re-encode/re-decode stability so the
+// delta/dictionary rules cannot silently mutate a report.
+func FuzzDecodeBatchFrame(f *testing.F) {
+	// A healthy multi-report batch with shared dictionary + deltas.
+	be := NewBatchEncoder(0)
+	for i := 0; i < 4; i++ {
+		r := sampleReport()
+		r.Timestamp += uint64(i) * 60e6
+		r.SeqNo = uint64(i + 1)
+		be.Add(r)
+	}
+	f.Add(be.Finish(3, 17, sampleSpans()))
+	// Empty batch.
+	f.Add(NewBatchEncoder(0).Finish(0, 0, nil))
+	// Dictionary overflow: declares 2^16+1 entries (varint 0x81 0x80
+	// 0x04). The decoder must reject the count up front, not allocate
+	// for it.
+	f.Add([]byte{WireV2, 0, 0, 0x81, 0x80, 0x04})
+	// Truncated deltas: a valid batch cut mid-report body.
+	whole := be.Finish(0, 0, nil)
+	f.Add(whole[:len(whole)-7])
+	f.Add(whole[:len(whole)/2])
+	// Mixed v1/v2 streams: a v1 frameReports payload and a v1-tagged
+	// batch, both of which must be cleanly rejected, plus a v2 batch
+	// with a v1 report glued on the end (trailing bytes).
+	v1frame := EncodeMessage(&Message{Type: frameReports, Reports: [][]byte{sampleReport().Marshal()}})
+	f.Add(v1frame[1:])
+	f.Add(append([]byte{WireV1}, whole[1:]...))
+	f.Add(append(append([]byte{}, whole...), sampleReport().Marshal()...))
+	// Bad dictionary refs and a non-6-byte MAC entry.
+	f.Add([]byte{WireV2, 0, 0, 1, 2, 'a', 'b', 1, 0x05, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		bf, err := DecodeBatchFrame(b)
+		if err != nil {
+			return
+		}
+		re, err := DecodeBatchFrame(EncodeBatchPayload(bf))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(bf, re) {
+			t.Fatalf("batch round trip unstable:\nfirst  %+v\nsecond %+v", bf, re)
 		}
 	})
 }

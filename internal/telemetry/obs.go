@@ -21,6 +21,10 @@ type HarvestMetrics struct {
 	// FramesOut and FramesIn count tunnel frames written (poll, ack)
 	// and read (report batches).
 	FramesOut, FramesIn *obs.Counter
+	// BatchFrames counts v2 delta-coded batch frames received;
+	// BatchBytes accumulates their payload bytes, so bytes/report under
+	// wire v2 is BatchBytes / Reports.
+	BatchFrames, BatchBytes *obs.Counter
 	// PollDur is the poll round-trip latency, microseconds.
 	PollDur *obs.Histogram
 }
@@ -32,9 +36,11 @@ func NewHarvestMetrics(reg *obs.Registry) HarvestMetrics {
 		Polls:      reg.Counter("harvest.polls"),
 		PollErrors: reg.Counter("harvest.poll_errors"),
 		Reports:    reg.Counter("harvest.reports"),
-		FramesOut:  reg.Counter("harvest.frames_out"),
-		FramesIn:   reg.Counter("harvest.frames_in"),
-		PollDur:    reg.Histogram("harvest.poll_us", obs.DurationBuckets),
+		FramesOut:   reg.Counter("harvest.frames_out"),
+		FramesIn:    reg.Counter("harvest.frames_in"),
+		BatchFrames: reg.Counter("harvest.batch_frames"),
+		BatchBytes:  reg.Counter("harvest.batch_bytes"),
+		PollDur:     reg.Histogram("harvest.poll_us", obs.DurationBuckets),
 	}
 }
 
@@ -51,6 +57,13 @@ type AgentMetrics struct {
 	// Enqueued counts reports queued for upload; Dropped the ones lost
 	// to queue overflow.
 	Enqueued, Dropped *obs.Counter
+	// BatchesSent counts v2 batch frames shipped. BatchSizeFlushes
+	// counts batches closed because the next report would have burst the
+	// size budget; BatchAgeFlushes counts batches where queue age
+	// overrode that budget to drain a backlog (the adaptive batcher's
+	// two flush signals). WireFallbacks counts sessions downgraded to
+	// wire v1 after a v2 hello was rejected.
+	BatchesSent, BatchSizeFlushes, BatchAgeFlushes, WireFallbacks *obs.Counter
 }
 
 // NewAgentMetrics registers the agent counters ("agent.*") on reg. A
@@ -61,8 +74,12 @@ func NewAgentMetrics(reg *obs.Registry) AgentMetrics {
 		Retries:      reg.Counter("agent.retries"),
 		BackoffWaits: reg.Counter("agent.backoff_waits"),
 		BackoffUS:    reg.Counter("agent.backoff_us"),
-		Enqueued:     reg.Counter("agent.enqueued"),
-		Dropped:      reg.Counter("agent.dropped"),
+		Enqueued:         reg.Counter("agent.enqueued"),
+		Dropped:          reg.Counter("agent.dropped"),
+		BatchesSent:      reg.Counter("agent.batches_sent"),
+		BatchSizeFlushes: reg.Counter("agent.batch_size_flushes"),
+		BatchAgeFlushes:  reg.Counter("agent.batch_age_flushes"),
+		WireFallbacks:    reg.Counter("agent.wire_fallbacks"),
 	}
 }
 

@@ -1,0 +1,154 @@
+// The v2 batch-frame primitives: untagged varints and a per-batch
+// shared dictionary. The v1 report schema is plain protobuf — every
+// field tagged, every string shipped inline — which is robust but
+// redundant inside a harvest batch, where consecutive reports from one
+// device repeat the serial, the MAC universe, the user-agent strings,
+// and near-identical monotone counters. Wire v2 keeps pbwire's varint
+// vocabulary but drops the tags: fields travel untagged in a fixed
+// order, integers as deltas against the previous report, and every
+// string or byte blob as a small reference into a dictionary shared by
+// the whole batch. The layer here is byte-level only; the
+// report-specific delta rules live in internal/telemetry (batchwire.go)
+// and the layout in DESIGN.md §10.
+
+package pbwire
+
+import "errors"
+
+// MaxDictEntries bounds a batch dictionary. A decoder must refuse a
+// dictionary that declares more entries — an attacker-controlled count
+// must not translate into unbounded allocation ("dictionary overflow",
+// exercised by FuzzDecodeBatchFrame's seed corpus).
+const MaxDictEntries = 1 << 16
+
+// Batch decoding errors.
+var (
+	ErrDictOverflow = errors.New("pbwire: dictionary exceeds entry limit")
+	ErrBadDictRef   = errors.New("pbwire: dictionary reference out of range")
+)
+
+// Varint appends an untagged varint — the v2 batch body is a fixed
+// field order, so tags would be pure overhead.
+func (e *Encoder) Varint(v uint64) { e.varint(v) }
+
+// Zigzag appends an untagged zigzag-encoded signed varint, the delta
+// encoding for fields that can move both ways (timestamps after an
+// agent clock step, RSSI, counter resets).
+func (e *Encoder) Zigzag(v int64) { e.varint(uint64(v<<1) ^ uint64(v>>63)) }
+
+// LenBytes appends an untagged length-prefixed byte string.
+func (e *Encoder) LenBytes(b []byte) {
+	e.varint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Append writes raw bytes (an already-encoded sub-block).
+func (e *Encoder) Append(b []byte) { e.buf = append(e.buf, b...) }
+
+// DictBuilder assigns dense references to byte strings in first-use
+// order while a batch is encoded. Ref is stable for the builder's
+// lifetime, so the decoder can resolve references while reading the
+// batch body sequentially.
+type DictBuilder struct {
+	ids     map[string]uint64
+	entries []string
+	bytes   int // sum of entry lengths, for size accounting
+}
+
+// Ref returns the dictionary reference for s, assigning the next free
+// slot on first use.
+func (b *DictBuilder) Ref(s string) uint64 {
+	if id, ok := b.ids[s]; ok {
+		return id
+	}
+	if b.ids == nil {
+		b.ids = make(map[string]uint64)
+	}
+	id := uint64(len(b.entries))
+	b.ids[s] = id
+	b.entries = append(b.entries, s)
+	b.bytes += len(s)
+	return id
+}
+
+// RefBytes is Ref for a byte slice key.
+func (b *DictBuilder) RefBytes(p []byte) uint64 { return b.Ref(string(p)) }
+
+// Len returns the number of entries assigned so far.
+func (b *DictBuilder) Len() int { return len(b.entries) }
+
+// Mark returns a rollback point: the current entry count.
+func (b *DictBuilder) Mark() int { return len(b.entries) }
+
+// Rollback discards every entry assigned at or after mark — how a batch
+// encoder un-reserves the dictionary additions of a report that turned
+// out not to fit the size budget.
+func (b *DictBuilder) Rollback(mark int) {
+	for _, s := range b.entries[mark:] {
+		b.bytes -= len(s)
+		delete(b.ids, s)
+	}
+	b.entries = b.entries[:mark]
+}
+
+// EncodedSize returns an upper bound on the encoded dictionary block:
+// count varint plus, per entry, a length varint and the bytes.
+func (b *DictBuilder) EncodedSize() int {
+	// 5 bytes generously covers any realistic length varint.
+	return 5 + b.bytes + 5*len(b.entries)
+}
+
+// Encode writes the dictionary block: entry count, then each entry
+// length-prefixed, in reference order.
+func (b *DictBuilder) Encode(e *Encoder) {
+	e.Varint(uint64(len(b.entries)))
+	for _, s := range b.entries {
+		e.LenBytes([]byte(s))
+	}
+}
+
+// Dict is the decoded dictionary of one batch.
+type Dict struct {
+	entries [][]byte
+}
+
+// DecodeDict reads a dictionary block. Entry count and total size are
+// bounded by the input length (each entry consumes at least one byte),
+// and the declared count is checked against MaxDictEntries before any
+// allocation proportional to it.
+func DecodeDict(d *Decoder) (*Dict, error) {
+	n, err := d.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxDictEntries {
+		return nil, ErrDictOverflow
+	}
+	dict := &Dict{}
+	for i := uint64(0); i < n; i++ {
+		b, err := d.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		dict.entries = append(dict.entries, b)
+	}
+	return dict, nil
+}
+
+// Bytes resolves a reference. The returned slice aliases the decoder's
+// input buffer.
+func (d *Dict) Bytes(ref uint64) ([]byte, error) {
+	if ref >= uint64(len(d.entries)) {
+		return nil, ErrBadDictRef
+	}
+	return d.entries[ref], nil
+}
+
+// String resolves a reference as a string.
+func (d *Dict) String(ref uint64) (string, error) {
+	b, err := d.Bytes(ref)
+	return string(b), err
+}
+
+// Len returns the number of entries.
+func (d *Dict) Len() int { return len(d.entries) }

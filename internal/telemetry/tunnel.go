@@ -157,16 +157,33 @@ const (
 	framePoll    = 2 // backend -> device: poll(maxReports)
 	frameReports = 3 // device -> backend: batch of reports
 	frameAck     = 4 // backend -> device: ack(count)
+
+	// Wire v2 (DESIGN.md §10). A v2-capable device opens with
+	// frameHelloV2 carrying its maximum wire version; a v2-capable
+	// backend answers its polls with framePollV2 and the device replies
+	// with delta-coded frameBatch frames. Either side speaking only the
+	// v1 constants above keeps the session byte-identical to v1: a v1
+	// backend rejects frameHelloV2 before the first poll (the agent then
+	// falls back to frameHello on reconnect), and a v1 device never sees
+	// framePollV2 because it never announced v2.
+	frameHelloV2 = 5 // device -> backend: version + serial announcement
+	framePollV2  = 6 // backend -> device: poll(maxReports), answer in v2
+	frameBatch   = 7 // device -> backend: delta-coded report batch
 )
 
 // Message is one decoded protocol message.
 type Message struct {
 	Type    byte
-	Serial  string   // Hello
-	Max     uint32   // Poll
+	Serial  string   // Hello, HelloV2
+	Wire    byte     // HelloV2: device's max wire version; PollV2 echo
+	Max     uint32   // Poll, PollV2
 	Count   uint32   // Ack
 	Dropped uint32   // Reports: device's cumulative queue-overflow drops
 	Reports [][]byte // Reports (encoded Report messages)
+	// Batch is the decoded v2 payload of a frameBatch message. Its
+	// Reports/Spans/Dropped supersede the flat fields above for that
+	// frame type.
+	Batch *BatchFrame
 	// Spans are agent-side trace span events riding along with a report
 	// batch (see internal/obs/trace). The block is optional on the wire:
 	// it is omitted when empty, so frames from untraced agents are
@@ -188,8 +205,18 @@ func EncodeMessage(m *Message) []byte {
 	switch m.Type {
 	case frameHello:
 		out = append(out, []byte(m.Serial)...)
+	case frameHelloV2:
+		out = append(out, m.Wire)
+		out = append(out, []byte(m.Serial)...)
 	case framePoll:
 		out = binary.BigEndian.AppendUint32(out, m.Max)
+	case framePollV2:
+		out = append(out, m.Wire)
+		out = binary.BigEndian.AppendUint32(out, m.Max)
+	case frameBatch:
+		if m.Batch != nil {
+			out = append(out, EncodeBatchPayload(m.Batch)...)
+		}
 	case frameAck:
 		out = binary.BigEndian.AppendUint32(out, m.Count)
 	case frameReports:
@@ -220,6 +247,26 @@ func DecodeMessage(b []byte) (*Message, error) {
 	switch m.Type {
 	case frameHello:
 		m.Serial = string(rest)
+	case frameHelloV2:
+		if len(rest) < 1 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		m.Wire = rest[0]
+		m.Serial = string(rest[1:])
+	case framePollV2:
+		if len(rest) < 5 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		m.Wire = rest[0]
+		m.Max = binary.BigEndian.Uint32(rest[1:])
+	case frameBatch:
+		bf, err := DecodeBatchFrame(rest)
+		if err != nil {
+			return nil, err
+		}
+		m.Batch = bf
+		m.Dropped = bf.Dropped
+		m.Spans = bf.Spans
 	case framePoll, frameAck:
 		if len(rest) < 4 {
 			return nil, io.ErrUnexpectedEOF

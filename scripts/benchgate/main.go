@@ -1,0 +1,191 @@
+// Command benchgate turns `go test -bench` output into a pass/fail
+// regression gate against a checked-in baseline.
+//
+// It reads benchmark output on stdin, parses every metric each
+// benchmark reports (ns/op, B/op, allocs/op, and custom ReportMetric
+// units like bytes/report), and compares them to BENCH_baseline.json.
+// A metric that regressed past the tolerance fails the gate with a
+// line naming the benchmark, the unit, and both values; improvements
+// and unknown benchmarks are reported but never fail. Benchmarks
+// present in the baseline but absent from the input fail too — a gate
+// that silently stops measuring is worse than none.
+//
+// Usage:
+//
+//	go test ./internal/backend -run xxx -bench . -benchmem | \
+//	    go run ./scripts/benchgate -baseline BENCH_baseline.json
+//
+// Regenerate the baseline after an intentional change with -update.
+// Benchmark names are normalized by stripping the trailing
+// -GOMAXPROCS suffix so the baseline is portable across core counts.
+//
+// The default tolerance is ±20%. Wall-clock metrics (ns/op) are noisy
+// on shared runners, so they get their own wider -time-tolerance;
+// size and allocation metrics are deterministic and are held to the
+// tight bound.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in expectation file: per-benchmark,
+// per-unit metric values recorded on the reference runner.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note"`
+	// Benchmarks maps normalized benchmark name -> unit -> value.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// parseBench extracts (name, unit->value) from one benchmark output
+// line, or ok=false for non-benchmark lines.
+func parseBench(line string) (string, map[string]float64, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return "", nil, false
+	}
+	name := regexp.MustCompile(`-\d+$`).ReplaceAllString(m[1], "")
+	fields := strings.Fields(m[3])
+	metrics := make(map[string]float64)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return name, metrics, true
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file to gate against")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression for deterministic metrics (B/op, allocs/op, bytes/report)")
+	timeTolerance := flag.Float64("time-tolerance", 0.60, "allowed fractional regression for wall-clock metrics (ns/op), which are noisy on shared runners")
+	update := flag.Bool("update", false, "rewrite the baseline from stdin instead of gating")
+	flag.Parse()
+
+	got := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the log
+		if name, metrics, ok := parseBench(line); ok {
+			if got[name] == nil {
+				got[name] = make(map[string]float64)
+			}
+			for u, v := range metrics {
+				got[name][u] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read stdin: %v", err)
+	}
+	if len(got) == 0 {
+		fatal("no benchmark lines found on stdin")
+	}
+
+	if *update {
+		b := Baseline{
+			Note:       "regenerate with: make bench-baseline (runs the gate benches and rewrites this file)",
+			Benchmarks: got,
+		}
+		out, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fatal("marshal baseline: %v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatal("write baseline: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: baseline %s rewritten with %d benchmarks\n", *baselinePath, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("read baseline (generate with -update): %v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parse baseline: %v", err)
+	}
+
+	var failures, notes []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		have, ok := got[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not measured", name))
+			continue
+		}
+		units := make([]string, 0, len(want))
+		for u := range want {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			wantV := want[unit]
+			haveV, ok := have[unit]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: baseline has %s but run did not report it", name, unit))
+				continue
+			}
+			tol := *tolerance
+			if unit == "ns/op" {
+				tol = *timeTolerance
+			}
+			switch {
+			case wantV == 0:
+				if haveV != 0 {
+					failures = append(failures, fmt.Sprintf("%s: %s regressed from 0 to %g", name, unit, haveV))
+				}
+			case haveV > wantV*(1+tol):
+				failures = append(failures, fmt.Sprintf("%s: %s regressed %.4g -> %.4g (+%.0f%%, tolerance %.0f%%)",
+					name, unit, wantV, haveV, 100*(haveV/wantV-1), 100*tol))
+			case haveV < wantV*(1-tol):
+				notes = append(notes, fmt.Sprintf("%s: %s improved %.4g -> %.4g; consider refreshing the baseline",
+					name, unit, wantV, haveV))
+			}
+		}
+	}
+	for name := range got {
+		if _, ok := base.Benchmarks[name]; !ok {
+			notes = append(notes, fmt.Sprintf("%s: not in baseline (add with -update)", name))
+		}
+	}
+
+	for _, n := range notes {
+		fmt.Fprintf(os.Stderr, "benchgate: note: %s\n", n)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: OK — %d benchmarks within tolerance\n", len(names))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}
