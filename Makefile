@@ -4,7 +4,7 @@
 # stay green across the whole module, not just `test`. CI
 # (.github/workflows/ci.yml) runs build + vet + test + race.
 
-.PHONY: build test vet race bench bench-gate bench-baseline wire-compat docs trace-smoke crash-smoke verify
+.PHONY: build test vet race bench bench-gate bench-baseline wire-compat docs docs-gen trace-smoke crash-smoke cluster-smoke verify
 
 # GATE_BENCH is the benchmark set the regression gate measures: the
 # wire codecs (bytes/report is the headline EXPERIMENTS.md number) and
@@ -50,10 +50,18 @@ wire-compat:
 	go test ./internal/telemetry -run xxx -fuzz FuzzDecodeBatchFrame -fuzztime 30s
 	go test ./internal/telemetry -run xxx -fuzz FuzzDecodeMessage -fuzztime 30s
 
-# docs fails if any package under internal/ or cmd/ is missing a
-# package comment (or carries a duplicated one).
+# docs is the documentation gate: every package in the module must
+# carry exactly one package comment (scripts/checkdocs), and the
+# generated CLI flag reference docs/FLAGS.md must match the flag
+# registrations in cmd/* (scripts/flagdoc -check) — change a flag
+# without running `make docs-gen` and CI fails.
 docs:
 	go vet ./... && go run ./scripts/checkdocs
+	go run ./scripts/flagdoc -check docs/FLAGS.md
+
+# docs-gen regenerates docs/FLAGS.md after a flag change.
+docs-gen:
+	go run ./scripts/flagdoc -out docs/FLAGS.md
 
 # trace-smoke runs a fully sampled offline harvest and validates the
 # flight-recorder dump: it must parse as JSON and contain at least one
@@ -71,4 +79,14 @@ trace-smoke:
 crash-smoke:
 	go run ./scripts/crashcheck -seed 1 -cycles 2
 
-verify: build vet test race docs trace-smoke crash-smoke
+# cluster-smoke is the sharded-deployment gate: spawn a 4-shard merakid
+# cluster (per-shard WAL dirs, -shard/-shards/-peers), harvest a
+# mixed-wire fleet routed by the shard map, and require both the
+# router's merged digest and shard 0's own "fanout digest" to match a
+# single-daemon control (see scripts/clustercheck). The cmd/merakid and
+# internal/cluster tests run the same proof in-tree, including a
+# SIGKILLed-and-recovered shard.
+cluster-smoke:
+	go run ./scripts/clustercheck -shards 4
+
+verify: build vet test race docs trace-smoke crash-smoke cluster-smoke

@@ -116,17 +116,21 @@ func freePorts(t *testing.T, n int) []string {
 }
 
 // startDaemon launches merakid and waits for its query port to accept.
-func startDaemon(t *testing.T, bin, listen, query, walDir string) *exec.Cmd {
+// extra appends additional flags (the cluster tests pass -shard/-shards
+// and -peers through here).
+func startDaemon(t *testing.T, bin, listen, query, walDir string, extra ...string) *exec.Cmd {
 	t.Helper()
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		cmd := exec.Command(bin,
+		args := []string{
 			"-listen", listen, "-query", query,
 			"-poll", "20ms", "-batch", "8", "-timeout", "2s",
 			"-wal-dir", walDir, "-wal-fsync", "off",
 			"-checkpoint", "75ms",
 			"-trace-sample", "0",
-		)
+		}
+		args = append(args, extra...)
+		cmd := exec.Command(bin, args...)
 		cmd.Stdout = os.Stderr // daemon logs go to the test log on -v
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {

@@ -4,7 +4,8 @@
 // line-based queries on -query (see cmd/apstat). The store can be
 // snapshotted to disk with -snapshot on shutdown (SIGINT) or via the
 // "save" query. Queries: status, clients, top-apps N, util, crashes,
-// anomalies, metrics, digest, checkpoint, save PATH, quit; an
+// anomalies, metrics, digest, checkpoint, snapshot, fanout CMD,
+// save PATH, quit; an
 // unrecognized command gets an "ERR unknown command" line back (every
 // error line starts with "ERR"). The status response includes the
 // harvest health counters (reconnects, MAC failures, corrupt frames,
@@ -17,6 +18,18 @@
 // stalled scraper cannot wedge shutdown. All tunnel I/O runs under the
 // -timeout deadline so a stalled or silent peer can never pin a
 // goroutine.
+//
+// A fleet of merakids can shard the network universe (DESIGN.md §11):
+// -shard I -shards N places this daemon in an N-shard cluster where
+// agents route each network to its shard by the deterministic cluster
+// map, and -peers lists every shard's query address so the "fanout"
+// query scatter-gathers across the cluster — "fanout status" returns
+// every shard's status, "fanout digest" the merged cluster digest
+// (identical to a single daemon's digest for the same reports), with
+// graceful partial results when a shard is down. The "snapshot" query
+// serves this daemon's store as base64 lines for the router to merge.
+// Each shard keeps its own -wal-dir; see OPERATIONS.md for topologies
+// and runbooks.
 //
 // With -wal-dir the daemon is crash-consistent (DESIGN.md §9): every
 // harvested report's wire bytes reach a write-ahead log before the
@@ -63,6 +76,7 @@ import (
 
 	"wlanscale/internal/anomaly"
 	"wlanscale/internal/backend"
+	"wlanscale/internal/cluster"
 	"wlanscale/internal/obs"
 	"wlanscale/internal/obs/trace"
 	"wlanscale/internal/telemetry"
@@ -83,6 +97,9 @@ func main() {
 	walFsyncEvery := flag.Duration("wal-fsync-interval", 100*time.Millisecond, "flush window for -wal-fsync interval")
 	walSegment := flag.Int64("wal-segment", 4<<20, "WAL segment size in bytes before rotation")
 	checkpointEvery := flag.Duration("checkpoint", time.Minute, "checkpoint cadence (0 = only on shutdown and the checkpoint query)")
+	shard := flag.Int("shard", 0, "this daemon's shard index in a sharded cluster (0-based; see -shards)")
+	shards := flag.Int("shards", 1, "total shard count of the cluster this daemon belongs to (1 = single-daemon)")
+	peers := flag.String("peers", "", "comma-separated query addresses of every shard, indexed by shard ID; enables the scatter-gather fanout query (empty = standalone)")
 	debug := flag.String("debug", "", "debug HTTP listen address serving /debug/vars, /debug/metrics and /debug/pprof (empty = off)")
 	traceSample := flag.Float64("trace-sample", 1.0, "fraction of trace IDs the flight recorder keeps (0 disables tracing)")
 	traceBuf := flag.Int("trace-buf", 4096, "flight-recorder capacity in span events (rounded up to a power of two)")
@@ -99,6 +116,22 @@ func main() {
 	}
 	d := newDaemon(key, *pollEvery, *batch, *timeout, *traceSample, *traceBuf)
 	d.wire = wireVer
+	if *shards < 1 || *shard < 0 || *shard >= *shards {
+		log.Fatalf("merakid: -shard %d out of range for -shards %d", *shard, *shards)
+	}
+	d.shardID, d.shards = *shard, *shards
+	if *peers != "" {
+		addrs := strings.Split(*peers, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		if len(addrs) != *shards {
+			log.Fatalf("merakid: -peers lists %d addresses, -shards says %d", len(addrs), *shards)
+		}
+		d.router = &cluster.Router{Shards: addrs}
+		d.router.EnableObs(d.obs)
+		log.Printf("merakid: shard %d/%d, fanout over %d peers", *shard, *shards, len(addrs))
+	}
 
 	if *walDir != "" {
 		policy, err := wal.ParsePolicy(*walFsync)
@@ -222,6 +255,13 @@ type daemon struct {
 	wire    byte
 	timeout time.Duration
 	health  *telemetry.HarvestHealth
+
+	// shardID/shards place this daemon in a sharded cluster (-shard,
+	// -shards); router, when -peers configured the cluster's query
+	// addresses, answers the scatter-gather "fanout" query. A
+	// standalone daemon is shard 0 of 1 with a nil router.
+	shardID, shards int
+	router          *cluster.Router
 
 	// obs is the daemon's metrics registry: harvest.* (health counters
 	// and poll-loop counts), pool.* (connected-device pool), trace.*
@@ -511,6 +551,9 @@ func (d *daemon) serveQuery(conn net.Conn) {
 			d.mu.Lock()
 			nDev := len(d.devices)
 			d.mu.Unlock()
+			if d.shards > 1 {
+				fmt.Fprintf(w, "shard %d/%d\n", d.shardID, d.shards)
+			}
 			fmt.Fprintf(w, "devices=%d ingested=%d duplicates=%d clients=%d\n",
 				nDev, ing, dup, d.store.NumClients())
 			fmt.Fprintf(w, "%s dedup_hits=%d\n", d.health.Snapshot(), dup)
@@ -565,6 +608,14 @@ func (d *daemon) serveQuery(conn net.Conn) {
 			} else {
 				fmt.Fprintf(w, "checkpointed lsn=%d\n", d.durable.CheckpointLSN())
 			}
+		case "snapshot":
+			// The store's gob snapshot as base64 lines — what the
+			// scatter-gather router merges cluster-wide views from.
+			if err := cluster.WriteSnapshotLines(w, d.store); err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+			}
+		case "fanout":
+			d.queryFanout(w, fields)
 		case "trace":
 			d.queryTrace(w, fields)
 		case "save":
@@ -583,6 +634,51 @@ func (d *daemon) serveQuery(conn net.Conn) {
 		}
 		fmt.Fprintln(w)
 		w.Flush()
+	}
+}
+
+// queryFanout answers "fanout <cmd>": scatter <cmd> across every
+// configured shard (-peers) and gather the answers. "fanout digest" is
+// special-cased to the merged cluster digest — first line the digest
+// hex, second line the health summary — because digests cannot be
+// concatenated, only merged. Any other command returns each shard's
+// response under a "[shard N addr]" header; a dead shard contributes
+// an ERR line instead of sinking the whole query, so operators get
+// partial answers during an outage rather than none.
+func (d *daemon) queryFanout(w io.Writer, fields []string) {
+	if d.router == nil {
+		fmt.Fprintln(w, "ERR no cluster peers configured (-peers)")
+		return
+	}
+	if len(fields) < 2 {
+		fmt.Fprintln(w, "ERR fanout needs a command, e.g. fanout status")
+		return
+	}
+	cmd := strings.Join(fields[1:], " ")
+	if fields[1] == "fanout" {
+		fmt.Fprintln(w, "ERR fanout does not nest")
+		return
+	}
+	if fields[1] == "digest" {
+		dig, err := d.router.MergedDigest()
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v (down: %v)\n", err, dig.Down)
+			return
+		}
+		fmt.Fprintln(w, dig.Digest)
+		fmt.Fprintf(w, "shards=%d up=%d down=%v degraded=%t\n",
+			dig.Shards, dig.Shards-len(dig.Down), dig.Down, dig.Degraded)
+		return
+	}
+	for _, rep := range d.router.Fanout(cmd) {
+		fmt.Fprintf(w, "[shard %d %s]\n", rep.Shard, rep.Addr)
+		if rep.Err != nil {
+			fmt.Fprintf(w, "ERR shard down: %v\n", rep.Err)
+			continue
+		}
+		for _, ln := range rep.Lines {
+			fmt.Fprintln(w, ln)
+		}
 	}
 }
 

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	merakireport [-seed N] [-scale small|medium|full] [-only exp1,exp2] [-timings]
+//	merakireport -cluster 127.0.0.1:7772,127.0.0.1:7782
+//
+// The second form skips simulation and reports on a live sharded
+// cluster instead: every shard's status plus the scatter-gathered
+// merged digest, with down shards flagged rather than fatal.
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 // fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
@@ -25,6 +30,7 @@ import (
 	"runtime"
 	"strings"
 
+	"wlanscale/internal/cluster"
 	"wlanscale/internal/core"
 	"wlanscale/internal/dot11"
 	"wlanscale/internal/epoch"
@@ -36,6 +42,7 @@ import (
 
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	clusterAddrs := flag.String("cluster", "", "comma-separated shard query addresses: report on a live sharded cluster (status + merged digest) instead of simulating")
 	scale := flag.String("scale", "small", "simulation scale: small, medium, or full")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel usage-epoch workers; results are identical for any value")
@@ -44,6 +51,14 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "fraction of usage-epoch reports to trace end to end (0 = off)")
 	traceOut := flag.String("trace-out", "", "flight-recorder dump path (default stderr when tracing)")
 	flag.Parse()
+
+	if *clusterAddrs != "" {
+		if err := runCluster(*clusterAddrs); err != nil {
+			fmt.Fprintf(os.Stderr, "merakireport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var timer *obs.Timer
 	cfg := core.DefaultConfig()
@@ -120,6 +135,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runCluster is the -cluster mode: scatter-gather over a live sharded
+// merakid fleet, printing each shard's status and the merged cluster
+// digest. Down shards degrade the report rather than kill it — the
+// surviving shards' status and a partial digest still print, with the
+// casualties called out — and the exit status stays zero so a watch
+// loop keeps reporting through an outage.
+func runCluster(addrList string) error {
+	addrs := strings.Split(addrList, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	r := &cluster.Router{Shards: addrs}
+	fmt.Printf("cluster: %d shard(s)\n", len(addrs))
+	for _, rep := range r.Fanout("status") {
+		fmt.Printf("\n[shard %d %s]\n", rep.Shard, rep.Addr)
+		if rep.Err != nil {
+			fmt.Printf("DOWN: %v\n", rep.Err)
+			continue
+		}
+		for _, ln := range rep.Lines {
+			fmt.Println(ln)
+		}
+	}
+	dig, err := r.MergedDigest()
+	if err != nil {
+		return fmt.Errorf("merged digest: %w", err)
+	}
+	fmt.Printf("\ncluster digest %s\n", dig.Digest)
+	fmt.Printf("shards=%d up=%d down=%v degraded=%t\n",
+		dig.Shards, dig.Shards-len(dig.Down), dig.Down, dig.Degraded)
+	return nil
 }
 
 func run(cfg core.Config, want func(string) bool, timer *obs.Timer) error {

@@ -11,6 +11,13 @@
 //
 //	merakisim -serve 127.0.0.1:7771 -aps 20 -duration 30s
 //
+// -serve also takes a comma-separated shard list: each agent then
+// routes to the merakid owning its network under the cluster shard
+// map, and -serve2 names a same-shaped secondary cluster for
+// multi-home failover:
+//
+//	merakisim -serve 127.0.0.1:7771,127.0.0.1:7781 -aps 20
+//
 // Either mode accepts -timings, which prints an end-of-run stage
 // summary (and, offline, the epoch pipeline's metrics) to stderr.
 //
@@ -34,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"wlanscale/internal/cluster"
 	"wlanscale/internal/core"
 	"wlanscale/internal/epoch"
 	"wlanscale/internal/obs"
@@ -49,7 +57,8 @@ func main() {
 	clientCap := flag.Int("client-cap", 400, "max clients per network (0 = uncapped)")
 	out := flag.String("out", "dataset.gob", "snapshot output path (offline mode)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel usage-epoch workers (offline mode); results are identical for any value")
-	serve := flag.String("serve", "", "backend address: run live agents instead of offline simulation")
+	serve := flag.String("serve", "", "backend address(es): run live agents instead of offline simulation; a comma-separated list shards the fleet, each agent routing by its network's cluster-map hash")
+	serve2 := flag.String("serve2", "", "secondary backend address(es) for multi-home failover, same shard count and ordering as -serve")
 	aps := flag.Int("aps", 10, "number of live agents (serve mode)")
 	duration := flag.Duration("duration", 30*time.Second, "how long live agents run")
 	every := flag.Duration("every", 2*time.Second, "report period per live agent")
@@ -77,7 +86,7 @@ func main() {
 		log.Fatalf("merakisim: %v", err)
 	}
 	if *serve != "" {
-		if err := runAgents(*serve, *aps, *seed, *duration, *every, wireVer, *keyHex, timer, tracer); err != nil {
+		if err := runAgents(*serve, *serve2, *aps, *seed, *duration, *every, wireVer, *keyHex, timer, tracer); err != nil {
 			log.Fatalf("merakisim: %v", err)
 		}
 	} else if err := runOffline(*seed, *networks, *clientCap, *workers, int(wireVer), *out, timer, tracer); err != nil {
@@ -155,9 +164,27 @@ func runOffline(seed uint64, networks, clientCap, workers, wireVersion int, out 
 	return nil
 }
 
+// splitAddrs parses a comma-separated shard address list.
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
 // runAgents spins up live AP agents that measure their simulated
-// environments and stream reports to a merakid over encrypted tunnels.
-func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration, wire byte, keyHex string, timer *obs.Timer, tracer *trace.Tracer) error {
+// environments and stream reports to merakid daemons over encrypted
+// tunnels. With one backend address every agent connects there; with a
+// comma-separated shard list each agent routes to the shard owning its
+// network under the cluster map, so a merakid fleet splits the harvest
+// deterministically with zero coordination. A -serve2 list of the same
+// length gives each agent a secondary in a second cluster to fail over
+// to (the paper's dual-DC deployment, shard-aligned).
+func runAgents(addrList, addrList2 string, nAPs int, seed uint64, duration, every time.Duration, wire byte, keyHex string, timer *obs.Timer, tracer *trace.Tracer) error {
 	if len(keyHex) != 64 {
 		return fmt.Errorf("key must be 64 hex chars")
 	}
@@ -165,6 +192,12 @@ func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration
 	if _, err := fmt.Sscanf(keyHex, "%64x", &key); err != nil {
 		return fmt.Errorf("bad key: %v", err)
 	}
+	addrs := splitAddrs(addrList)
+	addrs2 := splitAddrs(addrList2)
+	if len(addrs2) > 0 && len(addrs2) != len(addrs) {
+		return fmt.Errorf("-serve2 lists %d addresses, -serve %d: shard counts must match", len(addrs2), len(addrs))
+	}
+	shardMap := cluster.NewMap(len(addrs))
 
 	sp := timer.Start("build-fleet")
 	fleet, err := synth.GenerateFleet(synth.Params{
@@ -178,9 +211,17 @@ func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration
 		agent *telemetry.Agent
 		netID int
 		apIdx int
+		// chain is the agent's failover chain: its network's shard
+		// address, then the same shard in the secondary cluster.
+		chain []string
 	}
 	var live []liveAP
 	for _, n := range fleet.Networks {
+		shard := shardMap.Shard(uint64(n.ID))
+		chain := []string{addrs[shard]}
+		if len(addrs2) > 0 {
+			chain = append(chain, addrs2[shard])
+		}
 		for i := range n.APs {
 			if len(live) == nAPs {
 				break
@@ -194,10 +235,12 @@ func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration
 				agent: ag,
 				netID: n.ID,
 				apIdx: i,
+				chain: chain,
 			})
 		}
 	}
-	log.Printf("merakisim: %d live agents connecting to %s for %v", len(live), addr, duration)
+	log.Printf("merakisim: %d live agents connecting to %d shard(s) (%s) for %v",
+		len(live), len(addrs), strings.Join(addrs, ","), duration)
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -205,7 +248,7 @@ func runAgents(addr string, nAPs int, seed uint64, duration, every time.Duration
 		wg.Add(1)
 		go func(idx int, la liveAP) {
 			defer wg.Done()
-			la.agent.RunWithReconnect(addr, stop)
+			la.agent.RunAddrs(la.chain, stop)
 		}(idx, la)
 
 		// Separate producer: measure and enqueue reports periodically.

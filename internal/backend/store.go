@@ -1,17 +1,3 @@
-// Package backend implements the Meraki backend's data layer (paper
-// Section 2): ingestion of device reports with (serial, seqno)
-// deduplication, aggregation of usage by client MAC across access
-// points (to account for roaming), per-device time series of radio
-// counters, neighbor tables, link-probe windows and scan samples, HMAC
-// anonymization of identifiers for analysis exports, and gob snapshot
-// persistence.
-//
-// The store is lock-striped: client aggregates shard by MAC and
-// device-keyed series shard by serial, so concurrent harvest workers
-// ingesting reports for different devices rarely contend. Every read
-// accessor returns results in an explicitly sorted order, so downstream
-// analyses are independent of both map iteration order and the shard
-// count.
 package backend
 
 import (
@@ -371,7 +357,7 @@ func (s *Store) EnableObs(reg *obs.Registry) {
 	reg.RegisterFunc("store.shards", func() int64 { return int64(s.NumShards()) })
 	for i := range s.deviceShards {
 		ds := s.deviceShards[i]
-		reg.RegisterFunc(fmt.Sprintf("store.stripe.%02d.ingests", i),
+		reg.RegisterFunc(obs.Indexed("store.stripe", i, "ingests"),
 			func() int64 { return ds.ingests.Load() })
 	}
 	s.saveDur = reg.Histogram("store.save_us", obs.DurationBuckets)
@@ -824,6 +810,23 @@ func (s *Store) Load(r io.Reader) error {
 	for serial, v := range snap.Crashes {
 		withDeviceShard(serial, func(ds *deviceShard) { ds.crashes[serial] = v })
 	}
+	return nil
+}
+
+// MergeSnapshot folds a gob snapshot into the store without resetting
+// what it already holds — the shard-aware counterpart to Load. The
+// scatter-gather router uses it to rebuild a cluster-wide view: each
+// shard's snapshot decodes into a scratch store and merges through the
+// same deterministic path the parallel epoch pipeline uses, so the
+// merged digest is independent of fetch order. Ingestion counters from
+// the snapshot are not recovered (the snapshot format predates them);
+// digests never include counters, so equivalence is unaffected.
+func (s *Store) MergeSnapshot(r io.Reader) error {
+	tmp := NewStoreShards(s.NumShards())
+	if err := tmp.Load(r); err != nil {
+		return err
+	}
+	s.Merge(tmp)
 	return nil
 }
 

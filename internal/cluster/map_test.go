@@ -1,0 +1,96 @@
+package cluster
+
+import "testing"
+
+func TestMapDeterminismAndRange(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 16} {
+		m := NewMap(n)
+		for id := uint64(0); id < 500; id++ {
+			s1 := m.Shard(id)
+			s2 := NewMap(n).Shard(id)
+			if s1 != s2 {
+				t.Fatalf("n=%d id=%d: shard not deterministic: %d vs %d", n, id, s1, s2)
+			}
+			if s1 < 0 || s1 >= n {
+				t.Fatalf("n=%d id=%d: shard %d out of range", n, id, s1)
+			}
+		}
+	}
+}
+
+func TestMapClampsToOne(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		m := NewMap(n)
+		if m.Shards != 1 {
+			t.Fatalf("NewMap(%d).Shards = %d, want 1", n, m.Shards)
+		}
+		if s := m.Shard(12345); s != 0 {
+			t.Fatalf("single-shard map routed id to %d", s)
+		}
+	}
+}
+
+// TestMapBalance pins that contiguous network IDs — the worst case for
+// a bare modulus-free jump walk without premixing — spread evenly: no
+// shard more than 25% off the fair share over 20k networks.
+func TestMapBalance(t *testing.T) {
+	const ids = 20000
+	for _, n := range []int{2, 4, 8} {
+		m := NewMap(n)
+		counts := make([]int, n)
+		for id := uint64(0); id < ids; id++ {
+			counts[m.Shard(id)]++
+		}
+		fair := float64(ids) / float64(n)
+		for s, c := range counts {
+			if dev := float64(c)/fair - 1; dev > 0.25 || dev < -0.25 {
+				t.Errorf("n=%d shard %d holds %d networks, fair share %.0f (%.1f%% off)",
+					n, s, c, fair, dev*100)
+			}
+		}
+	}
+}
+
+// TestMapConsistency pins the jump-hash minimal-movement property the
+// rebalance runbook relies on: growing an N-shard cluster to N+1 moves
+// only the networks the new shard takes over — about 1/(N+1) of them —
+// and every moved network lands on the new shard, never between old
+// shards.
+func TestMapConsistency(t *testing.T) {
+	const ids = 20000
+	for _, n := range []int{2, 4, 8} {
+		old, grown := NewMap(n), NewMap(n+1)
+		moved := 0
+		for id := uint64(0); id < ids; id++ {
+			a, b := old.Shard(id), grown.Shard(id)
+			if a == b {
+				continue
+			}
+			moved++
+			if b != n {
+				t.Fatalf("n=%d id=%d moved from shard %d to %d, not to the new shard %d", n, id, a, b, n)
+			}
+		}
+		want := float64(ids) / float64(n+1)
+		if f := float64(moved); f > want*1.25 {
+			t.Errorf("n=%d→%d moved %d networks, want ≈%.0f (minimal movement violated)", n, n+1, moved, want)
+		}
+	}
+}
+
+func TestMapAddr(t *testing.T) {
+	m := NewMap(3)
+	addrs := []string{"a:1", "b:2", "c:3"}
+	for id := uint64(0); id < 50; id++ {
+		got, err := m.Addr(id, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := addrs[m.Shard(id)]; got != want {
+			t.Fatalf("id %d routed to %s, want %s", id, got, want)
+		}
+	}
+	if _, err := m.Addr(0, addrs[:2]); err == nil {
+		t.Fatal("short addr list accepted")
+	}
+}

@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"wlanscale/internal/backend"
+	"wlanscale/internal/obs"
+	"wlanscale/internal/rng"
+)
+
+// Router is the scatter-gather coordinator: it owns the query
+// addresses of every shard in a cluster and fans commands across them
+// concurrently. Each shard gets its own dial+response deadline and its
+// own jittered retry budget, so one slow or dead shard delays a fanout
+// by at most Timeout×attempts and never sinks it: the other shards'
+// answers come back regardless, marked degraded.
+//
+// A Router is stateless between calls (every fanout dials fresh
+// connections) and safe for concurrent use.
+type Router struct {
+	// Shards holds each shard's query address, indexed by shard ID —
+	// the same indexing Map.Shard produces.
+	Shards []string
+	// Timeout bounds one attempt against one shard: dial plus the full
+	// response read. Zero defaults to 5s.
+	Timeout time.Duration
+	// Retries is how many times a failed shard query is re-attempted
+	// (so attempts = Retries+1). Zero defaults to 2; negative disables
+	// retries.
+	Retries int
+	// BackoffBase and BackoffMax tune the between-attempt backoff;
+	// zero values default to 50ms and 1s. Each wait is scaled by a
+	// jitter factor in [0.5, 1.5) drawn from a per-shard seeded stream,
+	// so a fanout retrying several shards does not hammer them in
+	// lockstep.
+	BackoffBase, BackoffMax time.Duration
+
+	// metrics, when EnableObs attached a registry. All nil-safe.
+	fanouts   *obs.Counter
+	retries   *obs.Counter
+	degraded  *obs.Counter
+	shardErrs []*obs.Counter
+	fanoutDur *obs.Histogram
+}
+
+// Reply is one shard's answer to a fanout: the response lines on
+// success, or the error that exhausted the shard's retry budget.
+type Reply struct {
+	Shard int
+	Addr  string
+	Lines []string
+	Err   error
+	// Attempts is how many times the shard was dialed (1 = first try
+	// succeeded).
+	Attempts int
+}
+
+// Digest is a cluster-wide merged digest. When Degraded is true the
+// digest covers only the live shards (Down lists the dead ones) — a
+// partial answer by design, so an operator mid-outage still sees what
+// the surviving slice of the fleet holds.
+type Digest struct {
+	Digest   string
+	Shards   int
+	Down     []int
+	Degraded bool
+}
+
+// EnableObs folds the router's counters into reg: "cluster.fanouts",
+// "cluster.retries", "cluster.degraded" (fanouts that lost at least
+// one shard), a "cluster.fanout_us" duration histogram, and one
+// "cluster.shard.NN.errors" counter per shard — the per-shard health
+// signal; a climbing counter on one index means that shard, not the
+// fabric. Observe-only, like everything in obs.
+func (r *Router) EnableObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.fanouts = reg.Counter("cluster.fanouts")
+	r.retries = reg.Counter("cluster.retries")
+	r.degraded = reg.Counter("cluster.degraded")
+	r.fanoutDur = reg.Histogram("cluster.fanout_us", obs.DurationBuckets)
+	r.shardErrs = make([]*obs.Counter, len(r.Shards))
+	for i := range r.Shards {
+		r.shardErrs[i] = reg.Counter(obs.Indexed("cluster.shard", i, "errors"))
+	}
+}
+
+func (r *Router) timeout() time.Duration {
+	if r.Timeout <= 0 {
+		return 5 * time.Second
+	}
+	return r.Timeout
+}
+
+func (r *Router) attempts() int {
+	switch {
+	case r.Retries < 0:
+		return 1
+	case r.Retries == 0:
+		return 3
+	default:
+		return r.Retries + 1
+	}
+}
+
+// Fanout sends cmd to every shard concurrently and returns one Reply
+// per shard, indexed by shard ID. It never returns an error itself:
+// per-shard failures live in the replies, so a caller decides whether
+// a partial answer is acceptable (NumDown counts the casualties).
+func (r *Router) Fanout(cmd string) []Reply {
+	r.fanouts.Inc()
+	sp := obs.StartSpan(r.fanoutDur)
+	defer sp.End()
+	replies := make([]Reply, len(r.Shards))
+	var wg sync.WaitGroup
+	for i := range r.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replies[i] = r.queryShard(i, cmd)
+		}(i)
+	}
+	wg.Wait()
+	if NumDown(replies) > 0 {
+		r.degraded.Inc()
+	}
+	return replies
+}
+
+// NumDown counts replies that exhausted their retries.
+func NumDown(replies []Reply) int {
+	n := 0
+	for _, rep := range replies {
+		if rep.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// DownShards lists the shard IDs that failed, in order.
+func DownShards(replies []Reply) []int {
+	var down []int
+	for _, rep := range replies {
+		if rep.Err != nil {
+			down = append(down, rep.Shard)
+		}
+	}
+	return down
+}
+
+// queryShard runs one shard's retry loop: dial, send cmd, read the
+// blank-line-terminated response, with jittered capped backoff between
+// attempts. The jitter stream is seeded per (shard, address) so
+// retries are deterministic for a given deployment yet staggered
+// across shards.
+func (r *Router) queryShard(i int, cmd string) Reply {
+	rep := Reply{Shard: i, Addr: r.Shards[i]}
+	base := r.BackoffBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := r.BackoffMax
+	if max <= 0 {
+		max = time.Second
+	}
+	jitter := rng.New(uint64(i)).Split("cluster-retry/" + rep.Addr)
+	backoff := base
+	for attempt := 0; attempt < r.attempts(); attempt++ {
+		if attempt > 0 {
+			r.retries.Inc()
+			wait := time.Duration(float64(backoff) * (0.5 + jitter.Float64()))
+			time.Sleep(wait)
+			if backoff < max {
+				backoff *= 2
+				if backoff > max {
+					backoff = max
+				}
+			}
+		}
+		rep.Attempts++
+		lines, err := queryOnce(rep.Addr, cmd, r.timeout())
+		if err == nil {
+			rep.Lines, rep.Err = lines, nil
+			return rep
+		}
+		rep.Err = err
+		if r.shardErrs != nil {
+			r.shardErrs[i].Inc()
+		}
+	}
+	return rep
+}
+
+// queryOnce is one attempt of the line protocol merakid's query port
+// speaks: send the command plus "quit", read lines until the blank
+// terminator. The deadline covers the whole exchange.
+func queryOnce(addr, cmd string, timeout time.Duration) ([]string, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "%s\nquit\n", cmd); err != nil {
+		return nil, err
+	}
+	var lines []string
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		ln := sc.Text()
+		if ln == "" {
+			return lines, nil
+		}
+		lines = append(lines, ln)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, errors.New("cluster: empty response")
+	}
+	return lines, nil
+}
+
+// errAllDown is returned when no shard answered a merge.
+var errAllDown = errors.New("cluster: every shard is down")
+
+// MergedStore fetches each live shard's snapshot and folds them into
+// one store, merging in shard-index order so the result is
+// deterministic regardless of which fetch finished first. The replies
+// are returned alongside so callers can see which shards contributed;
+// an error is returned only when not a single shard answered.
+func (r *Router) MergedStore() (*backend.Store, []Reply, error) {
+	replies := r.Fanout("snapshot")
+	merged := backend.NewStore()
+	up := 0
+	for i := range replies {
+		rep := &replies[i]
+		if rep.Err != nil {
+			continue
+		}
+		if len(rep.Lines) > 0 && strings.HasPrefix(rep.Lines[0], "ERR") {
+			rep.Err = fmt.Errorf("cluster: shard %d: %s", rep.Shard, rep.Lines[0])
+			continue
+		}
+		raw, err := DecodeSnapshotLines(rep.Lines)
+		if err != nil {
+			rep.Err = err
+			continue
+		}
+		if err := merged.MergeSnapshot(raw); err != nil {
+			rep.Err = err
+			continue
+		}
+		up++
+	}
+	if up == 0 {
+		return nil, replies, errAllDown
+	}
+	return merged, replies, nil
+}
+
+// MergedDigest is the cluster-wide analogue of the merakid "digest"
+// query: the canonical SHA-256 of every live shard's contents merged.
+// On a healthy cluster whose agents route by the shard map, the result
+// is byte-identical to the digest a single daemon fed the same reports
+// would serve — the equivalence `make cluster-smoke` and the cluster
+// tests pin. With shards down the digest still comes back, flagged
+// Degraded, covering the surviving shards only.
+func (r *Router) MergedDigest() (Digest, error) {
+	merged, replies, err := r.MergedStore()
+	if err != nil {
+		return Digest{Shards: len(r.Shards), Down: DownShards(replies), Degraded: true}, err
+	}
+	return Digest{
+		Digest:   merged.Digest(),
+		Shards:   len(r.Shards),
+		Down:     DownShards(replies),
+		Degraded: NumDown(replies) > 0,
+	}, nil
+}

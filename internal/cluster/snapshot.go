@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"strings"
+
+	"wlanscale/internal/backend"
+)
+
+// snapshotLineLen is the base64 chunk width of a snapshot response.
+// The query protocol is line-oriented with a blank-line terminator, so
+// a gob snapshot travels as fixed-width base64 lines that any
+// line-based client (and the Router) can carry without special
+// framing.
+const snapshotLineLen = 4096
+
+// WriteSnapshotLines writes s's gob snapshot to w as base64 lines —
+// the payload of the merakid "snapshot" query. The store is encoded
+// under its stripe locks (Store.Save), so the lines are a consistent
+// point-in-time view even on a live daemon.
+func WriteSnapshotLines(w io.Writer, s *backend.Store) error {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return err
+	}
+	enc := base64.StdEncoding.EncodeToString(buf.Bytes())
+	for len(enc) > 0 {
+		n := snapshotLineLen
+		if n > len(enc) {
+			n = len(enc)
+		}
+		if _, err := fmt.Fprintln(w, enc[:n]); err != nil {
+			return err
+		}
+		enc = enc[n:]
+	}
+	return nil
+}
+
+// DecodeSnapshotLines reverses WriteSnapshotLines: it joins the base64
+// lines of one shard's snapshot response back into the gob stream.
+func DecodeSnapshotLines(lines []string) (io.Reader, error) {
+	raw, err := base64.StdEncoding.DecodeString(strings.Join(lines, ""))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: corrupt snapshot response: %v", err)
+	}
+	return bytes.NewReader(raw), nil
+}

@@ -99,6 +99,16 @@ func (r *Registry) RegisterFunc(name string, fn func() int64) {
 	r.metrics[name] = funcGauge(fn)
 }
 
+// Indexed builds the conventional per-index metric name sharded
+// subsystems register: "<prefix>.<NN>.<suffix>", as in
+// "store.stripe.03.ingests" or "cluster.shard.00.errors". Zero-padding
+// to two digits keeps the sorted WriteText/WriteJSON output grouped by
+// index; indexes past 99 widen naturally and sort after the padded
+// block, which is acceptable for the load-skew scan these names serve.
+func Indexed(prefix string, i int, suffix string) string {
+	return fmt.Sprintf("%s.%02d.%s", prefix, i, suffix)
+}
+
 // Sample is one metric in a registry snapshot.
 type Sample struct {
 	Name string

@@ -1,8 +1,3 @@
-// Package stats provides the statistical summaries the measurement study
-// reports: empirical CDFs and quantiles, histograms, online moments,
-// correlation coefficients, and scatter summaries. It also contains text
-// renderers that print distributions in the shapes the paper's tables and
-// figures use.
 package stats
 
 import (

@@ -1,14 +1,3 @@
-// Package synth generates the simulated fleet the study measures: the
-// 20,667 customer networks of Table 2 spread across industries, their
-// access points (MR16 and MR18 populations), their client populations
-// per epoch, the RF neighborhoods around each AP (nearby networks,
-// personal hotspots, non-WiFi interferers), and the AP-to-AP mesh
-// links. One seed determines everything.
-//
-// The generator produces *environments*; the measurement pipeline
-// (scanner, radio counters, probes, flow classifier) is what turns them
-// into data. Calibration constants reference the paper's aggregate
-// numbers; distribution shapes come from the physical models.
 package synth
 
 import (

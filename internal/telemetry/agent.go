@@ -546,6 +546,20 @@ func (a *Agent) RunMultiHome(primary, secondary string, stop <-chan struct{}) {
 	a.runReconnect([]string{primary, secondary}, stop)
 }
 
+// RunAddrs generalizes RunMultiHome to any failover chain: the agent
+// connects to addrs[0], moves to the next address on every session
+// failure, and wraps around — the cluster deployment shape, where an
+// agent's chain is its network's shard (by the cluster shard map)
+// followed by whatever fallbacks the operator configured. Backoff and
+// jitter behave as in RunWithReconnect. An empty addrs returns
+// immediately.
+func (a *Agent) RunAddrs(addrs []string, stop <-chan struct{}) {
+	if len(addrs) == 0 {
+		return
+	}
+	a.runReconnect(addrs, stop)
+}
+
 // reconnectJitter derives the agent's private jitter stream from its
 // serial, so a fleet restarted at once does not reconnect in lockstep
 // (no thundering herd after a backend restart) yet every run of one

@@ -33,9 +33,9 @@ type HarvestMetrics struct {
 // reg. A nil registry yields all-nil (no-op) metrics.
 func NewHarvestMetrics(reg *obs.Registry) HarvestMetrics {
 	return HarvestMetrics{
-		Polls:      reg.Counter("harvest.polls"),
-		PollErrors: reg.Counter("harvest.poll_errors"),
-		Reports:    reg.Counter("harvest.reports"),
+		Polls:       reg.Counter("harvest.polls"),
+		PollErrors:  reg.Counter("harvest.poll_errors"),
+		Reports:     reg.Counter("harvest.reports"),
 		FramesOut:   reg.Counter("harvest.frames_out"),
 		FramesIn:    reg.Counter("harvest.frames_in"),
 		BatchFrames: reg.Counter("harvest.batch_frames"),
@@ -70,10 +70,10 @@ type AgentMetrics struct {
 // nil registry yields all-nil (no-op) metrics.
 func NewAgentMetrics(reg *obs.Registry) AgentMetrics {
 	return AgentMetrics{
-		Dials:        reg.Counter("agent.dials"),
-		Retries:      reg.Counter("agent.retries"),
-		BackoffWaits: reg.Counter("agent.backoff_waits"),
-		BackoffUS:    reg.Counter("agent.backoff_us"),
+		Dials:            reg.Counter("agent.dials"),
+		Retries:          reg.Counter("agent.retries"),
+		BackoffWaits:     reg.Counter("agent.backoff_waits"),
+		BackoffUS:        reg.Counter("agent.backoff_us"),
 		Enqueued:         reg.Counter("agent.enqueued"),
 		Dropped:          reg.Counter("agent.dropped"),
 		BatchesSent:      reg.Counter("agent.batches_sent"),

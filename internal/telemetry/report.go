@@ -1,9 +1,3 @@
-// Package telemetry implements the reporting path between access points
-// and the backend (paper Section 2): a protobuf wire-format report
-// schema, an encrypted length-framed tunnel over TCP, an AP-side agent
-// that queues reports while disconnected, and the backend's pull-based
-// poller. A typical report stream averages around one kilobit per
-// second per access point, which TestReportOverhead verifies.
 package telemetry
 
 import (

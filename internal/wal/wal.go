@@ -1,28 +1,3 @@
-// Package wal implements the collector's write-ahead log: CRC32-framed,
-// length-prefixed records appended to rotating segment files, with a
-// configurable fsync policy and a replay path that detects a torn tail
-// (a record cut short by a crash mid-write) and truncates it instead of
-// failing. The backend appends each harvested report's wire bytes here
-// *before* the poller acknowledges the frame, so a process killed at
-// any instant can recover every acknowledged report by replaying the
-// log over the latest checkpoint (see backend.OpenDurable and
-// DESIGN.md §9).
-//
-// On-disk format. A segment file "wal-<base>.seg" starts with a
-// 16-byte header — 8-byte magic "WLWAL001" plus the big-endian LSN of
-// its first record — followed by records framed as
-//
-//	[4-byte BE payload length][4-byte BE CRC32-C of payload][payload][0xA5]
-//
-// The active segment is pre-sized and memory-mapped, so its unwritten
-// tail reads as zeros: an all-zero frame header terminates the scan
-// (the segment ended cleanly there), and the trailing 0xA5 sentinel
-// makes a torn write distinguishable from a completed one even when
-// the payload's own tail is zeros. LSNs number records contiguously
-// across segments starting at 1, so
-// <base> of each segment equals the previous segment's base plus its
-// record count, and a checkpoint taken at LSN n makes every record
-// below n garbage (TruncateBelow removes whole segments of it).
 package wal
 
 import (

@@ -1,8 +1,11 @@
-// Command checkdocs enforces the repo's documentation floor: every
-// package under internal/ and cmd/ must carry a package comment, and
-// must carry it exactly once (two files both holding doc comments get
-// silently concatenated by go doc, which always reads as an accident).
-// `make docs` runs it; CI fails if it prints anything.
+// Command checkdocs enforces the repo's documentation floor: every Go
+// package in the module — internal, cmd, scripts, examples, and the
+// root alike — must carry a package comment, and must carry it exactly
+// once (two files both holding doc comments get silently concatenated
+// by go doc, which always reads as an accident). By convention the
+// comment lives in doc.go for multi-file library packages and atop
+// main.go for commands. `make docs` runs it; CI fails if it prints
+// anything.
 package main
 
 import (
@@ -16,20 +19,30 @@ import (
 	"strings"
 )
 
+// skipDirs are directories the walk never descends into: VCS metadata,
+// test fixtures, and trees that hold no module code.
+var skipDirs = map[string]bool{
+	".git":     true,
+	".github":  true,
+	"testdata": true,
+	"docs":     true,
+}
+
 func main() {
 	var problems []string
-	for _, root := range []string{"internal", "cmd"} {
-		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-			if err != nil || !d.IsDir() {
-				return err
-			}
-			problems = append(problems, checkDir(path)...)
-			return nil
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
-			os.Exit(2)
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
 		}
+		if skipDirs[d.Name()] {
+			return filepath.SkipDir
+		}
+		problems = append(problems, checkDir(path)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
+		os.Exit(2)
 	}
 	if len(problems) > 0 {
 		sort.Strings(problems)
@@ -41,8 +54,9 @@ func main() {
 	}
 }
 
-// checkDir inspects the non-test package in one directory and reports
-// a missing or duplicated package comment.
+// checkDir inspects the non-test package in one directory (directories
+// without Go files parse to zero packages and pass vacuously) and
+// reports a missing or duplicated package comment.
 func checkDir(dir string) []string {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments|parser.PackageClauseOnly)
