@@ -4,7 +4,7 @@
 # stay green across the whole module, not just `test`. CI
 # (.github/workflows/ci.yml) runs build + vet + test + race.
 
-.PHONY: build test vet race bench bench-gate bench-baseline wire-compat docs docs-gen trace-smoke crash-smoke cluster-smoke verify
+.PHONY: build test vet race bench bench-gate bench-baseline wire-compat docs docs-gen trace-smoke crash-smoke cluster-smoke mon-smoke verify
 
 # GATE_BENCH is the benchmark set the regression gate measures: the
 # wire codecs (bytes/report is the headline EXPERIMENTS.md number) and
@@ -89,4 +89,13 @@ crash-smoke:
 cluster-smoke:
 	go run ./scripts/clustercheck -shards 4
 
-verify: build vet test race docs trace-smoke crash-smoke cluster-smoke
+# mon-smoke is the observability gate: spawn a 2-shard cluster on a
+# fast series/health cadence, degrade one shard with faultnet-corrupted
+# chaos agents, and require the harvest-degradation alert to fire and
+# resolve, the transitions to be counted in health.* metrics, shard 0's
+# /debug/federate to carry both shards' samples, and one merakireport
+# -watch refresh to render every shard (see scripts/moncheck).
+mon-smoke:
+	go run ./scripts/moncheck
+
+verify: build vet test race docs trace-smoke crash-smoke cluster-smoke mon-smoke

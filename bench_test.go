@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"wlanscale/internal/airtime"
 	"wlanscale/internal/apps"
@@ -21,6 +22,8 @@ import (
 	"wlanscale/internal/epoch"
 	"wlanscale/internal/meshprobe"
 	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/health"
+	"wlanscale/internal/obs/series"
 	"wlanscale/internal/obs/trace"
 	"wlanscale/internal/rf"
 	"wlanscale/internal/rng"
@@ -290,8 +293,15 @@ func BenchmarkFigure11_Spectrum(b *testing.B) {
 // over off, per ISSUE 4), 100% the worst case merakid -trace-sample
 // 1.0 can configure. Each traced iteration gets a fresh recorder so
 // ring contents never carry across runs.
+//
+// The series=on arm adds the PR-9 stack on top of obs=on: a series
+// recorder sampling the registry plus the default health rules
+// evaluating, on a 100ms cadence concurrent with the run — an order of
+// magnitude hotter than merakid's 15s default, so the measured delta
+// over obs=on bounds production overhead from above (budget <3%, per
+// ISSUE 9; EXPERIMENTS.md records the measurement).
 func BenchmarkRunUsageEpoch(b *testing.B) {
-	run := func(b *testing.B, workers int, reg *obs.Registry, sample float64) {
+	run := func(b *testing.B, workers int, reg *obs.Registry, sample float64, seriesOn bool) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = 2026
 		cfg.Obs = reg
@@ -304,20 +314,51 @@ func BenchmarkRunUsageEpoch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			var stop chan struct{}
+			var looped <-chan struct{}
+			if seriesOn {
+				rec := series.NewRecorder(reg, series.Options{Cap: 64, Every: 100 * time.Millisecond})
+				eng := health.NewEngine(rec, health.DefaultRules(2, 2))
+				stop = make(chan struct{})
+				done := make(chan struct{})
+				looped = done
+				go func() {
+					defer close(done)
+					t := time.NewTicker(100 * time.Millisecond)
+					defer t.Stop()
+					for {
+						select {
+						case <-stop:
+							return
+						case now := <-t.C:
+							rec.Sample(now)
+							eng.Eval(now)
+						}
+					}
+				}()
+			}
 			b.StartTimer()
-			if _, err := study.RunUsageEpochWorkers(study.Fleet15, workers); err != nil {
+			_, err = study.RunUsageEpochWorkers(study.Fleet15, workers)
+			b.StopTimer()
+			if seriesOn {
+				close(stop)
+				<-looped
+			}
+			b.StartTimer()
+			if err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
 	max := runtime.GOMAXPROCS(0)
-	b.Run("workers=1", func(b *testing.B) { run(b, 1, nil, 0) })
-	b.Run("workers=max", func(b *testing.B) { run(b, max, nil, 0) })
-	b.Run("workers=max/obs=off", func(b *testing.B) { run(b, max, nil, 0) })
-	b.Run("workers=max/obs=on", func(b *testing.B) { run(b, max, obs.NewRegistry(), 0) })
-	b.Run("workers=max/trace=off", func(b *testing.B) { run(b, max, nil, 0) })
-	b.Run("workers=max/trace=1pct", func(b *testing.B) { run(b, max, nil, 0.01) })
-	b.Run("workers=max/trace=100pct", func(b *testing.B) { run(b, max, nil, 1.0) })
+	b.Run("workers=1", func(b *testing.B) { run(b, 1, nil, 0, false) })
+	b.Run("workers=max", func(b *testing.B) { run(b, max, nil, 0, false) })
+	b.Run("workers=max/obs=off", func(b *testing.B) { run(b, max, nil, 0, false) })
+	b.Run("workers=max/obs=on", func(b *testing.B) { run(b, max, obs.NewRegistry(), 0, false) })
+	b.Run("workers=max/series=on", func(b *testing.B) { run(b, max, obs.NewRegistry(), 0, true) })
+	b.Run("workers=max/trace=off", func(b *testing.B) { run(b, max, nil, 0, false) })
+	b.Run("workers=max/trace=1pct", func(b *testing.B) { run(b, max, nil, 0.01, false) })
+	b.Run("workers=max/trace=100pct", func(b *testing.B) { run(b, max, nil, 1.0, false) })
 }
 
 // BenchmarkStoreIngest contrasts the lock-striped store with a

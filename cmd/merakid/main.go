@@ -4,8 +4,8 @@
 // line-based queries on -query (see cmd/apstat). The store can be
 // snapshotted to disk with -snapshot on shutdown (SIGINT) or via the
 // "save" query. Queries: status, clients, top-apps N, util, crashes,
-// anomalies, metrics, digest, checkpoint, snapshot, fanout CMD,
-// save PATH, quit; an
+// anomalies, metrics, prom, series [METRIC [N]], alerts, watch,
+// digest, checkpoint, snapshot, fanout CMD, save PATH, quit; an
 // unrecognized command gets an "ERR unknown command" line back (every
 // error line starts with "ERR"). The status response includes the
 // harvest health counters (reconnects, MAC failures, corrupt frames,
@@ -18,6 +18,21 @@
 // stalled scraper cannot wedge shutdown. All tunnel I/O runs under the
 // -timeout deadline so a stalled or silent peer can never pin a
 // goroutine.
+//
+// Observability history and health (DESIGN.md §12): every
+// -series-every the daemon samples its registry into fixed-capacity
+// time-series rings — counters as per-second rates, gauges raw,
+// histograms as per-tick count/sum/p50/p95/p99 — queryable with
+// "series <metric> [n]" and served as JSON at /debug/series. On the
+// same tick the default health rule set (harvest degradation, WAL
+// degraded latch, dedup spikes, harvest silence; -health-for /
+// -health-for-ok hysteresis) judges that history: firing alerts
+// surface in "status" and "alerts", increment health.* metrics, and
+// dump the flight recorder on first firing. On a coordinator (-peers),
+// /debug/federate scatter-gathers every shard's Prometheus text and
+// serves the merged fleet view with shard="N" labels, and the "watch"
+// query answers the one-line per-shard summary merakireport -watch
+// renders.
 //
 // A fleet of merakids can shard the network universe (DESIGN.md §11):
 // -shard I -shards N places this daemon in an N-shard cluster where
@@ -69,6 +84,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -78,6 +94,8 @@ import (
 	"wlanscale/internal/backend"
 	"wlanscale/internal/cluster"
 	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/health"
+	"wlanscale/internal/obs/series"
 	"wlanscale/internal/obs/trace"
 	"wlanscale/internal/telemetry"
 	"wlanscale/internal/wal"
@@ -100,7 +118,12 @@ func main() {
 	shard := flag.Int("shard", 0, "this daemon's shard index in a sharded cluster (0-based; see -shards)")
 	shards := flag.Int("shards", 1, "total shard count of the cluster this daemon belongs to (1 = single-daemon)")
 	peers := flag.String("peers", "", "comma-separated query addresses of every shard, indexed by shard ID; enables the scatter-gather fanout query (empty = standalone)")
-	debug := flag.String("debug", "", "debug HTTP listen address serving /debug/vars, /debug/metrics and /debug/pprof (empty = off)")
+	debug := flag.String("debug", "", "debug HTTP listen address serving /debug/vars, /debug/metrics, /debug/series, /debug/federate and /debug/pprof (empty = off)")
+	seriesEvery := flag.Duration("series-every", 15*time.Second, "time-series sampling cadence for the metrics history rings (0 = no history, which also disables health rules)")
+	seriesCap := flag.Int("series-cap", series.DefaultCap, "ring capacity per metric of the time-series store, in ticks")
+	healthOn := flag.Bool("health", true, "evaluate the default health rule set on every series tick (requires -series-every > 0)")
+	healthFor := flag.Int("health-for", 3, "consecutive breaching ticks before a health rule fires")
+	healthForOK := flag.Int("health-for-ok", 3, "consecutive clear ticks before a firing health rule resolves")
 	traceSample := flag.Float64("trace-sample", 1.0, "fraction of trace IDs the flight recorder keeps (0 disables tracing)")
 	traceBuf := flag.Int("trace-buf", 4096, "flight-recorder capacity in span events (rounded up to a power of two)")
 	traceLoad := flag.String("trace-load", "", "flight-recorder dump (JSON) to preload, making offline traces queryable")
@@ -150,6 +173,11 @@ func main() {
 		}
 	}
 
+	if *seriesEvery > 0 {
+		d.attachSeries(*seriesCap, *healthFor, *healthForOK, *healthOn)
+		go d.seriesLoop(*seriesEvery, nil)
+	}
+
 	if *traceLoad != "" {
 		f, err := os.Open(*traceLoad)
 		if err != nil {
@@ -172,7 +200,7 @@ func main() {
 			log.Fatalf("merakid: debug listen: %v", err)
 		}
 		log.Printf("merakid: debug HTTP on http://%s/debug/vars (pprof at /debug/pprof/, Prometheus at /debug/metrics)", dbgLn.Addr())
-		dbgSrv = newDebugServer(debugMux(d.obs))
+		dbgSrv = newDebugServer(debugMux(d))
 		go func() {
 			if err := dbgSrv.Serve(dbgLn); err != nil && err != http.ErrServerClosed {
 				log.Printf("merakid: debug server: %v", err)
@@ -278,6 +306,13 @@ type daemon struct {
 	tracer *trace.Tracer
 	dump   *trace.Trigger
 
+	// series, when -series-every > 0, rings the registry's history;
+	// alerts, when -health is also on, judges that history with the
+	// default rule set (both answer queries and debug endpoints; both
+	// are nil-safe no-ops when disabled).
+	series *series.Recorder
+	alerts *health.Engine
+
 	mu       sync.Mutex
 	devices  map[string]bool
 	seenEver map[string]bool
@@ -321,7 +356,42 @@ func newDaemon(key []byte, pollEvery time.Duration, batch int, timeout time.Dura
 		defer d.mu.Unlock()
 		return int64(len(d.seenEver))
 	})
+	// The standard process-level fleet signals: uptime, goroutines,
+	// heap in use, GC pause p99.
+	obs.RegisterProcessMetrics(d.obs, time.Now())
 	return d
+}
+
+// attachSeries wires the time-series recorder onto the daemon's
+// registry and, when healthOn, the default health rule set over it,
+// with first-fire transitions triggering a flight-recorder dump. Must
+// run before seriesLoop starts.
+func (d *daemon) attachSeries(capacity, forTicks, forOK int, healthOn bool) {
+	d.series = series.NewRecorder(d.obs, series.Options{Cap: capacity})
+	if healthOn {
+		d.alerts = health.NewEngine(d.series, health.DefaultRules(forTicks, forOK))
+		d.alerts.EnableObs(d.obs)
+		d.alerts.OnFire = func(a health.Alert) {
+			d.dump.Fire("alert " + a.Rule.Name + " fired")
+		}
+	}
+}
+
+// seriesLoop samples the registry into the history rings and evaluates
+// the health rules on a fixed cadence. stop is for tests; the daemon
+// runs it for the life of the process.
+func (d *daemon) seriesLoop(every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			d.series.Sample(now)
+			d.alerts.Eval(now)
+		}
+	}
 }
 
 // attachDurable swaps the daemon's volatile store for a recovered
@@ -359,10 +429,14 @@ func (d *daemon) checkpointLoop(every time.Duration, stop <-chan struct{}) {
 
 // debugMux builds the -debug HTTP handler: the metrics registry as one
 // expvar-style JSON object at /debug/vars and as Prometheus text at
-// /debug/metrics, and the standard pprof handlers at /debug/pprof/
+// /debug/metrics, the time-series history as JSON at /debug/series
+// (?metric=NAME&n=POINTS to narrow), the cluster-merged shard-labeled
+// Prometheus view at /debug/federate (coordinator daemons only, i.e.
+// -peers configured), and the standard pprof handlers at /debug/pprof/
 // (profile, heap, goroutine, trace, ...) for profiling a busy harvest
 // without restarting the daemon.
-func debugMux(reg *obs.Registry) *http.ServeMux {
+func debugMux(d *daemon) *http.ServeMux {
+	reg := d.obs
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -371,6 +445,34 @@ func debugMux(reg *obs.Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WriteProm(w)
+	})
+	mux.HandleFunc("/debug/series", func(w http.ResponseWriter, r *http.Request) {
+		if d.series == nil {
+			http.Error(w, "series recording disabled (-series-every 0)", http.StatusNotFound)
+			return
+		}
+		n := 60
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := d.series.WriteJSON(w, r.URL.Query().Get("metric"), n); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+		}
+	})
+	mux.HandleFunc("/debug/federate", func(w http.ResponseWriter, r *http.Request) {
+		if d.router == nil {
+			http.Error(w, "no cluster peers configured (-peers)", http.StatusNotFound)
+			return
+		}
+		text, replies := d.router.FanoutMetrics()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		io.WriteString(w, text)
+		// A trailing comment makes partial scrapes self-describing.
+		fmt.Fprintf(w, "# federation shards=%d up=%d down=%v\n",
+			len(replies), len(replies)-cluster.NumDown(replies), cluster.DownShards(replies))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -531,7 +633,8 @@ func (d *daemon) acceptQueries(ln net.Listener) {
 
 // serveQuery speaks a line protocol: one command per line, response
 // terminated by a blank line. Commands: status, clients, top-apps N,
-// util, crashes, anomalies, metrics, trace ID|last, save PATH, quit.
+// util, crashes, anomalies, metrics, prom, series [METRIC [N]],
+// alerts, watch, trace ID|last, save PATH, quit.
 // Error responses are single lines prefixed "ERR"; in particular an
 // unknown command answers "ERR unknown command" instead of closing
 // silently, so a client typo gets a diagnosis rather than a dead
@@ -561,6 +664,14 @@ func (d *daemon) serveQuery(conn net.Conn) {
 				fmt.Fprintf(w, "wal next_lsn=%d checkpoint_lsn=%d segments=%d degraded=%t\n",
 					d.durable.WAL().NextLSN(), d.durable.CheckpointLSN(),
 					d.durable.WAL().Segments(), d.durable.Degraded())
+			}
+			if d.alerts != nil {
+				firing := d.alerts.Firing()
+				names := make([]string, 0, len(firing))
+				for _, a := range firing {
+					names = append(names, a.Rule.Name)
+				}
+				fmt.Fprintf(w, "alerts firing=%d %s\n", len(firing), joinOrDash(names))
 			}
 		case "clients":
 			fmt.Fprintf(w, "%d\n", d.store.NumClients())
@@ -598,6 +709,20 @@ func (d *daemon) serveQuery(conn net.Conn) {
 			}
 		case "metrics":
 			d.obs.WriteText(w)
+		case "prom":
+			// The Prometheus exposition over the query protocol — the
+			// per-shard payload /debug/federate scatter-gathers.
+			d.obs.WriteProm(w)
+		case "series":
+			d.querySeries(w, fields)
+		case "alerts":
+			if d.alerts == nil {
+				fmt.Fprintln(w, "ERR health rules disabled (-health, -series-every)")
+			} else {
+				d.alerts.WriteText(w)
+			}
+		case "watch":
+			d.queryWatch(w)
 		case "digest":
 			fmt.Fprintln(w, d.store.Digest())
 		case "checkpoint":
@@ -680,6 +805,83 @@ func (d *daemon) queryFanout(w io.Writer, fields []string) {
 			fmt.Fprintln(w, ln)
 		}
 	}
+}
+
+// querySeries answers "series" (the recorded metric names, one per
+// line) and "series <metric> [n]" (the metric's last n points, default
+// 10, oldest first; counters render rates, histograms append
+// count/sum/p50/p95/p99).
+func (d *daemon) querySeries(w io.Writer, fields []string) {
+	if d.series == nil {
+		fmt.Fprintln(w, "ERR series recording disabled (-series-every 0)")
+		return
+	}
+	if len(fields) < 2 {
+		for _, n := range d.series.Names() {
+			fmt.Fprintln(w, n)
+		}
+		return
+	}
+	n := 10
+	if len(fields) > 2 {
+		v, err := strconv.Atoi(fields[2])
+		if err != nil || v <= 0 {
+			fmt.Fprintf(w, "ERR bad point count %q\n", fields[2])
+			return
+		}
+		n = v
+	}
+	if err := d.series.WriteText(w, fields[1], n); err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+	}
+}
+
+// queryWatch answers "watch": one machine-readable key=value line of
+// the per-shard dashboard signals merakireport -watch renders — device
+// pool, ingest totals and rate, WAL flush latency, degraded latch, and
+// the currently firing alerts.
+func (d *daemon) queryWatch(w io.Writer) {
+	ing, dup := d.store.Stats()
+	d.mu.Lock()
+	nDev := len(d.devices)
+	d.mu.Unlock()
+	rate := seriesRate(d.series, "store.ingests")
+	var p99 int64
+	if pts := d.series.Last("wal.fsync_us", 1); len(pts) > 0 {
+		p99 = pts[0].P99
+	}
+	degraded := d.durable != nil && d.durable.Degraded()
+	var names []string
+	for _, a := range d.alerts.Firing() {
+		names = append(names, a.Rule.Name+"["+a.Rule.Severity.String()+"]")
+	}
+	fmt.Fprintf(w, "shard=%d/%d devices=%d ingested=%d dupes=%d rate=%.1f wal_p99_us=%d degraded=%t firing=%s\n",
+		d.shardID, d.shards, nDev, ing, dup, rate, p99, degraded, joinOrDash(names))
+}
+
+// seriesRate derives a per-second rate from the last two points of a
+// cumulative metric's series. store.ingests is a func gauge over a
+// cumulative total, so its points are raw readings, not pre-derived
+// rates.
+func seriesRate(rec *series.Recorder, name string) float64 {
+	pts := rec.Last(name, 2)
+	if len(pts) < 2 {
+		return 0
+	}
+	dt := float64(pts[1].T-pts[0].T) / 1000
+	if dt <= 0 {
+		return 0
+	}
+	return (pts[1].V - pts[0].V) / dt
+}
+
+// joinOrDash renders a name list for key=value lines: comma-joined, or
+// "-" when empty so the field never vanishes.
+func joinOrDash(names []string) string {
+	if len(names) == 0 {
+		return "-"
+	}
+	return strings.Join(names, ",")
 }
 
 // queryTrace answers "trace <id>" and "trace last": the span chain of

@@ -90,7 +90,7 @@ func TestQueryTrace(t *testing.T) {
 // promptly instead of waiting on the stalled connection forever.
 func TestDebugServerShutdownWithStalledClient(t *testing.T) {
 	d := newDaemon(nil, time.Second, 64, time.Second, 1.0, 1024)
-	srv := newDebugServer(debugMux(d.obs))
+	srv := newDebugServer(debugMux(d))
 	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 {
 		t.Fatalf("debug server is missing I/O deadlines: header=%v read=%v write=%v",
 			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.WriteTimeout)
@@ -132,7 +132,7 @@ func TestDebugMetricsEndpoint(t *testing.T) {
 	d := newDaemon(nil, time.Second, 64, time.Second, 1.0, 1024)
 	d.store.Ingest(&telemetry.Report{Serial: "Q2AA-TEST", SeqNo: 1})
 	d.obs.Histogram("store.save_us", obs.DurationBuckets).Observe(75)
-	srv := httptest.NewServer(debugMux(d.obs))
+	srv := httptest.NewServer(debugMux(d))
 	defer srv.Close()
 
 	resp, err := srv.Client().Get(srv.URL + "/debug/metrics")

@@ -7,10 +7,20 @@
 //
 //	merakireport [-seed N] [-scale small|medium|full] [-only exp1,exp2] [-timings]
 //	merakireport -cluster 127.0.0.1:7772,127.0.0.1:7782
+//	merakireport -cluster 127.0.0.1:7772,127.0.0.1:7782 -watch
 //
 // The second form skips simulation and reports on a live sharded
 // cluster instead: every shard's status plus the scatter-gathered
 // merged digest, with down shards flagged rather than fatal.
+//
+// -watch turns the cluster report into a periodically refreshing
+// terminal dashboard: one line per shard (up/down, device pool, ingest
+// totals and rate, WAL flush p99, degraded latch, firing alerts — the
+// merakid "watch" query), refreshed every -watch-every. Down shards
+// show as DOWN lines rather than killing the watch, so the dashboard
+// rides through an outage. -watch-count bounds the refreshes (0 =
+// until interrupted; a finite count also skips the screen-clear, which
+// is what the monitoring smoke gate scrapes).
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 // fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
@@ -29,6 +39,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"wlanscale/internal/cluster"
 	"wlanscale/internal/core"
@@ -43,6 +54,9 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	clusterAddrs := flag.String("cluster", "", "comma-separated shard query addresses: report on a live sharded cluster (status + merged digest) instead of simulating")
+	watch := flag.Bool("watch", false, "with -cluster: refreshing per-shard dashboard (up/degraded, ingest rates, WAL latency, firing alerts) instead of a one-shot report")
+	watchEvery := flag.Duration("watch-every", 2*time.Second, "dashboard refresh cadence for -watch")
+	watchCount := flag.Int("watch-count", 0, "number of -watch refreshes before exiting (0 = until interrupted)")
 	scale := flag.String("scale", "small", "simulation scale: small, medium, or full")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel usage-epoch workers; results are identical for any value")
@@ -53,11 +67,21 @@ func main() {
 	flag.Parse()
 
 	if *clusterAddrs != "" {
-		if err := runCluster(*clusterAddrs); err != nil {
+		var err error
+		if *watch {
+			err = runWatch(*clusterAddrs, *watchEvery, *watchCount)
+		} else {
+			err = runCluster(*clusterAddrs)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "merakireport: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *watch {
+		fmt.Fprintln(os.Stderr, "merakireport: -watch needs -cluster addresses")
+		os.Exit(2)
 	}
 
 	var timer *obs.Timer
@@ -167,6 +191,45 @@ func runCluster(addrList string) error {
 	fmt.Printf("\ncluster digest %s\n", dig.Digest)
 	fmt.Printf("shards=%d up=%d down=%v degraded=%t\n",
 		dig.Shards, dig.Shards-len(dig.Down), dig.Down, dig.Degraded)
+	return nil
+}
+
+// runWatch is the -watch dashboard loop: every refresh it
+// scatter-gathers the one-line "watch" summary from every shard and
+// prints a fleet header plus one line per shard — up shards their
+// summary (devices, ingest totals and rate, WAL flush p99, degraded
+// latch, firing alerts), down shards a DOWN line. Interactive runs
+// (count=0) clear the terminal between refreshes; finite counts print
+// append-only so the output is scrapeable.
+func runWatch(addrList string, every time.Duration, count int) error {
+	addrs := strings.Split(addrList, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	// A dashboard wants freshness over persistence: one attempt per
+	// shard per refresh, the next refresh is the retry.
+	r := &cluster.Router{Shards: addrs, Timeout: 2 * time.Second, Retries: -1}
+	for i := 0; count == 0 || i < count; i++ {
+		if i > 0 {
+			time.Sleep(every)
+		}
+		if count == 0 {
+			fmt.Print("\033[H\033[2J")
+		}
+		replies := r.Fanout("watch")
+		down := cluster.DownShards(replies)
+		fmt.Printf("fleet watch %s refresh=%s shards=%d up=%d down=%v\n",
+			time.Now().UTC().Format(time.RFC3339), every, len(replies), len(replies)-len(down), down)
+		for _, rep := range replies {
+			if rep.Err != nil {
+				fmt.Printf("shard=%d/%d DOWN: %v\n", rep.Shard, len(replies), rep.Err)
+				continue
+			}
+			for _, ln := range rep.Lines {
+				fmt.Println(ln)
+			}
+		}
+	}
 	return nil
 }
 

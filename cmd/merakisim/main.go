@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"runtime"
 	"strings"
@@ -44,6 +45,7 @@ import (
 	"wlanscale/internal/cluster"
 	"wlanscale/internal/core"
 	"wlanscale/internal/epoch"
+	"wlanscale/internal/faultnet"
 	"wlanscale/internal/obs"
 	"wlanscale/internal/obs/trace"
 	"wlanscale/internal/rng"
@@ -63,6 +65,7 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "how long live agents run")
 	every := flag.Duration("every", 2*time.Second, "report period per live agent")
 	wire := flag.String("wire", "v2", "max harvest wire version agents announce (serve mode) and the offline harvest round-trip uses: v1 or v2")
+	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "serve mode: per-op probability of corrupting each agent's tunnel I/O via faultnet — a deterministic degradation source for exercising the merakid health rules and merakireport -watch (0 = off)")
 	keyHex := flag.String("key", strings.Repeat("42", 32), "64-hex-char pre-shared tunnel key")
 	timings := flag.Bool("timings", false, "print an end-of-run stage-timing summary to stderr")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of reports to trace end to end (0 = off)")
@@ -86,7 +89,7 @@ func main() {
 		log.Fatalf("merakisim: %v", err)
 	}
 	if *serve != "" {
-		if err := runAgents(*serve, *serve2, *aps, *seed, *duration, *every, wireVer, *keyHex, timer, tracer); err != nil {
+		if err := runAgents(*serve, *serve2, *aps, *seed, *duration, *every, wireVer, *keyHex, *chaosCorrupt, timer, tracer); err != nil {
 			log.Fatalf("merakisim: %v", err)
 		}
 	} else if err := runOffline(*seed, *networks, *clientCap, *workers, int(wireVer), *out, timer, tracer); err != nil {
@@ -184,7 +187,7 @@ func splitAddrs(s string) []string {
 // deterministically with zero coordination. A -serve2 list of the same
 // length gives each agent a secondary in a second cluster to fail over
 // to (the paper's dual-DC deployment, shard-aligned).
-func runAgents(addrList, addrList2 string, nAPs int, seed uint64, duration, every time.Duration, wire byte, keyHex string, timer *obs.Timer, tracer *trace.Tracer) error {
+func runAgents(addrList, addrList2 string, nAPs int, seed uint64, duration, every time.Duration, wire byte, keyHex string, chaosCorrupt float64, timer *obs.Timer, tracer *trace.Tracer) error {
 	if len(keyHex) != 64 {
 		return fmt.Errorf("key must be 64 hex chars")
 	}
@@ -230,6 +233,25 @@ func runAgents(addrList, addrList2 string, nAPs int, seed uint64, duration, ever
 			ag.Wire = wire
 			if tracer != nil {
 				ag.EnableTrace(tracer)
+			}
+			if chaosCorrupt > 0 {
+				// Route this agent's sessions through a seeded faultnet
+				// corruption wrapper: the daemon sees MAC failures and
+				// counts them into harvest.errors, which is exactly what
+				// the harvest-degradation health rule watches.
+				plan := faultnet.Plan{
+					Seed:        seed + uint64(len(live)),
+					Corrupt:     []faultnet.Window{{From: 0, To: 1 << 30}},
+					CorruptProb: chaosCorrupt,
+				}
+				idx := len(live)
+				ag.Dial = func(addr string) (net.Conn, error) {
+					c, err := net.Dial("tcp", addr)
+					if err != nil {
+						return nil, err
+					}
+					return faultnet.WrapConn(c, plan, idx), nil
+				}
 			}
 			live = append(live, liveAP{
 				agent: ag,

@@ -3,8 +3,11 @@ package core
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/health"
+	"wlanscale/internal/obs/series"
 	"wlanscale/internal/obs/trace"
 )
 
@@ -125,6 +128,78 @@ func TestRunUsageEpochObsInvariance(t *testing.T) {
 	for _, v := range ids2 {
 		if !set1[v] {
 			t.Fatalf("trace ID %v from workers=1 run absent from workers=4 run", v)
+		}
+	}
+}
+
+// TestRunUsageEpochSeriesHealthInvariance extends the observe-only
+// contract to the full PR-9 observability stack: a run whose registry
+// is concurrently sampled into time-series rings and judged by the
+// health rule engine must produce byte-identical digests to a plain
+// run, across ten seeds. The recorder and engine only read the
+// registry — this pins that nothing in the sample/eval path feeds back
+// into the pipeline.
+func TestRunUsageEpochSeriesHealthInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed invariance sweep in -short mode")
+	}
+	seeds := []uint64{1, 2, 3, 7, 42, 99, 2014, 2015, 2026, 0xd1ce}
+	for _, seed := range seeds {
+		_, plain := runEpochAt(t, seed, 4)
+
+		cfg := parallelConfig(seed)
+		cfg.Obs = obs.NewRegistry()
+		rec := series.NewRecorder(cfg.Obs, series.Options{Cap: 64})
+		eng := health.NewEngine(rec, health.DefaultRules(2, 2))
+		eng.EnableObs(cfg.Obs)
+		s, err := NewStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Sample and evaluate concurrently with the run, the way
+		// merakid's seriesLoop does, on a tight synthetic cadence.
+		stop := make(chan struct{})
+		looped := make(chan struct{})
+		go func() {
+			defer close(looped)
+			now := time.Unix(1_700_000_000, 0)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				now = now.Add(time.Second)
+				rec.Sample(now)
+				eng.Eval(now)
+			}
+		}()
+		u, err := s.RunUsageEpochWorkers(s.Fleet15, 4)
+		close(stop)
+		<-looped
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One final deterministic tick so the rings saw the finished run.
+		rec.Sample(time.Unix(1_800_000_000, 0))
+		eng.Eval(time.Unix(1_800_000_000, 0))
+
+		a, b := storeDigest(t, plain), storeDigest(t, u)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: digest lengths differ: plain=%d instrumented=%d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: series+health run diverges at digest line %d:\n  plain:        %s\n  instrumented: %s",
+					seed, i, a[i], b[i])
+			}
+		}
+		if rec.Ticks() < 1 {
+			t.Fatalf("seed %d: recorder never sampled", seed)
+		}
+		if len(rec.Names()) == 0 {
+			t.Fatalf("seed %d: recorder saw no metrics", seed)
 		}
 	}
 }

@@ -1,0 +1,303 @@
+package health
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wlanscale/internal/obs"
+	"wlanscale/internal/obs/series"
+)
+
+func tick(n int) time.Time {
+	return time.Unix(1_700_000_000, 0).Add(time.Duration(n) * time.Second)
+}
+
+// harness drives one rule against one gauge under a synthetic clock.
+type harness struct {
+	reg *obs.Registry
+	g   *obs.Gauge
+	rec *series.Recorder
+	eng *Engine
+	n   int
+}
+
+func newHarness(t *testing.T, rule Rule) *harness {
+	t.Helper()
+	reg := obs.NewRegistry()
+	h := &harness{reg: reg, g: reg.Gauge(rule.Metric)}
+	h.rec = series.NewRecorder(reg, series.Options{Cap: 32})
+	h.eng = NewEngine(h.rec, []Rule{rule})
+	return h
+}
+
+// step sets the gauge, samples one tick, evaluates, and returns the
+// rule's state.
+func (h *harness) step(v int64) State {
+	h.g.Set(v)
+	h.rec.Sample(tick(h.n))
+	h.eng.Eval(tick(h.n))
+	h.n++
+	return h.eng.Alerts()[0].State
+}
+
+// TestThresholdHysteresis walks the full state machine: OK under the
+// bound, Pending for For-1 breaches, Firing at For, still Firing
+// through ForOK-1 clears, resolved at ForOK.
+func TestThresholdHysteresis(t *testing.T) {
+	h := newHarness(t, Rule{
+		Name: "hot", Metric: "temp", Kind: Threshold, Bound: 100, For: 3, ForOK: 2,
+	})
+	if got := h.step(50); got != OK {
+		t.Fatalf("below bound: state %v, want ok", got)
+	}
+	if got := h.step(150); got != Pending {
+		t.Fatalf("breach 1: state %v, want pending", got)
+	}
+	if got := h.step(150); got != Pending {
+		t.Fatalf("breach 2: state %v, want pending", got)
+	}
+	if got := h.step(150); got != Firing {
+		t.Fatalf("breach 3: state %v, want firing (For=3)", got)
+	}
+	a := h.eng.Alerts()[0]
+	if a.Since != tick(3) {
+		t.Errorf("Since = %v, want the firing tick %v", a.Since, tick(3))
+	}
+	if a.Fired != 1 {
+		t.Errorf("Fired = %d, want 1", a.Fired)
+	}
+	if got := h.step(50); got != Firing {
+		t.Fatalf("clear 1: state %v, want still firing (ForOK=2)", got)
+	}
+	if got := h.step(50); got != OK {
+		t.Fatalf("clear 2: state %v, want resolved", got)
+	}
+	a = h.eng.Alerts()[0]
+	if a.Resolved != 1 {
+		t.Errorf("Resolved = %d, want 1", a.Resolved)
+	}
+	if !a.Since.IsZero() {
+		t.Errorf("Since after resolve = %v, want zero", a.Since)
+	}
+}
+
+// TestPendingResetOnClear: one noisy tick never fires — a clear tick
+// while Pending drops straight back to OK and the breach count resets.
+func TestPendingResetOnClear(t *testing.T) {
+	h := newHarness(t, Rule{
+		Name: "hot", Metric: "temp", Kind: Threshold, Bound: 100, For: 2, ForOK: 1,
+	})
+	if got := h.step(150); got != Pending {
+		t.Fatalf("breach 1: %v, want pending", got)
+	}
+	if got := h.step(50); got != OK {
+		t.Fatalf("clear while pending: %v, want ok", got)
+	}
+	// The earlier breach must not count toward the next streak.
+	if got := h.step(150); got != Pending {
+		t.Fatalf("new breach 1: %v, want pending again", got)
+	}
+	if got := h.step(150); got != Firing {
+		t.Fatalf("new breach 2: %v, want firing", got)
+	}
+}
+
+// TestBelowThreshold: Below inverts the comparison.
+func TestBelowThreshold(t *testing.T) {
+	h := newHarness(t, Rule{
+		Name: "cold", Metric: "rate", Kind: Threshold, Bound: 10, Below: true, For: 1, ForOK: 1,
+	})
+	if got := h.step(50); got != OK {
+		t.Fatalf("above bound: %v, want ok", got)
+	}
+	if got := h.step(5); got != Firing {
+		t.Fatalf("below bound: %v, want firing (For=1)", got)
+	}
+}
+
+// TestRateOfChange: the rule differences the last Ticks+1 points and
+// does not evaluate until the window is full.
+func TestRateOfChange(t *testing.T) {
+	h := newHarness(t, Rule{
+		Name: "spike", Metric: "total", Kind: RateOfChange, Bound: 50, Ticks: 2, For: 1, ForOK: 1,
+	})
+	// Window not full: two points, need Ticks+1 = 3. A +60 jump across
+	// an incomplete window must not fire.
+	if got := h.step(0); got != OK {
+		t.Fatalf("tick 0: %v", got)
+	}
+	if got := h.step(60); got != OK {
+		t.Fatalf("short window: %v, want ok (needs Ticks+1 points)", got)
+	}
+	// Window full: [0, 60, 40] → delta 40, under bound.
+	if got := h.step(40); got != OK {
+		t.Fatalf("small delta: %v, want ok", got)
+	}
+	// [60, 40, 45] → delta -15, under bound.
+	if got := h.step(45); got != OK {
+		t.Fatalf("negative delta: %v, want ok", got)
+	}
+	// [40, 45, 145] → delta 105 > 50.
+	if got := h.step(145); got != Firing {
+		t.Fatalf("delta 105: %v, want firing", got)
+	}
+	if v := h.eng.Alerts()[0].Value; v != 105 {
+		t.Errorf("alert value = %v, want the delta 105", v)
+	}
+}
+
+// TestAbsenceNeedsActivity: an absence rule never fires on a metric
+// that has been silent from birth — only after it was active and then
+// went quiet.
+func TestAbsenceNeedsActivity(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("reports")
+	rec := series.NewRecorder(reg, series.Options{Cap: 32})
+	eng := NewEngine(rec, []Rule{{
+		Name: "silent", Metric: "reports", Kind: Absence, For: 1, ForOK: 1,
+	}})
+	step := func(n int) State {
+		rec.Sample(tick(n))
+		eng.Eval(tick(n))
+		return eng.Alerts()[0].State
+	}
+	// Silence from birth: two idle ticks, no alert.
+	if got := step(0); got != OK {
+		t.Fatalf("boot tick: %v, want ok", got)
+	}
+	if got := step(1); got != OK {
+		t.Fatalf("idle-from-birth: %v, want ok (never active)", got)
+	}
+	// Activity, then silence: now it fires.
+	c.Add(10)
+	if got := step(2); got != OK {
+		t.Fatalf("active tick: %v, want ok", got)
+	}
+	if got := step(3); got != Firing {
+		t.Fatalf("silent after active: %v, want firing", got)
+	}
+	// Activity resumes: resolves.
+	c.Add(5)
+	if got := step(4); got != OK {
+		t.Fatalf("resumed: %v, want ok", got)
+	}
+}
+
+// TestOnFireHookAndObs: the OnFire hook runs once per firing
+// transition (not per firing tick), and EnableObs counts transitions on
+// the registry.
+func TestOnFireHookAndObs(t *testing.T) {
+	h := newHarness(t, Rule{
+		Name: "hot", Metric: "temp", Kind: Threshold, Bound: 100, For: 1, ForOK: 1, Severity: Crit,
+	})
+	h.eng.EnableObs(h.reg)
+	var fires []Alert
+	h.eng.OnFire = func(a Alert) { fires = append(fires, a) }
+
+	h.step(150) // fire
+	h.step(150) // still firing: no second hook call
+	h.step(50)  // resolve
+	h.step(150) // fire again
+
+	if len(fires) != 2 {
+		t.Fatalf("OnFire ran %d times, want 2 (one per transition)", len(fires))
+	}
+	if fires[0].Rule.Name != "hot" || fires[0].State != Firing {
+		t.Errorf("OnFire alert = %+v, want firing hot", fires[0])
+	}
+
+	byName := snapshotValues(h.reg)
+	if byName["health.fired"] != 2 {
+		t.Errorf("health.fired = %d, want 2", byName["health.fired"])
+	}
+	if byName["health.resolved"] != 1 {
+		t.Errorf("health.resolved = %d, want 1", byName["health.resolved"])
+	}
+	if byName["health.evals"] != 4 {
+		t.Errorf("health.evals = %d, want 4", byName["health.evals"])
+	}
+	if byName["health.firing"] != 1 {
+		t.Errorf("health.firing = %d, want 1", byName["health.firing"])
+	}
+}
+
+func snapshotValues(reg *obs.Registry) map[string]int64 {
+	out := make(map[string]int64)
+	for _, s := range reg.Snapshot() {
+		out[s.Name] = s.Value
+	}
+	return out
+}
+
+// TestNilEngine: a nil engine (health disabled) is a no-op everywhere.
+func TestNilEngine(t *testing.T) {
+	var e *Engine
+	if NewEngine(nil, nil) != nil {
+		t.Fatal("NewEngine(nil recorder) != nil")
+	}
+	e.Eval(tick(0))
+	e.EnableObs(obs.NewRegistry())
+	if e.Alerts() != nil || e.Firing() != nil {
+		t.Error("nil engine returned alerts")
+	}
+	var b strings.Builder
+	e.WriteText(&b)
+	if !strings.HasPrefix(b.String(), "ERR") {
+		t.Errorf("nil engine WriteText = %q, want ERR line", b.String())
+	}
+}
+
+// TestWriteText renders one line per rule with name, severity, state.
+func TestWriteText(t *testing.T) {
+	h := newHarness(t, Rule{
+		Name: "hot", Metric: "temp", Kind: Threshold, Bound: 100,
+		For: 1, ForOK: 1, Severity: Warn, Msg: "turn on the fans",
+	})
+	h.step(150)
+	var b strings.Builder
+	h.eng.WriteText(&b)
+	line := strings.TrimSpace(b.String())
+	for _, f := range []string{"hot", "[warn]", "firing", "metric=temp", "value=150.000", "since=", "turn on the fans"} {
+		if !strings.Contains(line, f) {
+			t.Errorf("alert line %q missing %q", line, f)
+		}
+	}
+}
+
+// TestDefaultRules sanity-checks the stock rule set: the four known
+// failure modes are covered and reference metrics the daemon registers.
+func TestDefaultRules(t *testing.T) {
+	rules := DefaultRules(3, 2)
+	byName := make(map[string]Rule)
+	for _, r := range rules {
+		byName[r.Name] = r
+		if r.Msg == "" {
+			t.Errorf("rule %q has no operator message", r.Name)
+		}
+	}
+	if len(byName) != len(rules) {
+		t.Fatal("duplicate rule names")
+	}
+	for name, wantMetric := range map[string]string{
+		"harvest-degradation": "harvest.errors",
+		"wal-degraded":        "wal.degraded",
+		"dedup-spike":         "store.dupes",
+		"harvest-silence":     "harvest.reports",
+	} {
+		r, ok := byName[name]
+		if !ok {
+			t.Errorf("missing default rule %q", name)
+			continue
+		}
+		if r.Metric != wantMetric {
+			t.Errorf("rule %q watches %q, want %q", name, r.Metric, wantMetric)
+		}
+	}
+	if r := byName["wal-degraded"]; r.Severity != Crit || r.For != 1 {
+		t.Errorf("wal-degraded = severity %v For %d, want crit with For=1 (firm latch)", r.Severity, r.For)
+	}
+	if r := byName["harvest-silence"]; r.Kind != Absence {
+		t.Errorf("harvest-silence kind = %v, want Absence", r.Kind)
+	}
+}

@@ -1,0 +1,60 @@
+package health
+
+// DefaultRules is the stock rule set for a merakid daemon, covering
+// the failure modes earlier PRs taught the pipeline to survive — now
+// judged continuously instead of discovered in a post-mortem. forTicks
+// and forOK set the hysteresis every spiky rule uses (the wal-degraded
+// latch is a firm state, so it fires and resolves on a single tick);
+// OPERATIONS.md's monitoring runbook documents what to do when each
+// fires.
+//
+// The cumulative counters referenced here (harvest.errors and
+// store.dupes are func gauges over cumulative totals) are judged by
+// RateOfChange — new events across the lookback window — so the bounds
+// are in events per window, independent of the absolute totals a
+// long-lived daemon accumulates.
+func DefaultRules(forTicks, forOK int) []Rule {
+	return []Rule{
+		{
+			Name:     "harvest-degradation",
+			Metric:   "harvest.errors",
+			Kind:     RateOfChange,
+			Severity: Warn,
+			Bound:    5,
+			Ticks:    3,
+			For:      forTicks,
+			ForOK:    forOK,
+			Msg:      "more than 5 new harvest hard errors (MAC failures + corrupt frames + timeouts) in 3 ticks; inspect devices and fabric, see the flight-recorder dump",
+		},
+		{
+			Name:     "wal-degraded",
+			Metric:   "wal.degraded",
+			Kind:     Threshold,
+			Severity: Crit,
+			Bound:    0.5,
+			For:      1,
+			ForOK:    1,
+			Msg:      "durable store is read-only: WAL appends are failing and polls are not acked; free or replace the disk, then restart",
+		},
+		{
+			Name:     "dedup-spike",
+			Metric:   "store.dupes",
+			Kind:     RateOfChange,
+			Severity: Warn,
+			Bound:    100,
+			Ticks:    1,
+			For:      forTicks,
+			ForOK:    forOK,
+			Msg:      "more than 100 new duplicate-report hits in one tick; a device is replaying or a retry storm is underway",
+		},
+		{
+			Name:     "harvest-silence",
+			Metric:   "harvest.reports",
+			Kind:     Absence,
+			Severity: Warn,
+			For:      forTicks,
+			ForOK:    forOK,
+			Msg:      "shard received reports before and now receives none; check device tunnels and the shard map",
+		},
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RegisterProcessMetrics registers the standard fleet-dashboard
+// process gauges on r as func gauges, read at snapshot time:
+//
+//	proc.uptime_s          seconds since start
+//	proc.goroutines        runtime.NumGoroutine
+//	proc.heap_inuse_bytes  bytes in in-use heap spans
+//	proc.gc_pause_p99_us   p99 of the last 256 GC stop-the-world pauses
+//
+// The two MemStats-backed gauges share one cached runtime.ReadMemStats
+// snapshot refreshed at most once per second, so a scrape costs one
+// stop-the-world stats read, not one per gauge.
+func RegisterProcessMetrics(r *Registry, start time.Time) {
+	if r == nil {
+		return
+	}
+	var (
+		mu   sync.Mutex
+		ms   runtime.MemStats
+		last time.Time
+	)
+	memStats := func() *runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if now := time.Now(); now.Sub(last) >= time.Second {
+			runtime.ReadMemStats(&ms)
+			last = now
+		}
+		return &ms
+	}
+	r.RegisterFunc("proc.uptime_s", func() int64 {
+		return int64(time.Since(start).Seconds())
+	})
+	r.RegisterFunc("proc.goroutines", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	r.RegisterFunc("proc.heap_inuse_bytes", func() int64 {
+		return int64(memStats().HeapInuse)
+	})
+	r.RegisterFunc("proc.gc_pause_p99_us", func() int64 {
+		m := memStats()
+		n := m.NumGC
+		if n == 0 {
+			return 0
+		}
+		if n > uint32(len(m.PauseNs)) {
+			n = uint32(len(m.PauseNs))
+		}
+		pauses := make([]uint64, n)
+		copy(pauses, m.PauseNs[:n])
+		sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+		// rank = ceil(0.99*n), as Histogram.Quantile computes it.
+		idx := (int(n)*99+99)/100 - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= int(n) {
+			idx = int(n) - 1
+		}
+		return int64(pauses[idx] / 1000)
+	})
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRegisterProcessMetrics: the four process gauges register, answer
+// plausible values, and survive repeated snapshots (the cached MemStats
+// path).
+func TestRegisterProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r, time.Now().Add(-3*time.Second))
+
+	byName := make(map[string]int64)
+	for _, s := range r.Snapshot() {
+		byName[s.Name] = s.Value
+		if s.Kind != KindGauge {
+			t.Errorf("%s kind = %v, want gauge", s.Name, s.Kind)
+		}
+	}
+	for _, name := range []string{
+		"proc.uptime_s", "proc.goroutines", "proc.heap_inuse_bytes", "proc.gc_pause_p99_us",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("missing process gauge %q", name)
+		}
+	}
+	if up := byName["proc.uptime_s"]; up < 3 || up > 60 {
+		t.Errorf("proc.uptime_s = %d, want ~3", up)
+	}
+	if byName["proc.goroutines"] < 1 {
+		t.Errorf("proc.goroutines = %d, want >= 1", byName["proc.goroutines"])
+	}
+	if byName["proc.heap_inuse_bytes"] <= 0 {
+		t.Errorf("proc.heap_inuse_bytes = %d, want > 0", byName["proc.heap_inuse_bytes"])
+	}
+	if byName["proc.gc_pause_p99_us"] < 0 {
+		t.Errorf("proc.gc_pause_p99_us = %d, want >= 0", byName["proc.gc_pause_p99_us"])
+	}
+
+	// A second snapshot inside the cache TTL must not panic or change
+	// kinds; values may differ.
+	if got := len(r.Snapshot()); got != len(byName) {
+		t.Errorf("second snapshot has %d metrics, want %d", got, len(byName))
+	}
+
+	// Nil registry: no-op, matching the rest of the package.
+	RegisterProcessMetrics(nil, time.Now())
+}

@@ -32,15 +32,20 @@ func promName(name string) string {
 }
 
 // WriteProm renders the snapshot in the Prometheus text exposition
-// format (version 0.0.4). Scalars become untyped samples; histograms
-// become the conventional triplet of cumulative `_bucket{le="..."}`
-// series (ending with le="+Inf"), `_sum`, and `_count`. Metric names
-// are sanitized with promName, so the dotted registry names scrape as
-// underscore-separated families. merakid serves this at /debug/metrics
-// on the -debug listener.
+// format (version 0.0.4). Every family is announced with a "# TYPE"
+// metadata line carrying its registry kind (counter, gauge, or
+// histogram — func gauges scrape as gauges); histograms become the
+// conventional triplet of cumulative `_bucket{le="..."}` series (ending
+// with le="+Inf"), `_sum`, and `_count` under the family's TYPE line.
+// Metric names are sanitized with promName, so the dotted registry
+// names scrape as underscore-separated families. merakid serves this
+// at /debug/metrics on the -debug listener, and the cluster federation
+// path relies on each TYPE line directly preceding its family's
+// samples when it re-groups shard scrapes.
 func (r *Registry) WriteProm(w io.Writer) {
 	for _, s := range r.Snapshot() {
 		name := promName(s.Name)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, s.Kind)
 		if s.Hist == nil {
 			fmt.Fprintf(w, "%s %d\n", name, s.Value)
 			continue

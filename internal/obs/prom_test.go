@@ -75,12 +75,28 @@ func TestHistogramQuantileEdges(t *testing.T) {
 	}
 }
 
+// TestHistogramEmptyMean: an empty histogram reports mean 0, not NaN —
+// series points and watch lines render it directly.
+func TestHistogramEmptyMean(t *testing.T) {
+	h := NewHistogram([]int64{10})
+	if got := h.Mean(); got != 0 {
+		t.Fatalf("empty histogram Mean = %v, want 0", got)
+	}
+	h.Observe(8)
+	if got := h.Mean(); got != 8 {
+		t.Fatalf("Mean after one observation = %v, want 8", got)
+	}
+}
+
 // TestWriteProm checks the Prometheus text rendering: sanitized names,
-// cumulative le buckets ending at +Inf, and the _sum/_count pair.
+// a TYPE metadata line directly preceding each family's samples (the
+// contract cluster.MergeProm relies on), cumulative le buckets ending
+// at +Inf, and the _sum/_count pair.
 func TestWriteProm(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("harvest.polls").Add(3)
 	r.Gauge("pool.devices").Set(7)
+	r.RegisterFunc("proc.uptime_s", func() int64 { return 12 })
 	h := r.Histogram("store.ingest_us", []int64{10, 100})
 	h.Observe(5)
 	h.Observe(50)
@@ -91,8 +107,13 @@ func TestWriteProm(t *testing.T) {
 	got := buf.String()
 
 	want := strings.Join([]string{
+		"# TYPE harvest_polls counter",
 		"harvest_polls 3",
+		"# TYPE pool_devices gauge",
 		"pool_devices 7",
+		"# TYPE proc_uptime_s gauge",
+		"proc_uptime_s 12",
+		"# TYPE store_ingest_us histogram",
 		`store_ingest_us_bucket{le="10"} 1`,
 		`store_ingest_us_bucket{le="100"} 2`,
 		`store_ingest_us_bucket{le="+Inf"} 3`,

@@ -109,9 +109,36 @@ func Indexed(prefix string, i int, suffix string) string {
 	return fmt.Sprintf("%s.%02d.%s", prefix, i, suffix)
 }
 
+// Kind classifies a sample's metric type. Func gauges report as
+// KindGauge: to a consumer they are instantaneous readings, however the
+// value is produced. The kind drives the "# TYPE" metadata lines in
+// WriteProm and the per-kind sampling rules of obs/series (counters
+// difference into rates, gauges sample raw, histograms summarize per
+// tick).
+type Kind uint8
+
+const (
+	KindGauge Kind = iota
+	KindCounter
+	KindHistogram
+)
+
+// String returns the Prometheus type name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
 // Sample is one metric in a registry snapshot.
 type Sample struct {
 	Name string
+	Kind Kind
 	// Value holds counter, gauge, and func-gauge readings; Hist is set
 	// instead for histograms.
 	Value int64
@@ -138,12 +165,14 @@ func (r *Registry) Snapshot() []Sample {
 		s := Sample{Name: n}
 		switch m := metrics[n].(type) {
 		case *Counter:
+			s.Kind = KindCounter
 			s.Value = m.Value()
 		case *Gauge:
 			s.Value = m.Value()
 		case funcGauge:
 			s.Value = m()
 		case *Histogram:
+			s.Kind = KindHistogram
 			hs := m.Snapshot()
 			s.Hist = &hs
 		}

@@ -56,6 +56,11 @@ type Agent struct {
 	// backlog drains at full poll width instead of trickling out in
 	// budget-sized batches. Zero defaults to 30s.
 	BatchMaxAge time.Duration
+	// Dial, when set, replaces net.Dial for the reconnect loops —
+	// merakisim's -chaos-corrupt and the monitoring smoke gate use it
+	// to route sessions through a faultnet wrapper. Nil dials plain
+	// TCP.
+	Dial func(addr string) (net.Conn, error)
 
 	mu      sync.Mutex
 	queue   [][]byte
@@ -589,7 +594,11 @@ func (a *Agent) runReconnect(addrs []string, stop <-chan struct{}) {
 		default:
 		}
 		a.Metrics.Dials.Inc()
-		conn, err := net.Dial("tcp", addrs[attempt%len(addrs)])
+		dial := a.Dial
+		if dial == nil {
+			dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+		}
+		conn, err := dial(addrs[attempt%len(addrs)])
 		if err == nil {
 			sessions++
 			if sessions > 1 && a.Health != nil {

@@ -100,6 +100,14 @@ func RegisterHealth(reg *obs.Registry, h *HarvestHealth) {
 	reg.RegisterFunc("harvest.timeouts", func() int64 { return int64(h.Snapshot().Timeouts) })
 	reg.RegisterFunc("harvest.queue_drops", func() int64 { return int64(h.Snapshot().QueueDrops) })
 	reg.RegisterFunc("harvest.wal_failures", func() int64 { return int64(h.Snapshot().WALFailures) })
+	// harvest.errors is the combined hard-error total the health rule
+	// engine's harvest-degradation rule watches: one series instead of
+	// three keeps the rule (and its hysteresis) judging the sum, not
+	// whichever component happened to spike.
+	reg.RegisterFunc("harvest.errors", func() int64 {
+		s := h.Snapshot()
+		return int64(s.MACFailures + s.CorruptFrames + s.Timeouts)
+	})
 	reg.RegisterFunc("harvest.degraded", func() int64 {
 		if h.Snapshot().Degraded {
 			return 1
