@@ -4,7 +4,7 @@
 # stay green across the whole module, not just `test`. CI
 # (.github/workflows/ci.yml) runs build + vet + test + race.
 
-.PHONY: build test vet race bench bench-gate bench-baseline wire-compat docs docs-gen trace-smoke crash-smoke cluster-smoke mon-smoke verify
+.PHONY: build test vet race bench bench-gate bench-baseline wire-compat docs docs-gen trace-smoke crash-smoke cluster-smoke mon-smoke rebalance-smoke verify
 
 # GATE_BENCH is the benchmark set the regression gate measures: the
 # wire codecs (bytes/report is the headline EXPERIMENTS.md number) and
@@ -98,4 +98,15 @@ cluster-smoke:
 mon-smoke:
 	go run ./scripts/moncheck
 
-verify: build vet test race docs trace-smoke crash-smoke cluster-smoke mon-smoke
+# rebalance-smoke is the live-migration gate: harvest into a 2-shard
+# WAL-backed cluster, grow it to 3 shards with the real operator flow
+# (`merakireport -cluster OLD -rebalance NEW` — part, extract, absorb,
+# digest-verify, cut over), flip the fleet, and require the 3-shard
+# merged digest to match a single-store control with moved networks
+# gone from their sources (see scripts/rebalancecheck). The
+# cmd/merakid rebalance tests run the same proof in-tree, including a
+# destination SIGKILLed mid-migration.
+rebalance-smoke:
+	go run ./scripts/rebalancecheck
+
+verify: build vet test race docs trace-smoke crash-smoke cluster-smoke mon-smoke rebalance-smoke

@@ -5,7 +5,9 @@
 // snapshotted to disk with -snapshot on shutdown (SIGINT) or via the
 // "save" query. Queries: status, clients, top-apps N, util, crashes,
 // anomalies, metrics, prom, series [METRIC [N]], alerts, watch,
-// digest, checkpoint, snapshot, fanout CMD, save PATH, quit; an
+// digest, checkpoint, snapshot, fanout CMD, save PATH, networks,
+// extract IDS, part IDS, unpart IDS, drop IDS, absorb TOKEN IDS,
+// rebalance PEERS [TOKEN], quit; an
 // unrecognized command gets an "ERR unknown command" line back (every
 // error line starts with "ERR"). The status response includes the
 // harvest health counters (reconnects, MAC failures, corrupt frames,
@@ -43,8 +45,13 @@
 // (identical to a single daemon's digest for the same reports), with
 // graceful partial results when a shard is down. The "snapshot" query
 // serves this daemon's store as base64 lines for the router to merge.
-// Each shard keeps its own -wal-dir; see OPERATIONS.md for topologies
-// and runbooks.
+// The cluster grows live (DESIGN.md §13): the "rebalance" query (or
+// merakireport -rebalance) migrates each moved network — part on the
+// source so acks are refused and agents queue, extract, absorb on the
+// destination under a dedup token (WAL-logged on durable shards),
+// digest-verify, then cut over — and -map-epoch stamps the topology
+// generation into status. Each shard keeps its own -wal-dir; see
+// OPERATIONS.md for topologies and runbooks.
 //
 // With -wal-dir the daemon is crash-consistent (DESIGN.md §9): every
 // harvested report's wire bytes reach a write-ahead log before the
@@ -117,6 +124,7 @@ func main() {
 	checkpointEvery := flag.Duration("checkpoint", time.Minute, "checkpoint cadence (0 = only on shutdown and the checkpoint query)")
 	shard := flag.Int("shard", 0, "this daemon's shard index in a sharded cluster (0-based; see -shards)")
 	shards := flag.Int("shards", 1, "total shard count of the cluster this daemon belongs to (1 = single-daemon)")
+	mapEpoch := flag.Int("map-epoch", 0, "shard-map epoch this daemon belongs to; bump on every topology change so rebalance tokens and status lines identify which map a shard is serving")
 	peers := flag.String("peers", "", "comma-separated query addresses of every shard, indexed by shard ID; enables the scatter-gather fanout query (empty = standalone)")
 	debug := flag.String("debug", "", "debug HTTP listen address serving /debug/vars, /debug/metrics, /debug/series, /debug/federate and /debug/pprof (empty = off)")
 	seriesEvery := flag.Duration("series-every", 15*time.Second, "time-series sampling cadence for the metrics history rings (0 = no history, which also disables health rules)")
@@ -143,6 +151,7 @@ func main() {
 		log.Fatalf("merakid: -shard %d out of range for -shards %d", *shard, *shards)
 	}
 	d.shardID, d.shards = *shard, *shards
+	d.mapEpoch = *mapEpoch
 	if *peers != "" {
 		addrs := strings.Split(*peers, ",")
 		for i := range addrs {
@@ -287,8 +296,11 @@ type daemon struct {
 	// shardID/shards place this daemon in a sharded cluster (-shard,
 	// -shards); router, when -peers configured the cluster's query
 	// addresses, answers the scatter-gather "fanout" query. A
-	// standalone daemon is shard 0 of 1 with a nil router.
+	// standalone daemon is shard 0 of 1 with a nil router. mapEpoch
+	// (-map-epoch) names the topology generation, folded into default
+	// rebalance tokens so two epochs' migrations never share one.
 	shardID, shards int
+	mapEpoch        int
 	router          *cluster.Router
 
 	// obs is the daemon's metrics registry: harvest.* (health counters
@@ -559,6 +571,11 @@ func (d *daemon) serveDevice(conn net.Conn) {
 			return err
 		}
 		p.BeforeAck = func(reports []*telemetry.Report, raw [][]byte) error {
+			// A parted network refuses before the WAL sees the batch:
+			// migration backpressure, not a durability failure.
+			if err := d.partCheck(reports); err != nil {
+				return err
+			}
 			if err := d.durable.IngestBatch(reports, raw); err != nil {
 				return degrade(err)
 			}
@@ -566,10 +583,22 @@ func (d *daemon) serveDevice(conn net.Conn) {
 		}
 		// v2 sessions log each whole batch frame as one WAL record.
 		p.BeforeAckFrame = func(reports []*telemetry.Report, payload []byte) error {
+			if err := d.partCheck(reports); err != nil {
+				return err
+			}
 			if err := d.durable.IngestBatchFrame(reports, payload); err != nil {
 				return degrade(err)
 			}
 			return nil
+		}
+	} else {
+		// Volatile daemons gate acks on the same parted check, so a
+		// mid-migration network's devices requeue in both modes.
+		p.BeforeAck = func(reports []*telemetry.Report, raw [][]byte) error {
+			return d.partCheck(reports)
+		}
+		p.BeforeAckFrame = func(reports []*telemetry.Report, payload []byte) error {
+			return d.partCheck(reports)
 		}
 	}
 	d.mu.Lock()
@@ -642,6 +671,9 @@ func (d *daemon) acceptQueries(ln net.Listener) {
 func (d *daemon) serveQuery(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
+	// Migration commands carry long ID lists and absorb payload lines
+	// wider than the 64 KiB scanner default.
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -656,6 +688,12 @@ func (d *daemon) serveQuery(conn net.Conn) {
 			d.mu.Unlock()
 			if d.shards > 1 {
 				fmt.Fprintf(w, "shard %d/%d\n", d.shardID, d.shards)
+			}
+			if d.shards > 1 || d.mapEpoch > 0 {
+				fmt.Fprintf(w, "map_epoch=%d\n", d.mapEpoch)
+			}
+			if parted, absorbed := len(d.store.PartedIDs()), d.store.AbsorbedCount(); parted > 0 || absorbed > 0 {
+				fmt.Fprintf(w, "rebalance parted=%d absorbed=%d\n", parted, absorbed)
 			}
 			fmt.Fprintf(w, "devices=%d ingested=%d duplicates=%d clients=%d\n",
 				nDev, ing, dup, d.store.NumClients())
@@ -741,6 +779,18 @@ func (d *daemon) serveQuery(conn net.Conn) {
 			}
 		case "fanout":
 			d.queryFanout(w, fields)
+		case "networks":
+			d.queryNetworks(w)
+		case "extract":
+			d.queryExtract(w, fields)
+		case "part", "unpart":
+			d.queryPart(w, fields)
+		case "drop":
+			d.queryDrop(w, fields)
+		case "absorb":
+			d.queryAbsorb(w, sc, fields)
+		case "rebalance":
+			d.queryRebalance(w, fields)
 		case "trace":
 			d.queryTrace(w, fields)
 		case "save":

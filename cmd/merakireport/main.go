@@ -8,10 +8,18 @@
 //	merakireport [-seed N] [-scale small|medium|full] [-only exp1,exp2] [-timings]
 //	merakireport -cluster 127.0.0.1:7772,127.0.0.1:7782
 //	merakireport -cluster 127.0.0.1:7772,127.0.0.1:7782 -watch
+//	merakireport -cluster OLDADDRS -rebalance NEWADDRS [-rebalance-token T]
 //
 // The second form skips simulation and reports on a live sharded
 // cluster instead: every shard's status plus the scatter-gathered
 // merged digest, with down shards flagged rather than fatal.
+//
+// -rebalance live-migrates the cluster from the -cluster topology to
+// the new one: every network whose jump-map home changes is parted on
+// its source, streamed to its destination, digest-verified there, and
+// only then dropped from the source — the OPERATIONS.md §4 runbook in
+// one command. Exit status is nonzero if the verify gate rolled the
+// migration back.
 //
 // -watch turns the cluster report into a periodically refreshing
 // terminal dashboard: one line per shard (up/down, device pool, ingest
@@ -54,6 +62,8 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	clusterAddrs := flag.String("cluster", "", "comma-separated shard query addresses: report on a live sharded cluster (status + merged digest) instead of simulating")
+	rebalance := flag.String("rebalance", "", "with -cluster: comma-separated query addresses of the NEW topology; live-migrate every network whose shard-map home changes from the -cluster topology, with a digest-verified cutover")
+	rebalanceToken := flag.String("rebalance-token", "", "migration token for -rebalance (default derived from the shard counts); re-use a crashed run's token to resume it, pick a fresh one after a verify rollback")
 	watch := flag.Bool("watch", false, "with -cluster: refreshing per-shard dashboard (up/degraded, ingest rates, WAL latency, firing alerts) instead of a one-shot report")
 	watchEvery := flag.Duration("watch-every", 2*time.Second, "dashboard refresh cadence for -watch")
 	watchCount := flag.Int("watch-count", 0, "number of -watch refreshes before exiting (0 = until interrupted)")
@@ -68,9 +78,12 @@ func main() {
 
 	if *clusterAddrs != "" {
 		var err error
-		if *watch {
+		switch {
+		case *rebalance != "":
+			err = runRebalance(*clusterAddrs, *rebalance, *rebalanceToken)
+		case *watch:
 			err = runWatch(*clusterAddrs, *watchEvery, *watchCount)
-		} else {
+		default:
 			err = runCluster(*clusterAddrs)
 		}
 		if err != nil {
@@ -79,8 +92,8 @@ func main() {
 		}
 		return
 	}
-	if *watch {
-		fmt.Fprintln(os.Stderr, "merakireport: -watch needs -cluster addresses")
+	if *watch || *rebalance != "" {
+		fmt.Fprintln(os.Stderr, "merakireport: -watch and -rebalance need -cluster addresses")
 		os.Exit(2)
 	}
 
@@ -191,6 +204,51 @@ func runCluster(addrList string) error {
 	fmt.Printf("\ncluster digest %s\n", dig.Digest)
 	fmt.Printf("shards=%d up=%d down=%v degraded=%t\n",
 		dig.Shards, dig.Shards-len(dig.Down), dig.Down, dig.Degraded)
+	return nil
+}
+
+// runRebalance is the -rebalance driver: run the live-migration
+// coordinator from the operator's machine, moving every network whose
+// jump-map home differs between the -cluster (old) and -rebalance
+// (new) topologies. Progress streams to stderr; the summary — token,
+// moved count, per-pair transfers, slice digest, post-cutover merged
+// digest — prints to stdout. A non-nil error (verify-gate rollback
+// included) exits nonzero so scripts can gate on it.
+func runRebalance(oldList, newList, token string) error {
+	split := func(s string) []string {
+		parts := strings.Split(s, ",")
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		return parts
+	}
+	oldAddrs, newAddrs := split(oldList), split(newList)
+	if token == "" {
+		token = fmt.Sprintf("rebalance-%dto%d", len(oldAddrs), len(newAddrs))
+	}
+	rep, err := cluster.Rebalance(oldAddrs, newAddrs, cluster.RebalanceOptions{
+		Token: token,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rebalance token=%s shards %d -> %d\n", rep.Token, rep.OldShards, rep.NewShards)
+	fmt.Printf("moved networks=%d transfers=%d\n", rep.MovedNetworks, len(rep.Transfers))
+	for _, tr := range rep.Transfers {
+		fmt.Printf("  shard %d -> shard %d: %d network(s)\n", tr.Src, tr.Dst, len(tr.Networks))
+	}
+	if rep.MovedNetworks > 0 {
+		fmt.Printf("slice digest %s (verified on destinations)\n", rep.SliceDigest)
+	}
+	fmt.Printf("cluster digest %s\n", rep.Full.Digest)
+	fmt.Printf("shards=%d up=%d down=%v degraded=%t\n",
+		rep.Full.Shards, rep.Full.Shards-len(rep.Full.Down), rep.Full.Down, rep.Full.Degraded)
+	if rep.MovedNetworks > 0 {
+		fmt.Println("next: re-run until moved=0, then flip agents to the new topology (see OPERATIONS.md)")
+	}
 	return nil
 }
 

@@ -27,6 +27,10 @@ type DurableOptions struct {
 	// recovery falls back one generation when the newest is corrupt.
 	// Zero means 2.
 	KeepCheckpoints int
+	// NetworkOf maps serials to network IDs for migration records
+	// (absorb/drop replay must resolve the same networks the original
+	// operation did). Nil means NetworkOfSerial.
+	NetworkOf NetworkFunc
 }
 
 // RecoveryStats describes what OpenDurable found and rebuilt.
@@ -73,9 +77,10 @@ func (r RecoveryStats) String() string {
 type DurableStore struct {
 	*Store
 
-	dir  string
-	log  *wal.Log
-	keep int
+	dir   string
+	log   *wal.Log
+	keep  int
+	netOf NetworkFunc
 
 	// flight serializes checkpoint LSN capture against in-flight
 	// batches: IngestBatch holds the read side across append+ingest, so
@@ -153,7 +158,11 @@ func OpenDurable(dir string, o DurableOptions) (*DurableStore, RecoveryStats, er
 	if keep <= 0 {
 		keep = 2
 	}
-	d := &DurableStore{Store: NewStoreShards(shards), dir: dir, keep: keep}
+	netOf := o.NetworkOf
+	if netOf == nil {
+		netOf = NetworkOfSerial
+	}
+	d := &DurableStore{Store: NewStoreShards(shards), dir: dir, keep: keep, netOf: netOf}
 
 	// A crash inside SaveFile leaves a temp file the rename never
 	// promoted; sweep such husks so they cannot accumulate.
@@ -188,12 +197,20 @@ func OpenDurable(dir string, o DurableOptions) (*DurableStore, RecoveryStats, er
 	}
 	d.log = wlog
 	rstats, err := wlog.Replay(d.ckptLSN, func(_ wal.LSN, payload []byte) error {
-		// Two record shapes share the log: a v1 per-report record is one
-		// pbwire-encoded report, a v2 record is a whole batch payload
-		// (IngestBatchFrame). The leading byte discriminates — a batch
-		// opens with its version byte (2), while a pbwire tag is always
+		// Three record shapes share the log: a v1 per-report record is
+		// one pbwire-encoded report, a v2 record is a whole batch
+		// payload (IngestBatchFrame), and a migration record carries a
+		// rebalance operation (migrate.go). The leading byte
+		// discriminates — a batch opens with its version byte (2),
+		// migration records claim 0x03–0x06, and a pbwire tag is always
 		// field<<3|type with field >= 1, so a report record can never
 		// start below 0x08.
+		if isMigrationRecord(payload) {
+			if err := d.replayMigration(payload); err != nil {
+				stats.BadRecords++
+			}
+			return nil
+		}
 		if len(payload) > 0 && payload[0] == telemetry.WireV2 {
 			f, err := telemetry.DecodeBatchFrame(payload)
 			if err != nil {

@@ -1,0 +1,155 @@
+package backend
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Durable rebalance operations. Each migration step on a WAL-backed
+// shard is its own WAL record, appended before the in-memory state
+// changes (the same WAL-before-ack discipline IngestBatch follows), so
+// a shard SIGKILLed mid-migration replays to exactly the state it
+// acknowledged: an absorbed slice stays absorbed (token-deduplicated
+// against the checkpoint), a parted network stays parted, a dropped
+// network stays gone.
+//
+// Record layout: marker byte, then uvarint token length + token bytes,
+// then uvarint ID count + uvarint IDs, then the rest of the record is
+// the operation payload (the gob slice for absorb, empty otherwise).
+// Part/unpart carry an empty token. The markers live in the gap the
+// replay discriminator leaves open: 0x02 is a v2 batch frame, pbwire
+// report tags start at 0x08.
+const (
+	recAbsorb byte = 0x03
+	recDrop   byte = 0x04
+	recPart   byte = 0x05
+	recUnpart byte = 0x06
+)
+
+// isMigrationRecord reports whether a WAL payload is a migration
+// record (see the OpenDurable replay discriminator).
+func isMigrationRecord(b []byte) bool {
+	return len(b) > 0 && b[0] >= recAbsorb && b[0] <= recUnpart
+}
+
+func encodeMigrationRecord(kind byte, token string, ids []uint64, payload []byte) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64*(len(ids)+2)+len(token)+len(payload))
+	buf = append(buf, kind)
+	buf = binary.AppendUvarint(buf, uint64(len(token)))
+	buf = append(buf, token...)
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, id)
+	}
+	return append(buf, payload...)
+}
+
+func decodeMigrationRecord(b []byte) (kind byte, token string, ids []uint64, payload []byte, err error) {
+	bad := fmt.Errorf("backend: short migration record (%d bytes)", len(b))
+	if len(b) < 1 {
+		return 0, "", nil, nil, bad
+	}
+	kind, rest := b[0], b[1:]
+	tlen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < tlen {
+		return 0, "", nil, nil, bad
+	}
+	token = string(rest[n : n+int(tlen)])
+	rest = rest[n+int(tlen):]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, "", nil, nil, bad
+	}
+	rest = rest[n:]
+	ids = make([]uint64, 0, count)
+	for i := uint64(0); i < count; i++ {
+		id, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, "", nil, nil, bad
+		}
+		ids = append(ids, id)
+		rest = rest[n:]
+	}
+	return kind, token, ids, rest, nil
+}
+
+// appendMigration writes one migration record through the WAL with the
+// flight lock held — the same durability path as report batches, so
+// Checkpoint's captured LSN never splits a migration step in half.
+func (d *DurableStore) appendMigration(kind byte, token string, ids []uint64, payload []byte) error {
+	if d.degraded.Load() {
+		return ErrDegraded
+	}
+	d.flight.RLock()
+	defer d.flight.RUnlock()
+	if _, err := d.log.AppendBatch([][]byte{encodeMigrationRecord(kind, token, ids, payload)}); err != nil {
+		d.degraded.Store(true)
+		d.walFails.Inc()
+		return fmt.Errorf("backend: wal append: %w", err)
+	}
+	return nil
+}
+
+// AbsorbSnapshot durably applies a migration slice: the whole slice
+// rides one WAL record, then Store.Absorb folds it in. Returns false
+// when the token was already absorbed (the slice is not re-logged).
+func (d *DurableStore) AbsorbSnapshot(token string, ids []uint64, slice []byte) (bool, error) {
+	if d.Store.HasAbsorbed(token) {
+		return false, nil
+	}
+	if err := d.appendMigration(recAbsorb, token, ids, slice); err != nil {
+		return false, err
+	}
+	return d.Store.Absorb(token, ids, bytes.NewReader(slice), d.netOf)
+}
+
+// DropNetworks durably removes migrated networks (and forgets the
+// token, Store.Drop's contract).
+func (d *DurableStore) DropNetworks(token string, ids []uint64) (networks, entries int, err error) {
+	if err := d.appendMigration(recDrop, token, ids, nil); err != nil {
+		return 0, 0, err
+	}
+	networks, entries = d.Store.Drop(token, ids, d.netOf)
+	return networks, entries, nil
+}
+
+// PartNetworks durably marks networks as refusing ingestion.
+func (d *DurableStore) PartNetworks(ids []uint64) error {
+	if err := d.appendMigration(recPart, "", ids, nil); err != nil {
+		return err
+	}
+	d.Store.Part(ids)
+	return nil
+}
+
+// UnpartNetworks durably clears the parted mark.
+func (d *DurableStore) UnpartNetworks(ids []uint64) error {
+	if err := d.appendMigration(recUnpart, "", ids, nil); err != nil {
+		return err
+	}
+	d.Store.Unpart(ids)
+	return nil
+}
+
+// replayMigration re-applies one migration record during recovery.
+// Absorb's token dedup and Part/Unpart/Drop's natural idempotence make
+// replay safe whether or not the checkpoint already covers the record.
+func (d *DurableStore) replayMigration(payload []byte) error {
+	kind, token, ids, rest, err := decodeMigrationRecord(payload)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case recAbsorb:
+		_, err := d.Store.Absorb(token, ids, bytes.NewReader(rest), d.netOf)
+		return err
+	case recDrop:
+		d.Store.Drop(token, ids, d.netOf)
+	case recPart:
+		d.Store.Part(ids)
+	case recUnpart:
+		d.Store.Unpart(ids)
+	}
+	return nil
+}

@@ -1,0 +1,347 @@
+package backend
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"wlanscale/internal/dot11"
+	"wlanscale/internal/telemetry"
+)
+
+// This file is the store half of live shard rebalancing: extracting a
+// per-network slice out of a source shard, deleting it after a
+// verified cutover, and the two pieces of bookkeeping that make the
+// dance crash-safe — a "parted" network set (the shard refuses to ack
+// new reports for networks mid-migration, so devices requeue) and an
+// "absorbed" token set (a migration slice is applied at most once per
+// token, so WAL replay and coordinator retries are idempotent). The
+// durable WAL records for these operations live in durable.go.
+
+// Networks lists every network ID the store holds data for, sorted.
+// Device-keyed series attribute by serial; client aggregates attribute
+// through the APs that reported them. Serials netOf cannot parse are
+// skipped — they belong to no network and never migrate.
+func (s *Store) Networks(netOf NetworkFunc) []uint64 {
+	set := make(map[uint64]bool)
+	add := func(serial string) {
+		if id, ok := netOf(serial); ok {
+			set[id] = true
+		}
+	}
+	for _, ds := range s.deviceShards {
+		ds.mu.Lock()
+		for serial := range ds.seen {
+			add(serial)
+		}
+		for serial := range ds.radio {
+			add(serial)
+		}
+		for serial := range ds.scans {
+			add(serial)
+		}
+		for serial := range ds.neighbors {
+			add(serial)
+		}
+		for serial := range ds.crashes {
+			add(serial)
+		}
+		for k := range ds.links {
+			add(k.From)
+		}
+		ds.mu.Unlock()
+	}
+	for _, cs := range s.clientShards {
+		cs.mu.Lock()
+		for _, c := range cs.clients {
+			if id, ok := networkOfClient(c, netOf); ok {
+				set[id] = true
+			}
+		}
+		cs.mu.Unlock()
+	}
+	out := make([]uint64, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ExtractNetworks deep-copies everything the store holds for the given
+// networks into a fresh store — the migration slice a source shard
+// exports. Every stripe lock is held for the walk (same contract as
+// Save), so the slice is a consistent point-in-time view even on a
+// live daemon, and the copies share no memory with the live store: the
+// caller can encode the slice after the locks drop while ingestion
+// resumes. Migration bookkeeping is data, not payload — the slice
+// carries none of it.
+func (s *Store) ExtractNetworks(ids map[uint64]bool, netOf NetworkFunc) *Store {
+	out := NewStoreShards(s.NumShards())
+	in := func(serial string) bool {
+		id, ok := netOf(serial)
+		return ok && ids[id]
+	}
+	defer s.lockAll()()
+	for _, ds := range s.deviceShards {
+		for serial, seq := range ds.seen {
+			if in(serial) {
+				out.deviceShardFor(serial).seen[serial] = seq
+			}
+		}
+		for serial, v := range ds.radio {
+			if in(serial) {
+				out.deviceShardFor(serial).radio[serial] = append([]RadioSample(nil), v...)
+			}
+		}
+		for serial, v := range ds.scans {
+			if in(serial) {
+				out.deviceShardFor(serial).scans[serial] = append([]ScanPoint(nil), v...)
+			}
+		}
+		for serial, v := range ds.crashes {
+			if in(serial) {
+				out.deviceShardFor(serial).crashes[serial] = append([]telemetry.CrashRecord(nil), v...)
+			}
+		}
+		for serial, m := range ds.neighbors {
+			if in(serial) {
+				cp := make(map[dot11.BSSID]NeighborEntry, len(m))
+				for b, e := range m {
+					cp[b] = e
+				}
+				out.deviceShardFor(serial).neighbors[serial] = cp
+			}
+		}
+		for k, l := range ds.links {
+			if in(k.From) {
+				out.deviceShardFor(k.From).links[k] = &LinkSeries{
+					Key:     k,
+					Sent:    append([]uint32(nil), l.Sent...),
+					Deliver: append([]uint32(nil), l.Deliver...),
+				}
+			}
+		}
+	}
+	for _, cs := range s.clientShards {
+		for mac, c := range cs.clients {
+			if id, ok := networkOfClient(c, netOf); ok && ids[id] {
+				out.clientShardFor(mac).clients[mac] = copyClient(c)
+			}
+		}
+	}
+	return out
+}
+
+// copyClient deep-copies one aggregate for ExtractNetworks.
+func copyClient(c *ClientAggregate) *ClientAggregate {
+	cp := &ClientAggregate{
+		MAC: c.MAC, Band: c.Band, RSSIdB: c.RSSIdB, Caps: c.Caps,
+		Apps:       make(map[string]*telemetry.AppUsageRecord, len(c.Apps)),
+		UserAgents: append([]string(nil), c.UserAgents...),
+		APs:        make(map[string]bool, len(c.APs)),
+	}
+	for name, a := range c.Apps {
+		dup := *a
+		cp.Apps[name] = &dup
+	}
+	for _, fp := range c.DHCPFingerprints {
+		cp.DHCPFingerprints = append(cp.DHCPFingerprints, append([]byte(nil), fp...))
+	}
+	for serial := range c.APs {
+		cp.APs[serial] = true
+	}
+	return cp
+}
+
+// DeleteNetworks removes everything the store holds for the given
+// networks, under the full stripe lock set, and reports how many
+// networks actually had data and how many keyed entries went away.
+// Dedup high-water marks are deleted too: after a cutover the network
+// lives elsewhere, and if it ever migrates back its slice carries the
+// watermark with it.
+func (s *Store) DeleteNetworks(ids map[uint64]bool, netOf NetworkFunc) (networks, entries int) {
+	removed := make(map[uint64]bool)
+	in := func(serial string) (uint64, bool) {
+		id, ok := netOf(serial)
+		return id, ok && ids[id]
+	}
+	defer s.lockAll()()
+	for _, ds := range s.deviceShards {
+		for serial := range ds.seen {
+			if id, ok := in(serial); ok {
+				delete(ds.seen, serial)
+				removed[id] = true
+				entries++
+			}
+		}
+		for serial := range ds.radio {
+			if id, ok := in(serial); ok {
+				delete(ds.radio, serial)
+				removed[id] = true
+				entries++
+			}
+		}
+		for serial := range ds.scans {
+			if id, ok := in(serial); ok {
+				delete(ds.scans, serial)
+				removed[id] = true
+				entries++
+			}
+		}
+		for serial := range ds.crashes {
+			if id, ok := in(serial); ok {
+				delete(ds.crashes, serial)
+				removed[id] = true
+				entries++
+			}
+		}
+		for serial := range ds.neighbors {
+			if id, ok := in(serial); ok {
+				delete(ds.neighbors, serial)
+				removed[id] = true
+				entries++
+			}
+		}
+		for k := range ds.links {
+			if id, ok := in(k.From); ok {
+				delete(ds.links, k)
+				removed[id] = true
+				entries++
+			}
+		}
+	}
+	for _, cs := range s.clientShards {
+		for mac, c := range cs.clients {
+			if id, ok := networkOfClient(c, netOf); ok && ids[id] {
+				delete(cs.clients, mac)
+				removed[id] = true
+				entries++
+			}
+		}
+	}
+	return len(removed), entries
+}
+
+// IDSet turns an ID list into the set form ExtractNetworks and
+// DeleteNetworks take.
+func IDSet(ids []uint64) map[uint64]bool {
+	set := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return set
+}
+
+// Part marks networks as mid-migration: IsParted turns true for each,
+// and the daemon's harvest path refuses to ack their reports, so
+// devices hold their queues until the networks' new home is serving.
+func (s *Store) Part(ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	s.migMu.Lock()
+	if s.parted == nil {
+		s.parted = make(map[uint64]bool)
+	}
+	for _, id := range ids {
+		s.parted[id] = true
+	}
+	s.migMu.Unlock()
+}
+
+// Unpart clears the parted mark — the rollback half of Part.
+func (s *Store) Unpart(ids []uint64) {
+	s.migMu.Lock()
+	for _, id := range ids {
+		delete(s.parted, id)
+	}
+	s.migMu.Unlock()
+}
+
+// IsParted reports whether a network is currently refusing ingestion.
+func (s *Store) IsParted(id uint64) bool {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	return s.parted[id]
+}
+
+// PartedIDs lists the parted networks, sorted (status display, tests).
+func (s *Store) PartedIDs() []uint64 {
+	s.migMu.Lock()
+	out := make([]uint64, 0, len(s.parted))
+	for id := range s.parted {
+		out = append(out, id)
+	}
+	s.migMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MarkAbsorbed records that a migration token's slice has been applied.
+func (s *Store) MarkAbsorbed(token string) {
+	s.migMu.Lock()
+	if s.absorbed == nil {
+		s.absorbed = make(map[string]bool)
+	}
+	s.absorbed[token] = true
+	s.migMu.Unlock()
+}
+
+// HasAbsorbed reports whether a migration token was already applied.
+func (s *Store) HasAbsorbed(token string) bool {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	return s.absorbed[token]
+}
+
+// ClearAbsorbed forgets a token — Drop's inverse-of-Absorb half, so a
+// rolled-back migration can be retried under the same token.
+func (s *Store) ClearAbsorbed(token string) {
+	s.migMu.Lock()
+	delete(s.absorbed, token)
+	s.migMu.Unlock()
+}
+
+// AbsorbedCount returns how many migration tokens the store remembers.
+func (s *Store) AbsorbedCount() int {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	return len(s.absorbed)
+}
+
+// Absorb applies one migration slice on a destination shard: anything
+// the store already holds for the moved networks is deleted, the gob
+// snapshot merges in through the deterministic MergeSnapshot path, the
+// networks are un-parted (receiving a slice makes this shard their
+// home), and the token is marked done. A token that was already
+// absorbed is a no-op returning false — that single check is what lets
+// the coordinator retry blindly and lets WAL replay re-apply records
+// without double-merging. Delete-before-merge makes absorption a
+// replacement, so re-running an interrupted migration under a fresh
+// token converges instead of duplicating series.
+func (s *Store) Absorb(token string, ids []uint64, slice io.Reader, netOf NetworkFunc) (bool, error) {
+	s.absorbMu.Lock()
+	defer s.absorbMu.Unlock()
+	if s.HasAbsorbed(token) {
+		return false, nil
+	}
+	s.DeleteNetworks(IDSet(ids), netOf)
+	if err := s.MergeSnapshot(slice); err != nil {
+		return false, fmt.Errorf("backend: absorb %s: %w", token, err)
+	}
+	s.Unpart(ids)
+	s.MarkAbsorbed(token)
+	return true, nil
+}
+
+// Drop removes the given networks and forgets the token that absorbed
+// them — on a source shard after a verified cutover (token never
+// absorbed there, so only the delete matters), or on a destination
+// rolling back a failed migration (where clearing the token re-arms a
+// retry). Returns DeleteNetworks' counts.
+func (s *Store) Drop(token string, ids []uint64, netOf NetworkFunc) (networks, entries int) {
+	networks, entries = s.DeleteNetworks(IDSet(ids), netOf)
+	s.ClearAbsorbed(token)
+	return networks, entries
+}

@@ -158,6 +158,16 @@ type Store struct {
 	ingests atomic.Int64
 	dupes   atomic.Int64
 
+	// Migration bookkeeping (see migrate.go). migMu guards both maps;
+	// it is only ever taken alone or inside the stripe locks
+	// (collectLocked), never the other way around. absorbMu serializes
+	// whole Absorb operations so two concurrent absorbs of the same
+	// token cannot both pass the dedup check and double-merge.
+	migMu    sync.Mutex
+	absorbed map[string]bool
+	parted   map[uint64]bool
+	absorbMu sync.Mutex
+
 	// saveDur, when EnableObs attached a registry, times gob snapshot
 	// encodes. Nil (no-op) otherwise.
 	saveDur *obs.Histogram
@@ -500,6 +510,23 @@ func (s *Store) Merge(p *Store) {
 		}
 	}
 
+	// Migration bookkeeping folds as a union: a merged view is "parted"
+	// or "already absorbed" if any contributing partial was.
+	p.migMu.Lock()
+	tokens := make([]string, 0, len(p.absorbed))
+	for tok := range p.absorbed {
+		tokens = append(tokens, tok)
+	}
+	ids := make([]uint64, 0, len(p.parted))
+	for id := range p.parted {
+		ids = append(ids, id)
+	}
+	p.migMu.Unlock()
+	for _, tok := range tokens {
+		s.MarkAbsorbed(tok)
+	}
+	s.Part(ids)
+
 	s.ingests.Add(p.ingests.Load())
 	s.dupes.Add(p.dupes.Load())
 }
@@ -663,6 +690,14 @@ type snapshot struct {
 	Scans     map[string][]ScanPoint
 	Neighbors map[string]map[dot11.BSSID]NeighborEntry
 	Crashes   map[string][]telemetry.CrashRecord
+	// Absorbed and Parted persist the rebalance bookkeeping (migrate.go)
+	// so a restarted shard still refuses parted networks and still
+	// deduplicates migration slices by token. Both are nil when no
+	// rebalance ever touched the store — gob then omits them, so
+	// pre-rebalance snapshots are byte-identical — and neither feeds
+	// Digest, so data equivalence is unaffected.
+	Absorbed map[string]bool
+	Parted   map[uint64]bool
 }
 
 // Save writes a gob snapshot. Every stripe lock is held for the
@@ -739,6 +774,20 @@ func (s *Store) collectLocked() snapshot {
 			snap.Crashes[k] = v
 		}
 	}
+	s.migMu.Lock()
+	if len(s.absorbed) > 0 {
+		snap.Absorbed = make(map[string]bool, len(s.absorbed))
+		for k := range s.absorbed {
+			snap.Absorbed[k] = true
+		}
+	}
+	if len(s.parted) > 0 {
+		snap.Parted = make(map[uint64]bool, len(s.parted))
+		for k := range s.parted {
+			snap.Parted[k] = true
+		}
+	}
+	s.migMu.Unlock()
 	return snap
 }
 
@@ -774,6 +823,21 @@ func (s *Store) Load(r io.Reader) error {
 	}
 	s.ingests.Store(0)
 	s.dupes.Store(0)
+	s.migMu.Lock()
+	s.absorbed, s.parted = nil, nil
+	for k := range snap.Absorbed {
+		if s.absorbed == nil {
+			s.absorbed = make(map[string]bool)
+		}
+		s.absorbed[k] = true
+	}
+	for k := range snap.Parted {
+		if s.parted == nil {
+			s.parted = make(map[uint64]bool)
+		}
+		s.parted[k] = true
+	}
+	s.migMu.Unlock()
 	for mac, c := range snap.Clients {
 		if c.Apps == nil {
 			c.Apps = make(map[string]*telemetry.AppUsageRecord)

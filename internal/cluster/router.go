@@ -156,11 +156,44 @@ func DownShards(replies []Reply) []int {
 	return down
 }
 
+// retrySchedule returns the waits between a shard's attempts (length
+// attempts-1): capped exponential backoff from base, each wait scaled
+// by a jitter factor in [0.5, 1.5) drawn from a stream seeded per
+// (shard, address). The schedule is a pure function of those inputs —
+// deterministic for a given deployment yet staggered across shards —
+// which the retry-determinism test pins.
+func retrySchedule(shard int, addr string, base, max time.Duration, attempts int) []time.Duration {
+	if attempts <= 1 {
+		return nil
+	}
+	jitter := rng.New(uint64(shard)).Split("cluster-retry/" + addr)
+	waits := make([]time.Duration, 0, attempts-1)
+	backoff := base
+	for a := 1; a < attempts; a++ {
+		waits = append(waits, time.Duration(float64(backoff)*(0.5+jitter.Float64())))
+		if backoff < max {
+			backoff *= 2
+			if backoff > max {
+				backoff = max
+			}
+		}
+	}
+	return waits
+}
+
+// shardErr bumps a shard's error counter. The counter slice was sized
+// when EnableObs ran; a Router whose Shards slice has since been
+// replaced with a longer one (the rebalance coordinator retargets
+// routers) must degrade to not counting, not index out of range.
+func (r *Router) shardErr(i int) {
+	if i < len(r.shardErrs) {
+		r.shardErrs[i].Inc()
+	}
+}
+
 // queryShard runs one shard's retry loop: dial, send cmd, read the
-// blank-line-terminated response, with jittered capped backoff between
-// attempts. The jitter stream is seeded per (shard, address) so
-// retries are deterministic for a given deployment yet staggered
-// across shards.
+// blank-line-terminated response, with the jittered capped backoff of
+// retrySchedule between attempts.
 func (r *Router) queryShard(i int, cmd string) Reply {
 	rep := Reply{Shard: i, Addr: r.Shards[i]}
 	base := r.BackoffBase
@@ -171,19 +204,11 @@ func (r *Router) queryShard(i int, cmd string) Reply {
 	if max <= 0 {
 		max = time.Second
 	}
-	jitter := rng.New(uint64(i)).Split("cluster-retry/" + rep.Addr)
-	backoff := base
+	waits := retrySchedule(i, rep.Addr, base, max, r.attempts())
 	for attempt := 0; attempt < r.attempts(); attempt++ {
 		if attempt > 0 {
 			r.retries.Inc()
-			wait := time.Duration(float64(backoff) * (0.5 + jitter.Float64()))
-			time.Sleep(wait)
-			if backoff < max {
-				backoff *= 2
-				if backoff > max {
-					backoff = max
-				}
-			}
+			time.Sleep(waits[attempt-1])
 		}
 		rep.Attempts++
 		lines, err := queryOnce(rep.Addr, cmd, r.timeout())
@@ -192,16 +217,24 @@ func (r *Router) queryShard(i int, cmd string) Reply {
 			return rep
 		}
 		rep.Err = err
-		if r.shardErrs != nil {
-			r.shardErrs[i].Inc()
-		}
+		r.shardErr(i)
 	}
 	return rep
 }
 
+// ErrTruncated marks a shard response whose connection closed before
+// the blank-line terminator arrived: the lines read so far may be a
+// prefix of the real answer, so they must be thrown away and the
+// attempt retried, never merged. (A snapshot missing its tail would
+// otherwise fold into a merged digest as if the shard held less data —
+// the silent-loss mode the rebalance verify gate exists to rule out.)
+var ErrTruncated = errors.New("cluster: truncated response (connection closed before terminator)")
+
 // queryOnce is one attempt of the line protocol merakid's query port
 // speaks: send the command plus "quit", read lines until the blank
-// terminator. The deadline covers the whole exchange.
+// terminator. The deadline covers the whole exchange. A response
+// without its terminator — clean EOF included — is an error, not a
+// short answer.
 func queryOnce(addr, cmd string, timeout time.Duration) ([]string, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -225,10 +258,7 @@ func queryOnce(addr, cmd string, timeout time.Duration) ([]string, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(lines) == 0 {
-		return nil, errors.New("cluster: empty response")
-	}
-	return lines, nil
+	return nil, fmt.Errorf("%w after %d lines from %s", ErrTruncated, len(lines), addr)
 }
 
 // errAllDown is returned when no shard answered a merge.

@@ -14,8 +14,9 @@ import (
 )
 
 // serveStore runs a minimal shard query server over ln: the subset of
-// merakid's line protocol the router speaks (status, digest, snapshot,
-// quit, ERR for the rest). It stops when ln closes.
+// merakid's line protocol the router and the rebalance coordinator
+// speak (status, digest, snapshot, the migration commands, quit, ERR
+// for the rest). It stops when ln closes.
 func serveStore(ln net.Listener, shard int, s *backend.Store) {
 	go func() {
 		for {
@@ -26,6 +27,7 @@ func serveStore(ln net.Listener, shard int, s *backend.Store) {
 			go func(c net.Conn) {
 				defer c.Close()
 				sc := bufio.NewScanner(c)
+				sc.Buffer(make([]byte, 64<<10), 1<<20)
 				w := bufio.NewWriter(c)
 				for sc.Scan() {
 					fields := strings.Fields(sc.Text())
@@ -42,6 +44,69 @@ func serveStore(ln net.Listener, shard int, s *backend.Store) {
 					case "snapshot":
 						if err := WriteSnapshotLines(w, s); err != nil {
 							fmt.Fprintf(w, "ERR %v\n", err)
+						}
+					case "networks":
+						for _, id := range s.Networks(backend.NetworkOfSerial) {
+							fmt.Fprintf(w, "%d\n", id)
+						}
+					case "extract":
+						ids, err := ParseIDList(fields[1])
+						if err != nil {
+							fmt.Fprintf(w, "ERR %v\n", err)
+							break
+						}
+						slice := s.ExtractNetworks(backend.IDSet(ids), backend.NetworkOfSerial)
+						if err := WriteSnapshotLines(w, slice); err != nil {
+							fmt.Fprintf(w, "ERR %v\n", err)
+						}
+					case "part", "unpart":
+						ids, err := ParseIDList(fields[1])
+						if err != nil {
+							fmt.Fprintf(w, "ERR %v\n", err)
+							break
+						}
+						if fields[0] == "part" {
+							s.Part(ids)
+							fmt.Fprintf(w, "parted n=%d\n", len(ids))
+						} else {
+							s.Unpart(ids)
+							fmt.Fprintf(w, "unparted n=%d\n", len(ids))
+						}
+					case "drop":
+						ids, err := ParseIDList(fields[2])
+						if err != nil {
+							fmt.Fprintf(w, "ERR %v\n", err)
+							break
+						}
+						nets, entries := s.Drop(fields[1], ids, backend.NetworkOfSerial)
+						fmt.Fprintf(w, "dropped networks=%d entries=%d\n", nets, entries)
+					case "absorb":
+						ids, err := ParseIDList(fields[2])
+						if err != nil {
+							fmt.Fprintf(w, "ERR %v\n", err)
+							break
+						}
+						var payload []string
+						for sc.Scan() {
+							ln := sc.Text()
+							if ln == "" {
+								break
+							}
+							payload = append(payload, ln)
+						}
+						raw, err := DecodeSnapshotLines(payload)
+						if err != nil {
+							fmt.Fprintf(w, "ERR %v\n", err)
+							break
+						}
+						applied, err := s.Absorb(fields[1], ids, raw, backend.NetworkOfSerial)
+						switch {
+						case err != nil:
+							fmt.Fprintf(w, "ERR %v\n", err)
+						case !applied:
+							fmt.Fprintf(w, "already token=%s\n", fields[1])
+						default:
+							fmt.Fprintf(w, "absorbed token=%s networks=%d\n", fields[1], len(ids))
 						}
 					case "quit":
 						w.Flush()

@@ -40,12 +40,24 @@ func WriteSnapshotLines(w io.Writer, s *backend.Store) error {
 	return nil
 }
 
-// DecodeSnapshotLines reverses WriteSnapshotLines: it joins the base64
-// lines of one shard's snapshot response back into the gob stream.
-func DecodeSnapshotLines(lines []string) (io.Reader, error) {
+// DecodeSnapshotBytes reverses WriteSnapshotLines: it joins the base64
+// lines of one shard's snapshot response back into the raw gob stream.
+// The byte form is what a durable absorb logs to the WAL before
+// applying.
+func DecodeSnapshotBytes(lines []string) ([]byte, error) {
 	raw, err := base64.StdEncoding.DecodeString(strings.Join(lines, ""))
 	if err != nil {
 		return nil, fmt.Errorf("cluster: corrupt snapshot response: %v", err)
+	}
+	return raw, nil
+}
+
+// DecodeSnapshotLines is DecodeSnapshotBytes as a reader — the form
+// Store.MergeSnapshot and Store.Load take.
+func DecodeSnapshotLines(lines []string) (io.Reader, error) {
+	raw, err := DecodeSnapshotBytes(lines)
+	if err != nil {
+		return nil, err
 	}
 	return bytes.NewReader(raw), nil
 }
